@@ -1,0 +1,106 @@
+// Shared helpers for the reproduction harnesses (one binary per paper
+// table/figure).
+//
+// Each harness runs in a "fast" preset by default: shorter measurement
+// windows and coarser capacity-search steps than the paper's
+// 90%-confidence runs, chosen so the full suite completes in minutes on
+// one core while preserving every qualitative shape. Set
+// SPIFFI_BENCH_FULL=1 for paper-scale windows, or SPIFFI_BENCH_SMOKE=1
+// for a seconds-long smoke pass.
+
+#ifndef SPIFFI_BENCH_BENCH_COMMON_H_
+#define SPIFFI_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "vod/capacity.h"
+#include "vod/config.h"
+#include "vod/metrics.h"
+#include "vod/simulation.h"
+#include "vod/table.h"
+
+namespace spiffi::bench {
+
+enum class Preset { kSmoke, kFast, kFull };
+
+inline Preset ActivePreset() {
+  const char* full = std::getenv("SPIFFI_BENCH_FULL");
+  if (full != nullptr && full[0] == '1') return Preset::kFull;
+  const char* smoke = std::getenv("SPIFFI_BENCH_SMOKE");
+  if (smoke != nullptr && smoke[0] == '1') return Preset::kSmoke;
+  return Preset::kFast;
+}
+
+inline const char* PresetName(Preset preset) {
+  switch (preset) {
+    case Preset::kSmoke: return "smoke";
+    case Preset::kFast: return "fast";
+    case Preset::kFull: return "full";
+  }
+  return "?";
+}
+
+// Paper base configuration (§7): 4 processors x 4 disks, 64 one-hour
+// videos, 512 KB stripe, Zipfian z=1, 2 MB terminals, with run-control
+// windows set from the active preset.
+inline vod::SimConfig BaseConfig(Preset preset) {
+  vod::SimConfig config;
+  switch (preset) {
+    case Preset::kSmoke:
+      config.start_window_sec = 20.0;
+      config.warmup_seconds = 30.0;
+      config.measure_seconds = 30.0;
+      break;
+    case Preset::kFast:
+      config.start_window_sec = 60.0;
+      config.warmup_seconds = 100.0;
+      config.measure_seconds = 120.0;
+      break;
+    case Preset::kFull:
+      config.start_window_sec = 60.0;
+      config.warmup_seconds = 240.0;
+      config.measure_seconds = 600.0;
+      break;
+  }
+  return config;
+}
+
+inline vod::CapacitySearchOptions SearchOptions(Preset preset,
+                                                int start_guess = 200) {
+  vod::CapacitySearchOptions options;
+  options.start_guess = start_guess;
+  options.max_terminals = 2000;
+  switch (preset) {
+    case Preset::kSmoke:
+      options.step = 20;
+      options.replications = 1;
+      break;
+    case Preset::kFast:
+      options.step = 5;
+      options.replications = 1;
+      break;
+    case Preset::kFull:
+      options.step = 5;
+      options.replications = 3;
+      break;
+  }
+  return options;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        Preset preset) {
+  std::printf("=== %s (%s) — preset: %s ===\n", experiment, paper_ref,
+              PresetName(preset));
+}
+
+// Memory sweep used by Figs 11-16 (aggregate server memory, MB).
+inline const std::int64_t kMemorySweepMiB[] = {128, 256, 512,
+                                               1024, 2048, 4096};
+inline constexpr int kMemorySweepPoints = 6;
+
+}  // namespace spiffi::bench
+
+#endif  // SPIFFI_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,38 @@
+// Figure 9: finding the maximum number of terminals without glitches —
+// the glitch count as the terminal count is swept through the capacity
+// of one configuration (16 disks, 512 KB stripe, elevator scheduling).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace spiffi;
+  bench::Preset preset = bench::ActivePreset();
+  bench::PrintHeader("glitches vs. number of terminals", "Figure 9",
+                     preset);
+
+  vod::SimConfig config = bench::BaseConfig(preset);
+  std::printf("config: %s\n\n", config.Describe().c_str());
+
+  // Locate the capacity first so the sweep brackets it like the paper's
+  // example does.
+  vod::CapacityResult capacity =
+      vod::FindMaxTerminals(config, bench::SearchOptions(preset));
+  int c = capacity.max_terminals;
+
+  std::vector<int> counts;
+  for (int delta : {-40, -20, -10, 0, 10, 20, 40, 60}) {
+    if (c + delta > 0) counts.push_back(c + delta);
+  }
+  auto curve = vod::GlitchCurve(config, counts);
+
+  vod::TextTable table({"terminals", "glitches"});
+  for (const auto& [terminals, glitches] : curve) {
+    table.AddRow({std::to_string(terminals), std::to_string(glitches)});
+  }
+  table.Print();
+  std::printf("\nmax terminals without glitches: %d\n", c);
+  return 0;
+}

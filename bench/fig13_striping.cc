@@ -1,0 +1,70 @@
+// Figures 13 and 14: striped vs. non-striped video layout (§7.4).
+//
+// Fig 13 reports the maximum glitch-free terminals for four cases —
+// striped/non-striped x Zipfian/uniform access — over the server memory
+// sweep. Fig 14 reports the average disk utilization at capacity for the
+// same cases, showing that non-striped layouts leave most disks idle.
+// Love prefetch page replacement and elevator scheduling throughout.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace spiffi;
+  bench::Preset preset = bench::ActivePreset();
+  bench::PrintHeader("striped vs. non-striped layout",
+                     "Figures 13 and 14", preset);
+
+  struct Case {
+    std::string name;
+    vod::VideoPlacement placement;
+    double zipf_z;
+    int start_guess;
+  };
+  std::vector<Case> cases = {
+      {"striped, zipfian", vod::VideoPlacement::kStriped, 1.0, 200},
+      {"striped, uniform", vod::VideoPlacement::kStriped, 0.0, 200},
+      {"non-striped, zipfian", vod::VideoPlacement::kNonStriped, 1.0, 40},
+      {"non-striped, uniform", vod::VideoPlacement::kNonStriped, 0.0, 80},
+  };
+  const std::vector<std::int64_t> memory_mb = {128, 512, 2048, 4096};
+
+  std::vector<std::string> headers = {"layout / access"};
+  for (std::int64_t mb : memory_mb) {
+    headers.push_back(std::to_string(mb) + " MB");
+  }
+  headers.push_back("disk util @ cap");
+  vod::TextTable table(headers);
+
+  for (const Case& c : cases) {
+    std::vector<std::string> row = {c.name};
+    double utilization = 0.0;
+    for (std::int64_t mb : memory_mb) {
+      vod::SimConfig config = bench::BaseConfig(preset);
+      config.disk_sched = server::DiskSchedPolicy::kElevator;
+      config.replacement = server::ReplacementPolicy::kLovePrefetch;
+      config.placement = c.placement;
+      config.zipf_z = c.zipf_z;
+      config.server_memory_bytes = mb * hw::kMiB;
+      vod::CapacityResult result = vod::FindMaxTerminals(
+          config, bench::SearchOptions(preset, c.start_guess));
+      row.push_back(std::to_string(result.max_terminals));
+      utilization = result.at_capacity.avg_disk_utilization;
+      std::fprintf(stderr, "  %s @ %lld MB -> %d (util %.2f)\n",
+                   c.name.c_str(), static_cast<long long>(mb),
+                   result.max_terminals, utilization);
+    }
+    row.push_back(vod::FmtPercent(utilization));
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nFig 14 reading: at capacity the striped layout drives every disk "
+      "(util -> ~100%%),\nwhile the non-striped layout overloads the disks "
+      "holding popular videos and leaves\nthe rest idle (low average "
+      "utilization).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 16: percentage of buffer-pool references that request a page
+// previously referenced by another terminal, vs. server memory, for the
+// four popularity distributions (§7.5) at a fixed load.
+//
+// (fig15_access_freq also prints this at each configuration's capacity;
+// this harness holds the terminal count fixed so the curves isolate the
+// memory effect exactly as the paper's figure does.)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace spiffi;
+  bench::Preset preset = bench::ActivePreset();
+  bench::PrintHeader("inter-terminal sharing of buffered pages",
+                     "Figure 16", preset);
+
+  const std::vector<std::pair<std::string, double>> distributions = {
+      {"uniform", 0.0}, {"zipf 0.5", 0.5}, {"zipf 1.0", 1.0},
+      {"zipf 1.5", 1.5}};
+
+  std::vector<std::string> headers = {"distribution"};
+  for (int m = 0; m < bench::kMemorySweepPoints; ++m) {
+    headers.push_back(std::to_string(bench::kMemorySweepMiB[m]) + " MB");
+  }
+  vod::TextTable table(headers);
+
+  constexpr int kTerminals = 180;  // near capacity, fixed across cells
+  for (const auto& [name, z] : distributions) {
+    std::vector<std::string> row = {name};
+    for (int m = 0; m < bench::kMemorySweepPoints; ++m) {
+      vod::SimConfig config = bench::BaseConfig(preset);
+      config.disk_sched = server::DiskSchedPolicy::kElevator;
+      config.replacement = server::ReplacementPolicy::kLovePrefetch;
+      config.zipf_z = z;
+      config.terminals = kTerminals;
+      config.server_memory_bytes =
+          bench::kMemorySweepMiB[m] * hw::kMiB;
+      vod::SimMetrics metrics = vod::RunSimulation(config);
+      row.push_back(vod::FmtPercent(metrics.shared_reference_ratio()));
+      std::fprintf(stderr, "  %s @ %lld MB: %.1f%% shared\n", name.c_str(),
+                   static_cast<long long>(bench::kMemorySweepMiB[m]),
+                   metrics.shared_reference_ratio() * 100);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\n(%d terminals in every cell)\n", kTerminals);
+  return 0;
+}

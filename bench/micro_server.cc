@@ -1,0 +1,119 @@
+// Microbenchmarks for the server building blocks: buffer pool operations,
+// disk scheduler pops, and a whole small simulation per second of
+// simulated time.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "server/buffer_pool.h"
+#include "server/disk_sched.h"
+#include "vod/simulation.h"
+
+namespace {
+
+using namespace spiffi;
+
+void BM_BufferPoolAllocateCompleteEvict(benchmark::State& state) {
+  sim::Environment env;
+  server::BufferPool pool(&env, 1024,
+                          server::ReplacementPolicy::kLovePrefetch);
+  std::int64_t block = 0;
+  for (auto _ : state) {
+    server::PageKey key{0, block++};
+    server::BufferPool::Page* page = pool.Allocate(key, block % 2 == 0);
+    pool.Complete(page);
+    pool.Touch(page, static_cast<int>(block % 7));
+    pool.Unpin(page);
+    benchmark::DoNotOptimize(page);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolAllocateCompleteEvict);
+
+void BM_BufferPoolLookupHit(benchmark::State& state) {
+  sim::Environment env;
+  server::BufferPool pool(&env, 4096,
+                          server::ReplacementPolicy::kGlobalLru);
+  for (std::int64_t b = 0; b < 4096; ++b) {
+    auto* page = pool.Allocate(server::PageKey{0, b}, false);
+    pool.Complete(page);
+    pool.Unpin(page);
+  }
+  std::int64_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Lookup(server::PageKey{0, b}));
+    b = (b + 997) % 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolLookupHit);
+
+template <typename MakeSched>
+void SchedulerChurn(benchmark::State& state, MakeSched make) {
+  auto sched = make();
+  const int depth = static_cast<int>(state.range(0));
+  std::vector<hw::DiskRequest> requests(depth * 2);
+  for (int i = 0; i < depth * 2; ++i) {
+    requests[i].disk_offset = (i * 37 % 5000) * 1280 * 1024;
+    requests[i].bytes = 512 * 1024;
+    requests[i].terminal = i % 64;
+    requests[i].deadline = 1.0 + i % 8;
+    requests[i].seq = i;
+  }
+  for (int i = 0; i < depth; ++i) sched->Push(&requests[i]);
+  int next = depth;
+  std::int64_t head = 0;
+  for (auto _ : state) {
+    hw::DiskRequest* r = sched->Pop(head, 0.5);
+    head = r->disk_offset / (1280 * 1024);
+    sched->Push(&requests[next % (depth * 2)]);
+    ++next;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ElevatorPop(benchmark::State& state) {
+  SchedulerChurn(state, [] {
+    return std::make_unique<server::ElevatorScheduler>(1280 * 1024);
+  });
+}
+BENCHMARK(BM_ElevatorPop)->Arg(16)->Arg(128);
+
+void BM_RealTimePop(benchmark::State& state) {
+  SchedulerChurn(state, [] {
+    return std::make_unique<server::RealTimeScheduler>(3, 4.0,
+                                                       1280 * 1024);
+  });
+}
+BENCHMARK(BM_RealTimePop)->Arg(16)->Arg(128);
+
+void BM_GssPop(benchmark::State& state) {
+  SchedulerChurn(state, [] {
+    return std::make_unique<server::GssScheduler>(4, 1280 * 1024);
+  });
+}
+BENCHMARK(BM_GssPop)->Arg(16)->Arg(128);
+
+// End-to-end: cost of one simulated second of a 2x2 disk system with 20
+// terminals (the integration-test configuration).
+void BM_SimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    vod::SimConfig config;
+    config.num_nodes = 2;
+    config.disks_per_node = 2;
+    config.video_seconds = 120.0;
+    config.server_memory_bytes = 256LL * 1024 * 1024;
+    config.terminals = 20;
+    config.start_window_sec = 2.0;
+    config.warmup_seconds = 2.0;
+    config.measure_seconds = 8.0;
+    vod::SimMetrics m = vod::RunSimulation(config);
+    benchmark::DoNotOptimize(m.events_simulated);
+  }
+}
+BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace

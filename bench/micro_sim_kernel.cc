@@ -1,0 +1,100 @@
+// Microbenchmarks for the discrete-event simulation kernel.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/environment.h"
+#include "sim/process.h"
+#include "sim/random.h"
+#include "sim/semaphore.h"
+
+namespace {
+
+using spiffi::sim::Environment;
+using spiffi::sim::EventHandler;
+using spiffi::sim::Process;
+
+// Raw calendar throughput: schedule + fire.
+class NullHandler final : public EventHandler {
+ public:
+  void OnEvent(std::uint64_t) override {}
+};
+
+void BM_CalendarScheduleFire(benchmark::State& state) {
+  spiffi::sim::Calendar calendar;
+  NullHandler handler;
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      calendar.Schedule(static_cast<double>(i % 97), &handler, i);
+    }
+    while (!calendar.empty()) calendar.FireNext();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CalendarScheduleFire)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Coroutine hold loop: events routed through process resumption.
+Process HoldLoop(Environment* env, int holds) {
+  for (int i = 0; i < holds; ++i) co_await env->Hold(0.001);
+}
+
+void BM_ProcessHoldLoop(benchmark::State& state) {
+  const int processes = static_cast<int>(state.range(0));
+  constexpr int kHolds = 100;
+  for (auto _ : state) {
+    Environment env;
+    for (int p = 0; p < processes; ++p) {
+      env.Spawn(HoldLoop(&env, kHolds));
+    }
+    env.Run();
+    benchmark::DoNotOptimize(env.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * processes * kHolds);
+}
+BENCHMARK(BM_ProcessHoldLoop)->Arg(10)->Arg(100)->Arg(1000);
+
+// Semaphore contention: N processes sharing one unit.
+void BM_SemaphoreHandoff(benchmark::State& state) {
+  const int processes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Environment env;
+    spiffi::sim::Semaphore sem(&env, 1);
+    for (int p = 0; p < processes; ++p) {
+      env.Spawn([](Environment* e, spiffi::sim::Semaphore* s) -> Process {
+        for (int i = 0; i < 20; ++i) {
+          co_await s->Acquire();
+          co_await e->Hold(0.001);
+          s->Release();
+        }
+      }(&env, &sem));
+    }
+    env.Run();
+    benchmark::DoNotOptimize(env.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * processes * 20);
+}
+BENCHMARK(BM_SemaphoreHandoff)->Arg(10)->Arg(100);
+
+void BM_RngExponential(benchmark::State& state) {
+  spiffi::sim::Rng rng(42);
+  double sum = 0.0;
+  for (auto _ : state) {
+    sum += rng.Exponential(1.0);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_CounterModeFrameDraw(benchmark::State& state) {
+  std::uint64_t i = 0;
+  double sum = 0.0;
+  for (auto _ : state) {
+    sum += spiffi::sim::ExponentialAt(7, i++, 16384.0);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterModeFrameDraw);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Interactive features: pause/resume (§8.1) and piggybacked starts
+// (§8.2) in action.
+//
+//   ./interactive_features [terminals]
+//
+// Runs three scenarios at the same load — plain playback, playback with
+// user pauses, and playback with a 5-minute piggyback batching window —
+// and compares the load each places on the video server.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "vod/simulation.h"
+#include "vod/table.h"
+
+int main(int argc, char** argv) {
+  using namespace spiffi;
+
+  int terminals = argc > 1 ? std::atoi(argv[1]) : 250;
+  std::printf("interactive features at %d terminals\n\n", terminals);
+
+  vod::TextTable table({"scenario", "glitches", "disk util",
+                        "network avg", "videos completed"});
+
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    vod::SimConfig config;
+    config.terminals = terminals;
+    config.server_memory_bytes = 512 * hw::kMiB;
+    config.replacement = server::ReplacementPolicy::kLovePrefetch;
+    const char* name = "plain playback";
+    if (scenario == 1) {
+      name = "with pauses (2 x 2 min avg)";
+      config.pause_enabled = true;
+    } else if (scenario == 2) {
+      name = "piggyback (5 min window)";
+      config.piggyback_window_sec = 300.0;
+      // Grouped starts replace the steady-state position spread; give the
+      // warmup time to cover the batching delay.
+      config.warmup_seconds = config.start_window_sec + 360.0;
+    }
+    std::string error = config.Validate();
+    if (!error.empty()) {
+      std::fprintf(stderr, "bad configuration: %s\n", error.c_str());
+      return 1;
+    }
+    vod::SimMetrics m = vod::RunSimulation(config);
+    table.AddRow({name, std::to_string(m.glitches),
+                  vod::FmtPercent(m.avg_disk_utilization),
+                  vod::FmtBytesPerSec(m.avg_network_bytes_per_sec),
+                  std::to_string(m.videos_completed)});
+    std::fprintf(stderr, "  %s done\n", name);
+  }
+  table.Print();
+  std::printf(
+      "\nPauses cost the server nothing (paused terminals stop "
+      "consuming). Piggybacking\ncuts disk load sharply: grouped "
+      "terminals share one stream, which is how a\n5-minute start delay "
+      "more than doubles the supportable subscriber count.\n");
+  return 0;
+}

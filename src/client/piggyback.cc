@@ -1,0 +1,21 @@
+#include "client/piggyback.h"
+
+namespace spiffi::client {
+
+PiggybackManager::Arrangement PiggybackManager::Arrange(int video) {
+  sim::SimTime now = env_->now();
+  if (window_sec_ <= 0.0) {
+    return Arrangement{Role::kLeader, now};
+  }
+  auto it = open_groups_.find(video);
+  if (it != open_groups_.end() && it->second >= now) {
+    ++followers_attached_;
+    return Arrangement{Role::kFollower, it->second};
+  }
+  sim::SimTime start = now + window_sec_;
+  open_groups_[video] = start;
+  ++groups_formed_;
+  return Arrangement{Role::kLeader, start};
+}
+
+}  // namespace spiffi::client

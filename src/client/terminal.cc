@@ -1,0 +1,478 @@
+#include "client/terminal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "sim/check.h"
+
+namespace spiffi::client {
+
+using server::Message;
+
+Terminal::Terminal(sim::Environment* env, int id,
+                   const TerminalParams& params, hw::Network* network,
+                   server::NodeDirectory* server,
+                   const mpeg::VideoLibrary* library,
+                   const layout::Layout* layout, sim::Rng rng,
+                   sim::SimTime start_time, PiggybackManager* piggyback)
+    : env_(env),
+      id_(id),
+      params_(params),
+      network_(network),
+      server_(server),
+      library_(library),
+      layout_(layout),
+      rng_(rng),
+      piggyback_(piggyback) {
+  SPIFFI_CHECK(env != nullptr);
+  SPIFFI_CHECK(params.memory_bytes >= params.block_bytes);
+  env_->Schedule(start_time, this, kStartToken);
+}
+
+double Terminal::FramesPerSecond() const {
+  return library_->frame_model().params().frames_per_second;
+}
+
+double Terminal::ConsumedPlaybackTime() const {
+  return static_cast<double>(next_frame_) / FramesPerSecond();
+}
+
+std::int64_t Terminal::BlockBytesAt(std::int64_t block) const {
+  std::int64_t start = block * params_.block_bytes;
+  return std::min(params_.block_bytes, video_bytes_ - start);
+}
+
+std::int64_t Terminal::ContiguousBytes() const {
+  return std::min((first_block_ + contiguous_blocks_) * params_.block_bytes,
+                  video_bytes_);
+}
+
+sim::SimTime Terminal::DeadlineForBlock(std::int64_t block) const {
+  // The first byte of the block that will actually be consumed (the
+  // starting block is consumed from the starting position, not byte 0).
+  double block_time = vid_->PlaybackTimeOfByte(
+      std::max(block * params_.block_bytes, start_byte_));
+  switch (state_) {
+    case State::kPlaying:
+      return anchor_ + block_time;
+    case State::kPaused:
+      // Display resumes at pause_end_; the clock then runs from the
+      // current consumption point.
+      return pause_end_ + (block_time - ConsumedPlaybackTime());
+    default:
+      // Priming: assume display could start immediately (conservative).
+      return env_->now() + (block_time - ConsumedPlaybackTime());
+  }
+}
+
+void Terminal::OnEvent(std::uint64_t token) {
+  switch (token) {
+    case kStartToken:
+      if (pending_video_ >= 0) {
+        StartVideo(pending_video_, 0);
+      } else {
+        ChooseNextVideo();
+      }
+      break;
+    case kFrameToken:
+      if (state_ == State::kPlaying) DisplayFrame();
+      break;
+    case kPauseEndToken:
+      if (state_ == State::kPaused) {
+        state_ = State::kPlaying;
+        anchor_ = env_->now() - ConsumedPlaybackTime();
+        env_->Schedule(env_->now(), this, kFrameToken);
+      }
+      break;
+    case kFollowEndToken:
+      if (state_ == State::kFollowing) {
+        ++stats_.videos_completed;
+        state_ = State::kIdle;
+        ChooseNextVideo();
+      }
+      break;
+    case kSearchFrameToken:
+      if (state_ == State::kSearching) DisplaySearchFrame();
+      break;
+    default:
+      SPIFFI_CHECK(false);
+  }
+}
+
+void Terminal::ChooseNextVideo() {
+  int video = library_->Select(&rng_);
+  // Only the very first video starts mid-stream (steady-state warmup);
+  // later selections play from the beginning.
+  std::int64_t start_frame = 0;
+  if (first_video_) {
+    first_video_ = false;
+    if (params_.random_initial_position) {
+      start_frame = static_cast<std::int64_t>(rng_.UniformInt(
+          static_cast<std::uint64_t>(library_->video(video).frame_count())));
+    }
+  }
+  if (piggyback_ == nullptr) {
+    StartVideo(video, start_frame);
+    return;
+  }
+  // Piggyback groups always watch from the beginning (the batching
+  // window replaces the steady-state position spread).
+  PiggybackManager::Arrangement arrangement = piggyback_->Arrange(video);
+  pending_video_ = video;
+  if (arrangement.role == PiggybackManager::Role::kFollower) {
+    state_ = State::kFollowing;
+    env_->Schedule(
+        arrangement.start_time + library_->video(video).duration_seconds(),
+        this, kFollowEndToken);
+    return;
+  }
+  state_ = State::kWaitingStart;
+  env_->Schedule(arrangement.start_time, this, kStartToken);
+}
+
+void Terminal::ResetStreamAt(std::int64_t frame) {
+  ++epoch_;  // replies to everything issued so far become stale
+  next_frame_ = frame;
+  start_byte_ = vid_->CumulativeBytesAtFrame(frame);
+  consumed_bytes_ = start_byte_;
+  first_block_ = start_byte_ / params_.block_bytes;
+  next_request_block_ = first_block_;
+  contiguous_blocks_ = 0;
+  arrived_out_of_order_.clear();
+  issue_time_.clear();
+  search_blocks_pending_.clear();
+  occupied_bytes_ = 0;
+  inflight_bytes_ = 0;
+}
+
+void Terminal::StartVideo(int video, std::int64_t start_frame) {
+  SPIFFI_CHECK(inflight_bytes_ == 0);
+  video_ = video;
+  pending_video_ = -1;
+  vid_ = &library_->video(video);
+  video_bytes_ = vid_->total_bytes();
+  num_blocks_ = library_->NumBlocks(video, params_.block_bytes);
+
+  ResetStreamAt(start_frame);
+
+  pause_at_.clear();
+  if (params_.pause_enabled) {
+    // Poisson-distributed pause count (mean pauses_per_video_mean) at
+    // uniform playback positions after the starting point.
+    double l = std::exp(-params_.pauses_per_video_mean);
+    int count = 0;
+    for (double p = rng_.NextDouble(); p > l; p *= rng_.NextDouble()) {
+      ++count;
+    }
+    for (int i = 0; i < count; ++i) {
+      double at = rng_.Uniform(ConsumedPlaybackTime(),
+                               vid_->duration_seconds());
+      pause_at_.push_back(at);
+    }
+    std::sort(pause_at_.begin(), pause_at_.end(), std::greater<double>());
+  }
+
+  search_at_.clear();
+  if (params_.search_enabled) {
+    double l = std::exp(-params_.searches_per_video_mean);
+    int count = 0;
+    for (double p = rng_.NextDouble(); p > l; p *= rng_.NextDouble()) {
+      ++count;
+    }
+    for (int i = 0; i < count; ++i) {
+      search_at_.push_back(rng_.Uniform(ConsumedPlaybackTime(),
+                                        vid_->duration_seconds()));
+    }
+    std::sort(search_at_.begin(), search_at_.end(),
+              std::greater<double>());
+  }
+
+  state_ = State::kPriming;
+  ++stats_.primes;
+  IssueRequests();
+}
+
+void Terminal::IssueRequests() {
+  if (state_ != State::kPriming && state_ != State::kPlaying &&
+      state_ != State::kPaused) {
+    return;
+  }
+  while (next_request_block_ < num_blocks_) {
+    std::int64_t bytes = BlockBytesAt(next_request_block_);
+    if (occupied_bytes_ + inflight_bytes_ + bytes > params_.memory_bytes) {
+      break;  // no room to buffer another block
+    }
+    layout::BlockLocation loc =
+        layout_->Locate(video_, next_request_block_);
+
+    Message request;
+    request.kind = Message::Kind::kReadRequest;
+    request.terminal = id_;
+    request.video = video_;
+    request.block = next_request_block_;
+    request.bytes = bytes;
+    request.deadline = DeadlineForBlock(next_request_block_);
+    request.reply_to = this;
+    request.cookie = epoch_;
+    server::PostMessage(env_, network_, server::kControlMessageBytes,
+                        server_->node_sink(loc.node), request);
+
+    inflight_bytes_ += bytes;
+    issue_time_[next_request_block_] = env_->now();
+    ++stats_.requests_sent;
+    ++next_request_block_;
+  }
+}
+
+void Terminal::OnMessage(const Message& message) {
+  SPIFFI_DCHECK(message.kind == Message::Kind::kReadReply);
+  if (message.cookie != epoch_) {
+    // Reply to a stream abandoned by a video change, jump, or search.
+    ++stats_.stale_replies;
+    return;
+  }
+  if (state_ == State::kSearching) {
+    OnSearchBlock(message);
+    return;
+  }
+
+  inflight_bytes_ -= message.bytes;
+  occupied_bytes_ += message.bytes;
+  if (message.block == first_block_) {
+    // The part of the starting block before the starting position is
+    // never displayed; do not let it occupy buffer space forever.
+    occupied_bytes_ -= start_byte_ - first_block_ * params_.block_bytes;
+  }
+  ++stats_.blocks_received;
+  auto it = issue_time_.find(message.block);
+  if (it != issue_time_.end()) {
+    stats_.response_time.Add(env_->now() - it->second);
+    stats_.response_histogram.Add(env_->now() - it->second);
+    issue_time_.erase(it);
+  }
+
+  if (message.block == first_block_ + contiguous_blocks_) {
+    ++contiguous_blocks_;
+    auto next = arrived_out_of_order_.begin();
+    while (next != arrived_out_of_order_.end() &&
+           *next == first_block_ + contiguous_blocks_) {
+      ++contiguous_blocks_;
+      next = arrived_out_of_order_.erase(next);
+    }
+  } else {
+    arrived_out_of_order_.insert(message.block);
+  }
+
+  if (state_ == State::kPriming) CheckPrimeComplete();
+}
+
+void Terminal::CheckPrimeComplete() {
+  if (inflight_bytes_ != 0) return;
+  bool exhausted = next_request_block_ >= num_blocks_;
+  bool full = !exhausted &&
+              occupied_bytes_ + BlockBytesAt(next_request_block_) >
+                  params_.memory_bytes;
+  if (exhausted || full) BeginDisplay();
+}
+
+void Terminal::BeginDisplay() {
+  SPIFFI_DCHECK(state_ == State::kPriming);
+  state_ = State::kPlaying;
+  anchor_ = env_->now() - ConsumedPlaybackTime();
+  env_->Schedule(env_->now(), this, kFrameToken);
+}
+
+void Terminal::DisplayFrame() {
+  // A pending pause takes effect before the frame at its position.
+  if (!pause_at_.empty() && ConsumedPlaybackTime() >= pause_at_.back()) {
+    pause_at_.pop_back();
+    EnterPause();
+    return;
+  }
+  // Likewise a pending visual search (mostly fast-forward).
+  if (!search_at_.empty() && ConsumedPlaybackTime() >= search_at_.back()) {
+    search_at_.pop_back();
+    bool forward = rng_.NextDouble() < 0.7;
+    double duration =
+        rng_.Exponential(params_.search_duration_mean_sec);
+    BeginVisualSearch(forward, params_.search_show_sec,
+                      params_.search_skip_sec, duration);
+    return;
+  }
+
+  std::int64_t frame_bytes = vid_->FrameBytes(next_frame_);
+  if (consumed_bytes_ + frame_bytes > ContiguousBytes()) {
+    HandleGlitch();
+    return;
+  }
+
+  consumed_bytes_ += frame_bytes;
+  occupied_bytes_ -= frame_bytes;
+  ++next_frame_;
+  ++stats_.frames_displayed;
+  IssueRequests();  // consumption freed buffer space
+
+  if (next_frame_ >= vid_->frame_count()) {
+    FinishVideo();
+    return;
+  }
+  env_->Schedule(anchor_ + static_cast<double>(next_frame_) /
+                               FramesPerSecond(),
+                 this, kFrameToken);
+}
+
+void Terminal::HandleGlitch() {
+  ++stats_.glitches;
+  // Stop the display and fully re-prime before restarting (§5.1).
+  state_ = State::kPriming;
+  ++stats_.primes;
+  IssueRequests();
+  // A full, fully-arrived buffer whose next frame still does not fit can
+  // never make progress (the terminal memory is smaller than one frame) —
+  // fail fast instead of glitching in a zero-time loop.
+  SPIFFI_CHECK(!(inflight_bytes_ == 0 &&
+                 next_request_block_ < num_blocks_ &&
+                 occupied_bytes_ + BlockBytesAt(next_request_block_) >
+                     params_.memory_bytes));
+  CheckPrimeComplete();  // everything may already have arrived
+}
+
+void Terminal::EnterPause() {
+  state_ = State::kPaused;
+  ++stats_.pauses;
+  pause_end_ =
+      env_->now() + rng_.Exponential(params_.pause_duration_mean_sec);
+  env_->Schedule(pause_end_, this, kPauseEndToken);
+}
+
+void Terminal::JumpTo(double playback_seconds) {
+  SPIFFI_CHECK(vid_ != nullptr);
+  SPIFFI_CHECK(state_ == State::kPlaying || state_ == State::kPaused ||
+               state_ == State::kSearching || state_ == State::kPriming);
+  auto frame = static_cast<std::int64_t>(
+      std::llround(playback_seconds * FramesPerSecond()));
+  frame = std::clamp<std::int64_t>(frame, 0, vid_->frame_count() - 1);
+  state_ = State::kPriming;
+  ++stats_.primes;
+  ResetStreamAt(frame);
+  IssueRequests();
+}
+
+void Terminal::BeginVisualSearch(bool forward, double show_sec,
+                                 double skip_sec, double duration_sec) {
+  SPIFFI_CHECK(vid_ != nullptr);
+  SPIFFI_CHECK(state_ == State::kPlaying || state_ == State::kPaused);
+  SPIFFI_CHECK(show_sec > 0.0);
+  SPIFFI_CHECK(skip_sec >= 0.0);
+  ++stats_.searches;
+  state_ = State::kSearching;
+  search_forward_ = forward;
+  search_show_sec_ = show_sec;
+  search_skip_sec_ = skip_sec;
+  search_end_time_ = env_->now() + duration_sec;
+  search_segment_start_ = next_frame_;
+  // Buffered normal-playback data is abandoned; its replies go stale.
+  ResetStreamAt(next_frame_);
+  state_ = State::kSearching;  // ResetStreamAt does not touch state
+  StartSearchSegment();
+}
+
+void Terminal::StartSearchSegment() {
+  SPIFFI_DCHECK(state_ == State::kSearching);
+  if (env_->now() >= search_end_time_ ||
+      search_segment_start_ < 0 ||
+      search_segment_start_ >= vid_->frame_count()) {
+    EndVisualSearch();
+    return;
+  }
+  auto show_frames = static_cast<std::int64_t>(
+      std::llround(search_show_sec_ * FramesPerSecond()));
+  if (show_frames < 1) show_frames = 1;
+  search_segment_end_ = std::min(search_segment_start_ + show_frames,
+                                 vid_->frame_count());
+  search_cursor_ = search_segment_start_;
+
+  // Request exactly the blocks covering the shown segment — the skipped
+  // video is never read, so searching adds little server load (§8.1).
+  std::int64_t first_byte =
+      vid_->CumulativeBytesAtFrame(search_segment_start_);
+  std::int64_t last_byte =
+      vid_->CumulativeBytesAtFrame(search_segment_end_) - 1;
+  std::int64_t b0 = first_byte / params_.block_bytes;
+  std::int64_t b1 = last_byte / params_.block_bytes;
+  SPIFFI_DCHECK(search_blocks_pending_.empty());
+  for (std::int64_t b = b0; b <= b1; ++b) {
+    search_blocks_pending_.insert(b);
+  }
+  for (std::int64_t b = b0; b <= b1; ++b) {
+    layout::BlockLocation loc = layout_->Locate(video_, b);
+    Message request;
+    request.kind = Message::Kind::kReadRequest;
+    request.terminal = id_;
+    request.video = video_;
+    request.block = b;
+    request.bytes = BlockBytesAt(b);
+    // Best effort: the picture is choppy by design, so the deadline is
+    // one show+skip period out.
+    request.deadline =
+        env_->now() + search_show_sec_ + search_skip_sec_;
+    request.reply_to = this;
+    request.cookie = epoch_;
+    server::PostMessage(env_, network_, server::kControlMessageBytes,
+                        server_->node_sink(loc.node), request);
+    ++stats_.requests_sent;
+  }
+}
+
+void Terminal::OnSearchBlock(const server::Message& message) {
+  search_blocks_pending_.erase(message.block);
+  ++stats_.blocks_received;
+  if (search_blocks_pending_.empty()) {
+    ++stats_.search_segments;
+    env_->Schedule(env_->now(), this, kSearchFrameToken);
+  }
+}
+
+void Terminal::DisplaySearchFrame() {
+  ++stats_.search_frames;
+  ++search_cursor_;
+  if (search_cursor_ < search_segment_end_) {
+    env_->ScheduleAfter(1.0 / FramesPerSecond(), this, kSearchFrameToken);
+    return;
+  }
+  // Segment done: hop over the skipped span (or back for rewind).
+  auto hop = static_cast<std::int64_t>(std::llround(
+      (search_show_sec_ + search_skip_sec_) * FramesPerSecond()));
+  search_segment_start_ += search_forward_ ? hop : -hop;
+  if (search_forward_ &&
+      search_segment_start_ >= vid_->frame_count()) {
+    // Fast-forwarded off the end of the movie.
+    ResetStreamAt(vid_->frame_count());
+    FinishVideo();
+    return;
+  }
+  StartSearchSegment();
+}
+
+void Terminal::EndVisualSearch() {
+  std::int64_t resume = std::clamp<std::int64_t>(
+      search_segment_start_, 0, vid_->frame_count() - 1);
+  state_ = State::kPriming;
+  ++stats_.primes;
+  ResetStreamAt(resume);
+  IssueRequests();
+}
+
+void Terminal::FinishVideo() {
+  ++stats_.videos_completed;
+  SPIFFI_DCHECK(occupied_bytes_ == 0);
+  state_ = State::kIdle;
+  video_ = -1;
+  vid_ = nullptr;
+  // "When a terminal finishes one movie, it randomly selects a new video
+  // and immediately begins playing it." (§6)
+  ChooseNextVideo();
+}
+
+}  // namespace spiffi::client

@@ -1,0 +1,235 @@
+// Video terminal (paper §5.1 and Fig 2).
+//
+// A terminal primes its buffers, then displays MPEG frames at the nominal
+// rate while concurrently requesting subsequent stripe blocks whenever it
+// has the memory to buffer them. If the display catches up with the data
+// (buffer underrun) the terminal records a *glitch*, stops the display,
+// and fully re-primes its buffers before restarting — increasing the
+// glitch's duration but making an immediate second glitch unlikely.
+//
+// Each read request carries a deadline: the simulated time at which the
+// first byte of the requested block will be consumed, computed from the
+// video's deterministic frame timeline and the terminal's display clock.
+// When one video ends the terminal immediately selects another according
+// to the popularity distribution (closed system).
+//
+// Optional behaviours: random pauses (§8.1, Fig 19) and piggybacked
+// starts (§8.2).
+
+#ifndef SPIFFI_CLIENT_TERMINAL_H_
+#define SPIFFI_CLIENT_TERMINAL_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "client/piggyback.h"
+#include "layout/layout.h"
+#include "mpeg/video.h"
+#include "server/message.h"
+#include "server/server.h"
+#include "sim/environment.h"
+#include "sim/histogram.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace spiffi::client {
+
+struct TerminalParams {
+  std::int64_t memory_bytes = 2 * 1024 * 1024;
+  std::int64_t block_bytes = 512 * 1024;
+  bool pause_enabled = false;
+  double pauses_per_video_mean = 2.0;     // Poisson mean (§8.1: "twice")
+  double pause_duration_mean_sec = 120.0; // exponential mean ("2 minutes")
+  // Start the FIRST video at a uniformly random playback position, as if
+  // the closed system had already been running for hours. This reaches
+  // the steady state the paper measures (all terminals active, spread
+  // through their movies) without simulating a full video length of
+  // warmup. Subsequent videos always start from the beginning.
+  bool random_initial_position = true;
+
+  // Visual search (§8.1): subscribers occasionally fast-forward or rewind
+  // with a skip-based search that shows `search_show_sec` out of every
+  // show+skip seconds of video. Searches start at Poisson-distributed
+  // playback positions and last an exponential duration.
+  bool search_enabled = false;
+  double searches_per_video_mean = 1.0;
+  double search_duration_mean_sec = 30.0;
+  double search_show_sec = 1.0;
+  double search_skip_sec = 7.0;
+};
+
+class Terminal final : public server::MessageSink,
+                       public sim::EventHandler {
+ public:
+  enum class State {
+    kIdle,          // constructed, not yet started
+    kWaitingStart,  // piggyback leader waiting out the batching window
+    kPriming,       // filling buffers before (re)starting display
+    kPlaying,       // displaying frames
+    kPaused,        // user pressed pause
+    kSearching,     // skip-based fast-forward/rewind visual search
+    kFollowing,     // piggybacked onto another terminal's stream
+  };
+
+  struct Stats {
+    std::uint64_t glitches = 0;
+    std::uint64_t requests_sent = 0;
+    std::uint64_t blocks_received = 0;
+    std::uint64_t frames_displayed = 0;
+    std::uint64_t videos_completed = 0;
+    std::uint64_t primes = 0;
+    std::uint64_t pauses = 0;
+    std::uint64_t searches = 0;
+    std::uint64_t search_segments = 0;      // segments shown during search
+    std::uint64_t search_frames = 0;        // frames shown during search
+    std::uint64_t stale_replies = 0;        // replies to abandoned streams
+    sim::Tally response_time;  // request -> block arrival (seconds)
+    sim::Histogram response_histogram;  // same data, for percentiles
+  };
+
+  // The terminal schedules its own first start at `start_time`.
+  // `piggyback` may be nullptr (no batching).
+  Terminal(sim::Environment* env, int id, const TerminalParams& params,
+           hw::Network* network, server::NodeDirectory* server,
+           const mpeg::VideoLibrary* library, const layout::Layout* layout,
+           sim::Rng rng, sim::SimTime start_time,
+           PiggybackManager* piggyback = nullptr);
+
+  Terminal(const Terminal&) = delete;
+  Terminal& operator=(const Terminal&) = delete;
+
+  // Block replies from the server.
+  void OnMessage(const server::Message& message) override;
+  // Timer events (start, frame ticks, pause end, follower end).
+  void OnEvent(std::uint64_t token) override;
+
+  int id() const { return id_; }
+  State state() const { return state_; }
+  int current_video() const { return video_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  // Buffer occupancy in bytes (arrived and unconsumed); for tests.
+  std::int64_t occupied_bytes() const { return occupied_bytes_; }
+  std::int64_t inflight_bytes() const { return inflight_bytes_; }
+
+  // --- Interactive controls (§8.1) ---
+
+  // Jumps to an absolute playback position (seconds) within the current
+  // video, discarding buffered data and re-priming from there. Valid
+  // while playing, paused, or searching.
+  void JumpTo(double playback_seconds);
+
+  // Starts a skip-based visual search from the current position: shows
+  // `show_sec` of video, skips `skip_sec`, repeating forward or backward
+  // for `duration_sec` (or until the video boundary), then resumes normal
+  // playback from wherever the search ended. Valid while playing.
+  void BeginVisualSearch(bool forward, double show_sec, double skip_sec,
+                         double duration_sec);
+
+  // Current playback position in seconds (consumption point).
+  double PositionSeconds() const { return ConsumedPlaybackTime(); }
+
+ private:
+  // Event tokens.
+  static constexpr std::uint64_t kStartToken = 1;
+  static constexpr std::uint64_t kFrameToken = 2;
+  static constexpr std::uint64_t kPauseEndToken = 3;
+  static constexpr std::uint64_t kFollowEndToken = 4;
+  static constexpr std::uint64_t kSearchFrameToken = 5;
+
+  void ChooseNextVideo();
+  // Begins priming `video` with display starting at `start_frame`.
+  void StartVideo(int video, std::int64_t start_frame);
+  void IssueRequests();
+  void CheckPrimeComplete();
+  void BeginDisplay();
+  void DisplayFrame();
+  void HandleGlitch();
+  void FinishVideo();
+  void EnterPause();
+
+  // Resets the streaming state (buffers, request window, display cursor)
+  // to start consuming at `frame` of the current video. Bumps the stream
+  // epoch so replies to earlier requests are discarded on arrival.
+  void ResetStreamAt(std::int64_t frame);
+  // Visual-search internals.
+  void StartSearchSegment();
+  void EndVisualSearch();
+  void DisplaySearchFrame();
+  void OnSearchBlock(const server::Message& message);
+
+  // Absolute time by which `block`'s first byte will be consumed.
+  sim::SimTime DeadlineForBlock(std::int64_t block) const;
+  // Bytes [0, boundary) have arrived contiguously.
+  std::int64_t ContiguousBytes() const;
+  std::int64_t BlockBytesAt(std::int64_t block) const;
+  double FramesPerSecond() const;
+  // Playback time of the consumption point (frame-aligned).
+  double ConsumedPlaybackTime() const;
+
+  sim::Environment* env_;
+  int id_;
+  TerminalParams params_;
+  hw::Network* network_;
+  server::NodeDirectory* server_;
+  const mpeg::VideoLibrary* library_;
+  const layout::Layout* layout_;
+  sim::Rng rng_;
+  PiggybackManager* piggyback_;
+
+  State state_ = State::kIdle;
+  int video_ = -1;
+  int pending_video_ = -1;  // selected, waiting for a delayed start
+  const mpeg::Video* vid_ = nullptr;
+  std::int64_t num_blocks_ = 0;
+  std::int64_t video_bytes_ = 0;
+
+  bool first_video_ = true;
+
+  // Request/arrival tracking. Blocks before first_block_ (the block
+  // containing the starting position) are never requested;
+  // contiguous_blocks_ counts arrived blocks from first_block_ on.
+  std::int64_t first_block_ = 0;
+  std::int64_t start_byte_ = 0;  // first byte actually consumed
+  std::int64_t next_request_block_ = 0;
+  std::int64_t inflight_bytes_ = 0;
+  std::unordered_map<std::int64_t, sim::SimTime> issue_time_;
+  std::int64_t contiguous_blocks_ = 0;
+  std::set<std::int64_t> arrived_out_of_order_;
+  std::int64_t occupied_bytes_ = 0;
+
+  // Display state.
+  std::int64_t consumed_bytes_ = 0;
+  std::int64_t next_frame_ = 0;
+  sim::SimTime anchor_ = 0.0;  // sim time of playback time 0 while playing
+
+  // Pauses: upcoming pause positions (playback seconds), descending.
+  std::vector<double> pause_at_;
+  sim::SimTime pause_end_ = 0.0;
+
+  // Stream epoch: bumped whenever buffered/in-flight data is abandoned
+  // (video change, jump, search start/end). Sent as the request cookie;
+  // replies with a stale cookie are dropped.
+  std::uint64_t epoch_ = 0;
+
+  // Visual search (§8.1): upcoming search positions per video
+  // (descending), and the state of the search in progress.
+  std::vector<double> search_at_;
+  bool search_forward_ = true;
+  double search_show_sec_ = 1.0;
+  double search_skip_sec_ = 7.0;
+  sim::SimTime search_end_time_ = 0.0;
+  std::int64_t search_segment_start_ = 0;  // first frame of the segment
+  std::int64_t search_segment_end_ = 0;    // one past the last frame
+  std::int64_t search_cursor_ = 0;         // display cursor (frame)
+  std::set<std::int64_t> search_blocks_pending_;
+
+  Stats stats_;
+};
+
+}  // namespace spiffi::client
+
+#endif  // SPIFFI_CLIENT_TERMINAL_H_

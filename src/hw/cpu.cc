@@ -1,0 +1,4 @@
+#include "hw/cpu.h"
+
+// Cpu is header-only today; this translation unit anchors the target and
+// leaves room for future out-of-line additions (e.g., scheduling classes).

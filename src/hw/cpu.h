@@ -1,0 +1,50 @@
+// CPU model: an FCFS instruction server (paper Table 1: 40 MIPS, FCFS).
+//
+// All operating-system work at a server node — receiving a message,
+// starting an I/O, sending a reply — queues here and consumes simulated
+// time proportional to an instruction budget.
+
+#ifndef SPIFFI_HW_CPU_H_
+#define SPIFFI_HW_CPU_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/environment.h"
+#include "sim/resource.h"
+
+namespace spiffi::hw {
+
+// Instruction costs from Table 1 (measured on the Intel Paragon).
+struct CpuCosts {
+  std::int64_t start_io_instructions = 20000;
+  std::int64_t send_message_instructions = 6800;
+  std::int64_t receive_message_instructions = 2200;
+};
+
+class Cpu {
+ public:
+  Cpu(sim::Environment* env, double mips, std::string name)
+      : mips_(mips), resource_(env, 1, std::move(name)) {}
+
+  // co_await cpu.Execute(n): queues FCFS and burns n instructions.
+  sim::Resource::UseAwaiter Execute(std::int64_t instructions) {
+    return resource_.Use(static_cast<double>(instructions) /
+                         (mips_ * 1e6));
+  }
+
+  double mips() const { return mips_; }
+  double AverageUtilization(sim::SimTime now) const {
+    return resource_.AverageUtilization(now);
+  }
+  void ResetStats(sim::SimTime now) { resource_.ResetStats(now); }
+  const sim::Resource& resource() const { return resource_; }
+
+ private:
+  double mips_;
+  sim::Resource resource_;
+};
+
+}  // namespace spiffi::hw
+
+#endif  // SPIFFI_HW_CPU_H_

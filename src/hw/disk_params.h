@@ -1,0 +1,55 @@
+// Disk parameter block, defaulted to the paper's Table 1 values
+// (modeled on the Seagate ST15150N SCSI-2 drive).
+
+#ifndef SPIFFI_HW_DISK_PARAMS_H_
+#define SPIFFI_HW_DISK_PARAMS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace spiffi::hw {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+struct DiskParams {
+  // Seek time for a d-cylinder move is
+  //   settle_time + seek_factor * sqrt(d)   (milliseconds, d > 0)
+  // and zero for d == 0. With the defaults this gives ~1 ms single-cylinder
+  // and ~22 ms full-stroke seeks, matching the ST15150N data sheet.
+  double seek_factor_ms = 0.283;
+  double settle_time_ms = 0.75;
+
+  // Full platter revolution (7200 RPM).
+  double rotation_time_ms = 8.333;
+
+  // Media transfer rate in bytes/second.
+  double transfer_rate_bytes_per_sec = 7.4 * static_cast<double>(kMiB);
+
+  // Constant cylinder capacity (the paper assumes constant-size cylinders).
+  std::int64_t cylinder_bytes = kMiB + 256 * kKiB;  // 1.25 MB
+
+  // On-drive read-ahead cache: `cache_contexts` independent sequential
+  // streams of `cache_context_bytes` each.
+  std::int64_t cache_context_bytes = 128 * kKiB;
+  int cache_contexts = 8;
+
+  // Drive capacity; bounds the cylinder range used by layouts.
+  std::int64_t capacity_bytes = 9 * kGiB;
+
+  double SeekTimeSeconds(std::int64_t cylinder_distance) const {
+    if (cylinder_distance <= 0) return 0.0;
+    return (settle_time_ms +
+            seek_factor_ms * std::sqrt(static_cast<double>(cylinder_distance))) *
+           1e-3;
+  }
+
+  std::int64_t num_cylinders() const {
+    return capacity_bytes / cylinder_bytes;
+  }
+};
+
+}  // namespace spiffi::hw
+
+#endif  // SPIFFI_HW_DISK_PARAMS_H_

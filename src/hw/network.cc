@@ -1,0 +1,69 @@
+#include "hw/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/check.h"
+
+namespace spiffi::hw {
+
+Network::Network(sim::Environment* env, const NetworkParams& params)
+    : env_(env), params_(params) {
+  SPIFFI_CHECK(env != nullptr);
+}
+
+void Network::Send(std::int64_t bytes, sim::EventHandler* destination,
+                   std::uint64_t token) {
+  SPIFFI_DCHECK(bytes >= 0);
+  Account(bytes);
+  env_->ScheduleAfter(WireDelay(bytes), destination, token);
+}
+
+void Network::SendOwned(std::int64_t bytes,
+                        std::unique_ptr<sim::EventHandler> handler) {
+  std::uint64_t id = next_delivery_id_++;
+  in_flight_.emplace(id, std::move(handler));
+  Send(bytes, this, id);
+}
+
+void Network::OnEvent(std::uint64_t delivery_id) {
+  auto it = in_flight_.find(delivery_id);
+  SPIFFI_DCHECK(it != in_flight_.end());
+  std::unique_ptr<sim::EventHandler> handler = std::move(it->second);
+  in_flight_.erase(it);
+  handler->OnEvent(0);
+}
+
+void Network::Account(std::int64_t bytes) {
+  total_bytes_ += static_cast<std::uint64_t>(bytes);
+  ++total_messages_;
+  auto bucket = static_cast<std::int64_t>(
+      std::floor(env_->now() / params_.bandwidth_bucket_sec));
+  if (bucket != current_bucket_) {
+    peak_bucket_bytes_ = std::max(peak_bucket_bytes_, current_bucket_bytes_);
+    current_bucket_ = bucket;
+    current_bucket_bytes_ = 0;
+  }
+  current_bucket_bytes_ += static_cast<std::uint64_t>(bytes);
+}
+
+void Network::ResetStats() {
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  current_bucket_ = -1;
+  current_bucket_bytes_ = 0;
+  peak_bucket_bytes_ = 0;
+  stats_start_ = env_->now();
+}
+
+std::uint64_t Network::peak_bytes_per_bucket() const {
+  return std::max(peak_bucket_bytes_, current_bucket_bytes_);
+}
+
+double Network::AverageBandwidth(sim::SimTime now) const {
+  double window = now - stats_start_;
+  if (window <= 0.0) return 0.0;
+  return static_cast<double>(total_bytes_) / window;
+}
+
+}  // namespace spiffi::hw

@@ -1,0 +1,87 @@
+// Interconnection network model.
+//
+// Per §6.2 the network is "a bus with unlimited aggregate bandwidth and
+// constant latency regardless of which terminal and node are
+// communicating": a message of b bytes is delivered
+// wire_delay_base + wire_delay_per_byte * b seconds after it is sent, with
+// no queueing. CPU costs for send/receive are charged by the endpoints
+// (terminals have dedicated hardware and charge nothing; server nodes
+// charge CpuCosts against their Cpu).
+//
+// The network also measures aggregate traffic in fixed one-second buckets
+// so experiments can report the peak bandwidth demand (Fig 18).
+
+#ifndef SPIFFI_HW_NETWORK_H_
+#define SPIFFI_HW_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/calendar.h"
+#include "sim/environment.h"
+
+namespace spiffi::hw {
+
+struct NetworkParams {
+  double wire_delay_base_sec = 5e-6;        // 5 microseconds
+  double wire_delay_per_byte_sec = 0.04e-6; // 0.04 microseconds/byte
+  double bandwidth_bucket_sec = 1.0;        // peak-measurement granularity
+};
+
+class Network final : public sim::EventHandler {
+ public:
+  Network(sim::Environment* env, const NetworkParams& params);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Delivers `token` to `destination->OnEvent(token)` after the wire
+  // delay for a message of `bytes` bytes. The destination must outlive
+  // the delivery.
+  void Send(std::int64_t bytes, sim::EventHandler* destination,
+            std::uint64_t token);
+
+  // Like Send, but the network owns the one-shot handler until it fires
+  // (handler->OnEvent(0)), so messages still on the wire when the
+  // simulation is torn down are reclaimed rather than leaked.
+  void SendOwned(std::int64_t bytes,
+                 std::unique_ptr<sim::EventHandler> handler);
+
+  // Internal dispatch for SendOwned deliveries.
+  void OnEvent(std::uint64_t delivery_id) override;
+
+  double WireDelay(std::int64_t bytes) const {
+    return params_.wire_delay_base_sec +
+           params_.wire_delay_per_byte_sec * static_cast<double>(bytes);
+  }
+
+  void ResetStats();
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+  // Highest one-second-bucket byte count observed since the last reset
+  // (includes the still-open bucket).
+  std::uint64_t peak_bytes_per_bucket() const;
+  double AverageBandwidth(sim::SimTime now) const;
+
+ private:
+  void Account(std::int64_t bytes);
+
+  sim::Environment* env_;
+  NetworkParams params_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::int64_t current_bucket_ = -1;
+  std::uint64_t current_bucket_bytes_ = 0;
+  std::uint64_t peak_bucket_bytes_ = 0;
+  sim::SimTime stats_start_ = 0.0;
+  // In-flight SendOwned deliveries, keyed by delivery id.
+  std::unordered_map<std::uint64_t, std::unique_ptr<sim::EventHandler>>
+      in_flight_;
+  std::uint64_t next_delivery_id_ = 1;
+};
+
+}  // namespace spiffi::hw
+
+#endif  // SPIFFI_HW_NETWORK_H_

@@ -1,0 +1,43 @@
+// Storage layout interface: maps (video, block) to a physical location.
+//
+// A "block" here is one read unit (the stripe size for striped layouts;
+// the configured read size for the non-striped baseline). Each block maps
+// to exactly one disk — the paper's terminals align reads to stripe blocks
+// so every request is serviced by a single drive.
+
+#ifndef SPIFFI_LAYOUT_LAYOUT_H_
+#define SPIFFI_LAYOUT_LAYOUT_H_
+
+#include <cstdint>
+
+namespace spiffi::layout {
+
+struct BlockLocation {
+  int node = 0;         // server node owning the disk
+  int disk_local = 0;   // disk index within the node
+  int disk_global = 0;  // node * disks_per_node + disk_local
+  std::int64_t offset = 0;  // byte offset on the disk
+
+  bool operator==(const BlockLocation&) const = default;
+};
+
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  virtual BlockLocation Locate(int video, std::int64_t block) const = 0;
+
+  // Block index of the next block of `video` stored on the same disk as
+  // `block`, or -1 if none; drives the "prefetch the next stripe block at
+  // the same disk" rule (§5.2.3).
+  virtual std::int64_t NextBlockOnSameDisk(int video,
+                                           std::int64_t block) const = 0;
+
+  virtual int num_nodes() const = 0;
+  virtual int disks_per_node() const = 0;
+  int total_disks() const { return num_nodes() * disks_per_node(); }
+};
+
+}  // namespace spiffi::layout
+
+#endif  // SPIFFI_LAYOUT_LAYOUT_H_

@@ -1,0 +1,68 @@
+#include "layout/nonstriped.h"
+
+#include <numeric>
+
+#include "sim/check.h"
+
+namespace spiffi::layout {
+
+NonStripedLayout::NonStripedLayout(int num_nodes, int disks_per_node,
+                                   std::int64_t read_bytes,
+                                   std::vector<std::int64_t> video_bytes,
+                                   std::uint64_t seed)
+    : num_nodes_(num_nodes),
+      disks_per_node_(disks_per_node),
+      read_bytes_(read_bytes),
+      video_bytes_(std::move(video_bytes)) {
+  SPIFFI_CHECK(num_nodes > 0);
+  SPIFFI_CHECK(disks_per_node > 0);
+  SPIFFI_CHECK(read_bytes > 0);
+  int disks = total_disks();
+  int videos = static_cast<int>(video_bytes_.size());
+  SPIFFI_CHECK(videos % disks == 0);  // "each disk held exactly 4 videos"
+
+  // Fisher-Yates shuffle of video ids, then deal them to disks in rounds
+  // so every disk receives exactly videos/disks of them.
+  std::vector<int> order(videos);
+  std::iota(order.begin(), order.end(), 0);
+  sim::Rng rng(seed);
+  for (int i = videos - 1; i > 0; --i) {
+    int j = static_cast<int>(rng.UniformInt(static_cast<std::uint64_t>(i) + 1));
+    std::swap(order[i], order[j]);
+  }
+
+  disk_of_video_.assign(videos, 0);
+  base_offset_.assign(videos, 0);
+  std::vector<std::int64_t> next_free(disks, 0);
+  for (int slot = 0; slot < videos; ++slot) {
+    int video = order[slot];
+    int disk = slot % disks;
+    disk_of_video_[video] = disk;
+    base_offset_[video] = next_free[disk];
+    std::int64_t blocks =
+        (video_bytes_[video] + read_bytes_ - 1) / read_bytes_;
+    next_free[disk] += blocks * read_bytes_;
+  }
+}
+
+BlockLocation NonStripedLayout::Locate(int video,
+                                       std::int64_t block) const {
+  SPIFFI_DCHECK(video >= 0 &&
+                video < static_cast<int>(video_bytes_.size()));
+  BlockLocation loc;
+  loc.disk_global = disk_of_video_[video];
+  loc.node = loc.disk_global / disks_per_node_;
+  loc.disk_local = loc.disk_global % disks_per_node_;
+  loc.offset = base_offset_[video] + block * read_bytes_;
+  return loc;
+}
+
+std::int64_t NonStripedLayout::NextBlockOnSameDisk(
+    int video, std::int64_t block) const {
+  std::int64_t blocks =
+      (video_bytes_[video] + read_bytes_ - 1) / read_bytes_;
+  std::int64_t next = block + 1;
+  return next < blocks ? next : -1;
+}
+
+}  // namespace spiffi::layout

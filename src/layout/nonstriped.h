@@ -1,0 +1,45 @@
+// Non-striped baseline layout (paper §7.4): each video is stored in its
+// entirety on a single randomly chosen disk, with exactly
+// videos/total_disks videos per disk.
+
+#ifndef SPIFFI_LAYOUT_NONSTRIPED_H_
+#define SPIFFI_LAYOUT_NONSTRIPED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.h"
+#include "sim/random.h"
+
+namespace spiffi::layout {
+
+class NonStripedLayout final : public Layout {
+ public:
+  // `video_bytes[v]` is the size of video v; reads are `read_bytes` units.
+  // The assignment of videos to disks is a seeded random permutation.
+  NonStripedLayout(int num_nodes, int disks_per_node,
+                   std::int64_t read_bytes,
+                   std::vector<std::int64_t> video_bytes,
+                   std::uint64_t seed);
+
+  BlockLocation Locate(int video, std::int64_t block) const override;
+  std::int64_t NextBlockOnSameDisk(int video,
+                                   std::int64_t block) const override;
+
+  int num_nodes() const override { return num_nodes_; }
+  int disks_per_node() const override { return disks_per_node_; }
+
+  int DiskOfVideo(int video) const { return disk_of_video_[video]; }
+
+ private:
+  int num_nodes_;
+  int disks_per_node_;
+  std::int64_t read_bytes_;
+  std::vector<std::int64_t> video_bytes_;
+  std::vector<int> disk_of_video_;
+  std::vector<std::int64_t> base_offset_;  // per video, on its disk
+};
+
+}  // namespace spiffi::layout
+
+#endif  // SPIFFI_LAYOUT_NONSTRIPED_H_

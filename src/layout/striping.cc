@@ -1,0 +1,83 @@
+#include "layout/striping.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace spiffi::layout {
+
+StripedLayout::StripedLayout(int num_nodes, int disks_per_node,
+                             std::int64_t stripe_bytes,
+                             std::vector<std::int64_t> video_blocks)
+    : num_nodes_(num_nodes),
+      disks_per_node_(disks_per_node),
+      stripe_bytes_(stripe_bytes),
+      video_blocks_(std::move(video_blocks)) {
+  SPIFFI_CHECK(num_nodes > 0);
+  SPIFFI_CHECK(disks_per_node > 0);
+  SPIFFI_CHECK(stripe_bytes > 0);
+  int disks = total_disks();
+  int videos = static_cast<int>(video_blocks_.size());
+  fragment_base_.assign(static_cast<std::size_t>(videos) * disks, 0);
+  // Fragments of successive videos are stacked contiguously on each disk.
+  std::vector<std::int64_t> next_free(disks, 0);
+  for (int v = 0; v < videos; ++v) {
+    for (int d = 0; d < disks; ++d) {
+      fragment_base_[static_cast<std::size_t>(v) * disks + d] =
+          next_free[d];
+      next_free[d] += FragmentBlocks(v, d) * stripe_bytes_;
+    }
+  }
+}
+
+std::int64_t StripedLayout::FragmentBlocks(int video,
+                                           int disk_global) const {
+  // Blocks i of this video with disk(i) == disk_global. The cycle over
+  // disks has period W = total_disks, and disk_global is hit exactly once
+  // per period, at cycle position p.
+  std::int64_t blocks = video_blocks_[video];
+  int w = total_disks();
+  int node = disk_global / disks_per_node_;
+  int local = disk_global % disks_per_node_;
+  std::int64_t p = static_cast<std::int64_t>(local) * num_nodes_ + node;
+  if (p >= blocks) return 0;
+  return (blocks - p - 1) / w + 1;
+}
+
+BlockLocation StripedLayout::Locate(int video, std::int64_t block) const {
+  SPIFFI_DCHECK(video >= 0 &&
+                video < static_cast<int>(video_blocks_.size()));
+  SPIFFI_DCHECK(block >= 0 && block < video_blocks_[video]);
+  BlockLocation loc;
+  loc.node = static_cast<int>(block % num_nodes_);
+  loc.disk_local =
+      static_cast<int>((block / num_nodes_) % disks_per_node_);
+  loc.disk_global = loc.node * disks_per_node_ + loc.disk_local;
+  std::int64_t fragment_index = block / total_disks();
+  loc.offset = fragment_base_[static_cast<std::size_t>(video) *
+                                  total_disks() +
+                              loc.disk_global] +
+               fragment_index * stripe_bytes_;
+  return loc;
+}
+
+std::int64_t StripedLayout::NextBlockOnSameDisk(int video,
+                                                std::int64_t block) const {
+  std::int64_t next = block + total_disks();
+  return next < video_blocks_[video] ? next : -1;
+}
+
+std::int64_t StripedLayout::MaxBytesOnAnyDisk() const {
+  int disks = total_disks();
+  std::int64_t max_bytes = 0;
+  for (int d = 0; d < disks; ++d) {
+    std::int64_t bytes = 0;
+    for (int v = 0; v < static_cast<int>(video_blocks_.size()); ++v) {
+      bytes += FragmentBlocks(v, d) * stripe_bytes_;
+    }
+    max_bytes = std::max(max_bytes, bytes);
+  }
+  return max_bytes;
+}
+
+}  // namespace spiffi::layout

@@ -1,0 +1,50 @@
+// SPIFFI striping (paper Fig 3): stripe blocks alternate first between
+// nodes and then between the disks at each node, so block i of any video
+// lives on node (i mod N), local disk ((i div N) mod D). The portion of a
+// video on one disk (every N*D-th block) is its "fragment" and is laid out
+// contiguously; fragments of successive videos are stored back to back.
+
+#ifndef SPIFFI_LAYOUT_STRIPING_H_
+#define SPIFFI_LAYOUT_STRIPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.h"
+
+namespace spiffi::layout {
+
+class StripedLayout final : public Layout {
+ public:
+  // `video_blocks[v]` is the number of stripe blocks in video v;
+  // `stripe_bytes` the size of each block.
+  StripedLayout(int num_nodes, int disks_per_node,
+                std::int64_t stripe_bytes,
+                std::vector<std::int64_t> video_blocks);
+
+  BlockLocation Locate(int video, std::int64_t block) const override;
+  std::int64_t NextBlockOnSameDisk(int video,
+                                   std::int64_t block) const override;
+
+  int num_nodes() const override { return num_nodes_; }
+  int disks_per_node() const override { return disks_per_node_; }
+
+  // Bytes stored on each disk (uniform by construction modulo one block);
+  // exposed so configurations can be validated against drive capacity.
+  std::int64_t MaxBytesOnAnyDisk() const;
+
+ private:
+  int num_nodes_;
+  int disks_per_node_;
+  std::int64_t stripe_bytes_;
+  std::vector<std::int64_t> video_blocks_;
+  // fragment_base_[v * total_disks + d] = byte offset on disk d where
+  // video v's fragment begins.
+  std::vector<std::int64_t> fragment_base_;
+  // Blocks of video v on disk d.
+  std::int64_t FragmentBlocks(int video, int disk_global) const;
+};
+
+}  // namespace spiffi::layout
+
+#endif  // SPIFFI_LAYOUT_STRIPING_H_

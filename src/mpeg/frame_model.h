@@ -1,0 +1,69 @@
+// MPEG frame model (paper §6.1).
+//
+// A compressed MPEG stream is a repeating group-of-pictures containing
+// intra (I), predicted (P), and bidirectional (B) frames. This study uses
+// the paper's parameters: I:P:B frequency ratio 1:4:10 (a 15-frame GOP),
+// size ratio 10:5:2, an overall rate of 4 Mbits/second at 30 frames/second
+// (NTSC), and per-frame sizes that are exponentially distributed around
+// the type mean.
+
+#ifndef SPIFFI_MPEG_FRAME_MODEL_H_
+#define SPIFFI_MPEG_FRAME_MODEL_H_
+
+#include <cstdint>
+
+namespace spiffi::mpeg {
+
+enum class FrameType { kI, kP, kB };
+
+struct MpegParams {
+  double frames_per_second = 30.0;
+  double bits_per_second = 4.0 * 1024 * 1024;  // 4 Mbits/s broadcast quality
+
+  // Frequencies within one GOP (1:4:10 => 15-frame GOP).
+  int i_per_gop = 1;
+  int p_per_gop = 4;
+  int b_per_gop = 10;
+
+  // Relative mean sizes (10:5:2).
+  int i_size_weight = 10;
+  int p_size_weight = 5;
+  int b_size_weight = 2;
+
+  int gop_frames() const { return i_per_gop + p_per_gop + b_per_gop; }
+  double bytes_per_second() const { return bits_per_second / 8.0; }
+  double mean_frame_bytes() const {
+    return bytes_per_second() / frames_per_second;
+  }
+};
+
+// Deterministic frame-sequence generator: the frame type and size at any
+// index are pure functions of (stream seed, index), so "each time the same
+// video is played, the same sequence of frames and frame sizes is
+// repeated" without storing the stream.
+class FrameModel {
+ public:
+  explicit FrameModel(const MpegParams& params);
+
+  const MpegParams& params() const { return params_; }
+
+  // Type of the frame at `index` within the fixed GOP pattern
+  // (I B B P B B P B B P B B P B B, repeating).
+  FrameType TypeOf(std::int64_t index) const;
+
+  // Mean compressed size for a frame of the given type, chosen so the
+  // long-run rate equals params.bits_per_second.
+  double MeanBytes(FrameType type) const;
+
+  // Exponentially distributed size of the frame at `index` of the stream
+  // identified by `seed` (deterministic; at least 1 byte).
+  std::int64_t FrameBytes(std::uint64_t seed, std::int64_t index) const;
+
+ private:
+  MpegParams params_;
+  double unit_bytes_;  // bytes represented by one size weight unit
+};
+
+}  // namespace spiffi::mpeg
+
+#endif  // SPIFFI_MPEG_FRAME_MODEL_H_

@@ -1,0 +1,92 @@
+#include "mpeg/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/check.h"
+
+namespace spiffi::mpeg {
+
+Video::Video(int id, std::uint64_t seed, const FrameModel* model,
+             double duration_seconds)
+    : id_(id), seed_(seed), model_(model),
+      duration_seconds_(duration_seconds) {
+  SPIFFI_CHECK(model != nullptr);
+  SPIFFI_CHECK(duration_seconds > 0.0);
+  const MpegParams& params = model->params();
+  frame_count_ = static_cast<std::int64_t>(
+      std::llround(duration_seconds * params.frames_per_second));
+  // Round to whole GOPs for a clean pattern (at most half a second off).
+  int gop = params.gop_frames();
+  frame_count_ = std::max<std::int64_t>(gop, (frame_count_ / gop) * gop);
+
+  std::int64_t num_gops = frame_count_ / gop;
+  gop_prefix_.reserve(num_gops + 1);
+  gop_prefix_.push_back(0);
+  std::int64_t cumulative = 0;
+  for (std::int64_t f = 0; f < frame_count_; ++f) {
+    cumulative += model_->FrameBytes(seed_, f);
+    if ((f + 1) % gop == 0) gop_prefix_.push_back(cumulative);
+  }
+  total_bytes_ = cumulative;
+}
+
+std::int64_t Video::CumulativeBytesAtFrame(std::int64_t index) const {
+  SPIFFI_DCHECK(index >= 0 && index <= frame_count_);
+  int gop = model_->params().gop_frames();
+  std::int64_t g = index / gop;
+  std::int64_t bytes = gop_prefix_[g];
+  for (std::int64_t f = g * gop; f < index; ++f) {
+    bytes += model_->FrameBytes(seed_, f);
+  }
+  return bytes;
+}
+
+std::int64_t Video::FrameOfByte(std::int64_t byte) const {
+  if (byte >= total_bytes_) return frame_count_;
+  SPIFFI_DCHECK(byte >= 0);
+  // Find the GOP containing the byte, then walk its frames.
+  auto it = std::upper_bound(gop_prefix_.begin(), gop_prefix_.end(), byte);
+  std::int64_t g = (it - gop_prefix_.begin()) - 1;
+  int gop = model_->params().gop_frames();
+  std::int64_t cumulative = gop_prefix_[g];
+  for (std::int64_t f = g * gop;; ++f) {
+    std::int64_t next = cumulative + model_->FrameBytes(seed_, f);
+    if (byte < next) return f;
+    cumulative = next;
+  }
+}
+
+double Video::PlaybackTimeOfByte(std::int64_t byte) const {
+  std::int64_t frame = FrameOfByte(byte);
+  if (frame >= frame_count_) return duration_seconds_;
+  return static_cast<double>(frame) / model_->params().frames_per_second;
+}
+
+VideoLibrary::VideoLibrary(int count, double duration_seconds,
+                           const MpegParams& params,
+                           const ZipfDistribution& popularity,
+                           std::uint64_t seed)
+    : model_(params), popularity_(popularity) {
+  SPIFFI_CHECK(count > 0);
+  SPIFFI_CHECK(popularity.n() == count);
+  videos_.reserve(count);
+  for (int id = 0; id < count; ++id) {
+    videos_.push_back(std::make_unique<Video>(
+        id, sim::Hash64(seed, static_cast<std::uint64_t>(id)), &model_,
+        duration_seconds));
+  }
+}
+
+std::int64_t VideoLibrary::NumBlocks(int id,
+                                     std::int64_t block_bytes) const {
+  std::int64_t total = video(id).total_bytes();
+  return (total + block_bytes - 1) / block_bytes;
+}
+
+double VideoLibrary::BlockPlaybackTime(int id, std::int64_t block,
+                                       std::int64_t block_bytes) const {
+  return video(id).PlaybackTimeOfByte(block * block_bytes);
+}
+
+}  // namespace spiffi::mpeg

@@ -1,0 +1,88 @@
+// A simulated video: a deterministic sequence of MPEG frames with helpers
+// for mapping byte positions to playback times (used for deadlines).
+
+#ifndef SPIFFI_MPEG_VIDEO_H_
+#define SPIFFI_MPEG_VIDEO_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpeg/frame_model.h"
+#include "mpeg/zipf.h"
+#include "sim/random.h"
+
+namespace spiffi::mpeg {
+
+class Video {
+ public:
+  // `seed` fixes the frame sequence; replaying the video repeats it.
+  Video(int id, std::uint64_t seed, const FrameModel* model,
+        double duration_seconds);
+
+  int id() const { return id_; }
+  std::int64_t frame_count() const { return frame_count_; }
+  std::int64_t total_bytes() const { return total_bytes_; }
+  double duration_seconds() const { return duration_seconds_; }
+
+  // Compressed size of frame `index` (0-based).
+  std::int64_t FrameBytes(std::int64_t index) const {
+    return model_->FrameBytes(seed_, index);
+  }
+
+  // Bytes of all frames before `index` (== total_bytes at frame_count).
+  std::int64_t CumulativeBytesAtFrame(std::int64_t index) const;
+
+  // Playback time (seconds from the start of the video) at which `byte`
+  // is consumed, i.e. the display time of the frame containing it.
+  // Bytes at or past the end map to the video duration.
+  double PlaybackTimeOfByte(std::int64_t byte) const;
+
+  // Index of the frame containing `byte` (frame_count for EOF).
+  std::int64_t FrameOfByte(std::int64_t byte) const;
+
+ private:
+  int id_;
+  std::uint64_t seed_;
+  const FrameModel* model_;
+  double duration_seconds_;
+  std::int64_t frame_count_;
+  std::int64_t total_bytes_;
+  // Cumulative bytes at each GOP boundary: gop_prefix_[g] = bytes of all
+  // frames before GOP g. Size = num_gops + 1. Keeps per-video memory tiny
+  // (one entry per half-second) while byte->time queries stay O(log).
+  std::vector<std::int64_t> gop_prefix_;
+};
+
+// The library of videos offered by the server plus the popularity
+// distribution terminals draw from.
+class VideoLibrary {
+ public:
+  // Creates `count` videos of `duration_seconds` each; popularity follows
+  // `popularity` (video 0 is the most popular rank).
+  VideoLibrary(int count, double duration_seconds, const MpegParams& params,
+               const ZipfDistribution& popularity, std::uint64_t seed);
+
+  int count() const { return static_cast<int>(videos_.size()); }
+  const Video& video(int id) const { return *videos_[id]; }
+  const FrameModel& frame_model() const { return model_; }
+
+  // Draws a video id according to the popularity distribution.
+  int Select(sim::Rng* rng) const { return popularity_.Sample(rng); }
+
+  // Number of read blocks of `block_bytes` needed to cover the video.
+  std::int64_t NumBlocks(int id, std::int64_t block_bytes) const;
+
+  // Playback time at which the first byte of `block` is consumed.
+  double BlockPlaybackTime(int id, std::int64_t block,
+                           std::int64_t block_bytes) const;
+
+ private:
+  FrameModel model_;
+  std::vector<std::unique_ptr<Video>> videos_;
+  ZipfDistribution popularity_;
+};
+
+}  // namespace spiffi::mpeg
+
+#endif  // SPIFFI_MPEG_VIDEO_H_

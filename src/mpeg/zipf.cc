@@ -1,0 +1,35 @@
+#include "mpeg/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/check.h"
+
+namespace spiffi::mpeg {
+
+ZipfDistribution::ZipfDistribution(int n, double z) : z_(z) {
+  SPIFFI_CHECK(n > 0);
+  SPIFFI_CHECK(z >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (int r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), z);
+    cdf_[r] = sum;
+  }
+  for (int r = 0; r < n; ++r) cdf_[r] /= sum;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+double ZipfDistribution::Probability(int r) const {
+  SPIFFI_DCHECK(r >= 0 && r < n());
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+int ZipfDistribution::Sample(sim::Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+}  // namespace spiffi::mpeg

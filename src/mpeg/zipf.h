@@ -1,0 +1,36 @@
+// Zipfian popularity distribution (paper Fig 8).
+//
+// Rank r (1-based) is selected with probability proportional to 1/r^z.
+// z = 0 degenerates to the uniform distribution; the paper uses z in
+// {0.5, 1.0, 1.5} with 1.0 as the default.
+
+#ifndef SPIFFI_MPEG_ZIPF_H_
+#define SPIFFI_MPEG_ZIPF_H_
+
+#include <vector>
+
+#include "sim/random.h"
+
+namespace spiffi::mpeg {
+
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int n, double z);
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+  double z() const { return z_; }
+
+  // Probability of rank `r` (0-based; rank 0 is the most popular item).
+  double Probability(int r) const;
+
+  // Draws a 0-based rank.
+  int Sample(sim::Rng* rng) const;
+
+ private:
+  double z_;
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_[n-1] == 1
+};
+
+}  // namespace spiffi::mpeg
+
+#endif  // SPIFFI_MPEG_ZIPF_H_

@@ -1,0 +1,132 @@
+#include "server/buffer_pool.h"
+
+#include "sim/check.h"
+
+namespace spiffi::server {
+
+BufferPool::BufferPool(sim::Environment* env, std::int64_t num_pages,
+                       ReplacementPolicy policy)
+    : env_(env), policy_(policy), free_waiters_(env) {
+  SPIFFI_CHECK(env != nullptr);
+  SPIFFI_CHECK(num_pages > 0);
+  pages_.reserve(static_cast<std::size_t>(num_pages));
+  free_.reserve(static_cast<std::size_t>(num_pages));
+  for (std::int64_t i = 0; i < num_pages; ++i) {
+    auto page = std::make_unique<Page>();
+    page->ready = std::make_unique<sim::WaitList>(env);
+    free_.push_back(page.get());
+    pages_.push_back(std::move(page));
+  }
+}
+
+BufferPool::Page* BufferPool::Lookup(const PageKey& key) {
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : it->second;
+}
+
+void BufferPool::RecordReference(Page* page, int terminal) {
+  ++stats_.references;
+  if (page->ever_referenced && page->last_terminal != terminal) {
+    ++stats_.shared_refs;
+  }
+  if (page->io_in_flight) {
+    ++stats_.attaches;
+  } else {
+    ++stats_.hits;
+  }
+}
+
+void BufferPool::RecordMiss() {
+  ++stats_.references;
+  ++stats_.misses;
+}
+
+void BufferPool::RemoveFromChain(Page* page) {
+  if (page->chain >= 0) {
+    chains_[page->chain].erase(page->lru_it);
+    page->chain = -1;
+  }
+}
+
+void BufferPool::AppendToChain(Page* page, int chain) {
+  RemoveFromChain(page);
+  // Under global LRU everything lives on one queue.
+  if (policy_ == ReplacementPolicy::kGlobalLru) chain = kReferencedChain;
+  chains_[chain].push_back(page);
+  page->chain = chain;
+  page->lru_it = std::prev(chains_[chain].end());
+}
+
+void BufferPool::Touch(Page* page, int terminal) {
+  SPIFFI_DCHECK(page->valid);
+  page->ever_referenced = true;
+  page->last_terminal = terminal;
+  page->prefetched = false;
+  AppendToChain(page, kReferencedChain);
+}
+
+BufferPool::Page* BufferPool::EvictFrom(int chain) {
+  for (Page* page : chains_[chain]) {
+    if (page->pin_count == 0 && !page->io_in_flight) {
+      RemoveFromChain(page);
+      table_.erase(page->key);
+      ++stats_.evictions;
+      if (page->prefetched && !page->ever_referenced) {
+        ++stats_.wasted_prefetches;
+      }
+      return page;
+    }
+  }
+  return nullptr;
+}
+
+BufferPool::Page* BufferPool::Allocate(const PageKey& key,
+                                       bool for_prefetch) {
+  SPIFFI_DCHECK(Lookup(key) == nullptr);
+  Page* page = nullptr;
+  if (!free_.empty()) {
+    page = free_.back();
+    free_.pop_back();
+  } else {
+    page = EvictFrom(kReferencedChain);
+    if (page == nullptr && policy_ == ReplacementPolicy::kLovePrefetch) {
+      page = EvictFrom(kPrefetchedChain);
+    }
+  }
+  if (page == nullptr) {
+    ++stats_.allocation_stalls;
+    return nullptr;
+  }
+  page->key = key;
+  page->valid = false;
+  page->io_in_flight = true;
+  page->prefetched = for_prefetch;
+  page->pin_count = 1;  // caller's pin
+  page->last_terminal = -1;
+  page->ever_referenced = false;
+  page->inflight_request = nullptr;
+  page->urgent_deadline = sim::kSimTimeMax;
+  table_.emplace(key, page);
+  return page;
+}
+
+void BufferPool::Complete(Page* page) {
+  SPIFFI_DCHECK(page->io_in_flight);
+  page->io_in_flight = false;
+  page->valid = true;
+  page->inflight_request = nullptr;
+  AppendToChain(page,
+                page->prefetched ? kPrefetchedChain : kReferencedChain);
+  page->ready->NotifyAll();
+}
+
+void BufferPool::Unpin(Page* page) {
+  SPIFFI_DCHECK(page->pin_count > 0);
+  --page->pin_count;
+  if (page->pin_count == 0 && !page->io_in_flight) {
+    // The page just became evictable; wake one allocation-stalled process.
+    free_waiters_.NotifyOne();
+  }
+}
+
+}  // namespace spiffi::server

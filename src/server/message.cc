@@ -1,0 +1,33 @@
+#include "server/message.h"
+
+#include "sim/check.h"
+
+namespace spiffi::server {
+
+namespace {
+
+// One in-flight network delivery; owned by the network until it fires.
+class Delivery final : public sim::EventHandler {
+ public:
+  Delivery(MessageSink* sink, const Message& message)
+      : sink_(sink), message_(message) {}
+
+  void OnEvent(std::uint64_t) override { sink_->OnMessage(message_); }
+
+ private:
+  MessageSink* sink_;
+  Message message_;
+};
+
+}  // namespace
+
+void PostMessage(sim::Environment* env, hw::Network* network,
+                 std::int64_t wire_bytes, MessageSink* sink,
+                 const Message& message) {
+  SPIFFI_DCHECK(sink != nullptr);
+  (void)env;
+  network->SendOwned(wire_bytes,
+                     std::make_unique<Delivery>(sink, message));
+}
+
+}  // namespace spiffi::server

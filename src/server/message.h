@@ -1,0 +1,56 @@
+// Messages exchanged between video terminals and server nodes.
+//
+// Requests and replies travel over hw::Network; a Message is delivered to
+// the recipient's MessageSink after the wire delay. CPU costs for sends
+// and receives are charged by server nodes (terminals use dedicated
+// decompression/network hardware and charge nothing, per §5.1).
+
+#ifndef SPIFFI_SERVER_MESSAGE_H_
+#define SPIFFI_SERVER_MESSAGE_H_
+
+#include <cstdint>
+
+#include "hw/network.h"
+#include "sim/time.h"
+
+namespace spiffi::server {
+
+class MessageSink;
+
+struct Message {
+  enum class Kind { kReadRequest, kReadReply };
+
+  Kind kind = Kind::kReadRequest;
+  int terminal = -1;      // requesting terminal id
+  int video = -1;         // video id
+  std::int64_t block = -1;  // read-block index within the video
+  std::int64_t bytes = 0;   // payload size (the block size for replies)
+  sim::SimTime deadline = sim::kSimTimeMax;  // when the data is needed
+  MessageSink* reply_to = nullptr;           // where the reply should go
+  // Opaque client token echoed in the reply. Terminals use it as a
+  // stream epoch so replies belonging to an abandoned stream (after a
+  // seek or visual search) can be discarded on arrival.
+  std::uint64_t cookie = 0;
+};
+
+class MessageSink {
+ public:
+  virtual void OnMessage(const Message& message) = 0;
+
+ protected:
+  ~MessageSink() = default;
+};
+
+// Control-message size on the wire (a read request); replies add the
+// video payload on top of this.
+inline constexpr std::int64_t kControlMessageBytes = 64;
+
+// Sends `message` to `sink` across `network`, modelling a wire message of
+// `wire_bytes` bytes.
+void PostMessage(sim::Environment* env, hw::Network* network,
+                 std::int64_t wire_bytes, MessageSink* sink,
+                 const Message& message);
+
+}  // namespace spiffi::server
+
+#endif  // SPIFFI_SERVER_MESSAGE_H_

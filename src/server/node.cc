@@ -1,0 +1,172 @@
+#include "server/node.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace spiffi::server {
+
+Node::Node(sim::Environment* env, const NodeConfig& config,
+           hw::Network* network, const mpeg::VideoLibrary* library,
+           const layout::Layout* layout)
+    : env_(env),
+      config_(config),
+      network_(network),
+      library_(library),
+      layout_(layout),
+      cpu_(env, config.cpu_mips, "cpu-" + std::to_string(config.id)),
+      pool_(env, config.pool_pages, config.replacement) {
+  SPIFFI_CHECK(env != nullptr);
+  SPIFFI_CHECK(network != nullptr);
+  SPIFFI_CHECK(library != nullptr);
+  SPIFFI_CHECK(layout != nullptr);
+  disks_.reserve(config.disks_per_node);
+  prefetchers_.reserve(config.disks_per_node);
+  for (int d = 0; d < config.disks_per_node; ++d) {
+    int global = config.id * config.disks_per_node + d;
+    disks_.push_back(std::make_unique<hw::Disk>(
+        env, config.disk, MakeDiskScheduler(config.sched), global, this));
+    prefetchers_.push_back(std::make_unique<Prefetcher>(
+        env, config.prefetch, config.prefetch_workers,
+        config.max_advance_prefetch_sec, &pool_, &cpu_, disks_[d].get(),
+        config.costs));
+  }
+}
+
+std::int64_t Node::BlockBytes(int video, std::int64_t block) const {
+  std::int64_t total = library_->video(video).total_bytes();
+  std::int64_t start = block * config_.block_bytes;
+  SPIFFI_DCHECK(start < total);
+  return std::min(config_.block_bytes, total - start);
+}
+
+void Node::OnMessage(const Message& message) {
+  SPIFFI_DCHECK(message.kind == Message::Kind::kReadRequest);
+  env_->Spawn(HandleRead(message));
+}
+
+void Node::OnDiskComplete(hw::DiskRequest* request) {
+  auto* page = static_cast<BufferPool::Page*>(request->context);
+  SPIFFI_DCHECK(page != nullptr);
+  pool_.Complete(page);
+}
+
+void Node::TriggerPrefetch(int video, std::int64_t block,
+                           sim::SimTime reference_deadline, int terminal) {
+  if (config_.prefetch == PrefetchPolicy::kNone) return;
+  std::int64_t next = layout_->NextBlockOnSameDisk(video, block);
+  if (next < 0) return;
+  PageKey key{video, next};
+  if (pool_.Lookup(key) != nullptr) return;  // already cached / in flight
+
+  layout::BlockLocation loc = layout_->Locate(video, next);
+  SPIFFI_DCHECK(loc.node == config_.id);
+
+  PrefetchTask task;
+  task.key = key;
+  task.disk_offset = loc.offset;
+  task.bytes = BlockBytes(video, next);
+  task.terminal = terminal;
+  // Estimate the deadline the anticipated true request will carry: the
+  // reference's deadline shifted by the playback time between the blocks.
+  if (reference_deadline < sim::kSimTimeMax) {
+    double gap =
+        library_->BlockPlaybackTime(video, next, config_.block_bytes) -
+        library_->BlockPlaybackTime(video, block, config_.block_bytes);
+    task.est_deadline = reference_deadline + gap;
+  }
+  prefetchers_[loc.disk_local]->Enqueue(task);
+}
+
+sim::Process Node::HandleRead(Message message) {
+  co_await cpu_.Execute(config_.costs.receive_message_instructions);
+
+  PageKey key{message.video, message.block};
+
+  if (config_.prefetch_trigger == PrefetchTrigger::kOnReference) {
+    // Aggressive: every real reference drives the prefetcher.
+    TriggerPrefetch(message.video, message.block, message.deadline,
+                    message.terminal);
+  }
+
+  BufferPool::Page* page = nullptr;
+  for (;;) {
+    page = pool_.Lookup(key);
+    if (page != nullptr) {
+      pool_.RecordReference(page, message.terminal);
+      pool_.Pin(page);
+      if (page->io_in_flight) {
+        // Attach to the outstanding read; make sure it is scheduled at
+        // least as urgently as this reference requires. The read may not
+        // have reached the disk yet (its issuer is still queued on the
+        // CPU) — urgent_deadline covers that window.
+        if (message.deadline < page->urgent_deadline) {
+          page->urgent_deadline = message.deadline;
+        }
+        if (page->inflight_request != nullptr &&
+            message.deadline < page->inflight_request->deadline) {
+          page->inflight_request->deadline = message.deadline;
+        }
+        (void)co_await pool_.Ready(page).Wait();
+      }
+      pool_.Touch(page, message.terminal);
+      break;
+    }
+
+    // Miss: claim a page and read from disk.
+    page = pool_.Allocate(key, /*for_prefetch=*/false);
+    if (page == nullptr) {
+      (void)co_await pool_.free_pages().Wait();
+      continue;  // re-check Lookup: someone may have started this block
+    }
+    pool_.RecordMiss();
+
+    if (config_.prefetch_trigger == PrefetchTrigger::kOnMiss) {
+      // Limited: only demand reads that reach the disk spawn prefetches.
+      TriggerPrefetch(message.video, message.block, message.deadline,
+                      message.terminal);
+    }
+
+    layout::BlockLocation loc = layout_->Locate(message.video,
+                                                message.block);
+    SPIFFI_DCHECK(loc.node == config_.id);
+
+    co_await cpu_.Execute(config_.costs.start_io_instructions);
+
+    hw::DiskRequest request;
+    request.video = message.video;
+    request.block = message.block;
+    request.disk_offset = loc.offset;
+    request.bytes = BlockBytes(message.video, message.block);
+    request.deadline = std::min(message.deadline, page->urgent_deadline);
+    request.terminal = message.terminal;
+    request.context = page;
+    page->inflight_request = &request;
+    disks_[loc.disk_local]->Submit(&request);
+
+    (void)co_await pool_.Ready(page).Wait();
+    pool_.Touch(page, message.terminal);
+    break;
+  }
+
+  // Reply with the block payload.
+  co_await cpu_.Execute(config_.costs.send_message_instructions);
+  Message reply;
+  reply.kind = Message::Kind::kReadReply;
+  reply.terminal = message.terminal;
+  reply.video = message.video;
+  reply.block = message.block;
+  reply.bytes = BlockBytes(message.video, message.block);
+  reply.cookie = message.cookie;
+  PostMessage(env_, network_, reply.bytes, message.reply_to, reply);
+  pool_.Unpin(page);
+}
+
+void Node::ResetStats(sim::SimTime now) {
+  cpu_.ResetStats(now);
+  pool_.ResetStats();
+  for (auto& disk : disks_) disk->ResetStats(now);
+  for (auto& prefetcher : prefetchers_) prefetcher->ResetStats();
+}
+
+}  // namespace spiffi::server

@@ -1,0 +1,108 @@
+// A server node: one CPU, a buffer pool, and a set of disks with their
+// schedulers and prefetchers (paper Fig 1).
+//
+// Read path for a terminal request (§5.2):
+//   network -> receive CPU cost -> buffer pool lookup
+//     hit       reply immediately from memory
+//     in flight pin the page, boost the pending disk request's deadline,
+//               wait for the I/O (the paper's inter-terminal sharing)
+//     miss      claim a page (waiting for a free one if necessary),
+//               start-I/O CPU cost, queue the read at the proper disk,
+//               wait for completion
+//   every real reference also triggers a background prefetch of the next
+//   stripe block on the same disk, carrying an estimated deadline.
+//   send CPU cost -> reply (block payload) over the network.
+
+#ifndef SPIFFI_SERVER_NODE_H_
+#define SPIFFI_SERVER_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/cpu.h"
+#include "hw/disk.h"
+#include "hw/network.h"
+#include "layout/layout.h"
+#include "mpeg/video.h"
+#include "server/buffer_pool.h"
+#include "server/disk_sched.h"
+#include "server/message.h"
+#include "server/prefetch.h"
+#include "sim/environment.h"
+#include "sim/process.h"
+
+namespace spiffi::server {
+
+struct NodeConfig {
+  int id = 0;
+  int disks_per_node = 4;
+  double cpu_mips = 40.0;
+  hw::CpuCosts costs;
+  hw::DiskParams disk;
+  DiskSchedParams sched;
+  std::int64_t pool_pages = 2048;
+  ReplacementPolicy replacement = ReplacementPolicy::kGlobalLru;
+  PrefetchPolicy prefetch = PrefetchPolicy::kFifo;
+  PrefetchTrigger prefetch_trigger = PrefetchTrigger::kOnMiss;
+  int prefetch_workers = 1;
+  double max_advance_prefetch_sec = 8.0;
+  std::int64_t block_bytes = 512 * 1024;
+};
+
+class Node final : public MessageSink, public hw::DiskCompletionListener {
+ public:
+  Node(sim::Environment* env, const NodeConfig& config,
+       hw::Network* network, const mpeg::VideoLibrary* library,
+       const layout::Layout* layout);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Terminal read requests arrive here from the network.
+  void OnMessage(const Message& message) override;
+  // Disk reads complete here.
+  void OnDiskComplete(hw::DiskRequest* request) override;
+
+  int id() const { return config_.id; }
+  hw::Cpu& cpu() { return cpu_; }
+  const hw::Cpu& cpu() const { return cpu_; }
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+  hw::Disk& disk(int local) { return *disks_[local]; }
+  const hw::Disk& disk(int local) const { return *disks_[local]; }
+  Prefetcher& prefetcher(int local) { return *prefetchers_[local]; }
+  const Prefetcher& prefetcher(int local) const {
+    return *prefetchers_[local];
+  }
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+
+  void ResetStats(sim::SimTime now);
+
+ private:
+  sim::Process HandleRead(Message message);
+
+  // Issues a prefetch for the next block of `video` on the same disk as
+  // `block` (the basic SPIFFI rule), tagging it with the deadline the
+  // true request is expected to carry.
+  void TriggerPrefetch(int video, std::int64_t block,
+                       sim::SimTime reference_deadline, int terminal);
+
+  // Actual bytes of a read block (the last block of a video is short).
+  std::int64_t BlockBytes(int video, std::int64_t block) const;
+
+  sim::Environment* env_;
+  NodeConfig config_;
+  hw::Network* network_;
+  const mpeg::VideoLibrary* library_;
+  const layout::Layout* layout_;
+
+  hw::Cpu cpu_;
+  BufferPool pool_;
+  std::vector<std::unique_ptr<hw::Disk>> disks_;
+  std::vector<std::unique_ptr<Prefetcher>> prefetchers_;
+};
+
+}  // namespace spiffi::server
+
+#endif  // SPIFFI_SERVER_NODE_H_

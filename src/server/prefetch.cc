@@ -1,0 +1,135 @@
+#include "server/prefetch.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace spiffi::server {
+
+const char* PrefetchPolicyName(PrefetchPolicy policy) {
+  switch (policy) {
+    case PrefetchPolicy::kNone: return "none";
+    case PrefetchPolicy::kFifo: return "fifo";
+    case PrefetchPolicy::kRealTime: return "real-time";
+    case PrefetchPolicy::kDelayed: return "delayed";
+  }
+  return "unknown";
+}
+
+Prefetcher::Prefetcher(sim::Environment* env, PrefetchPolicy policy,
+                       int num_workers, double max_advance_sec,
+                       BufferPool* pool, hw::Cpu* cpu, hw::Disk* disk,
+                       const hw::CpuCosts& costs)
+    : env_(env),
+      policy_(policy),
+      max_advance_sec_(max_advance_sec),
+      pool_(pool),
+      cpu_(cpu),
+      disk_(disk),
+      costs_(costs),
+      arrivals_(env) {
+  SPIFFI_CHECK(env != nullptr);
+  if (policy == PrefetchPolicy::kNone) return;
+  SPIFFI_CHECK(num_workers > 0);
+  for (int i = 0; i < num_workers; ++i) env_->Spawn(Worker());
+}
+
+void Prefetcher::Enqueue(const PrefetchTask& task) {
+  if (policy_ == PrefetchPolicy::kNone) return;
+  if (!pending_.insert(task.key).second) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  ++stats_.enqueued;
+  queue_.push_back(task);
+  arrivals_.NotifyOne();
+}
+
+PrefetchTask Prefetcher::PopNext() {
+  SPIFFI_DCHECK(!queue_.empty());
+  auto it = queue_.begin();
+  if (policy_ != PrefetchPolicy::kFifo) {
+    it = std::min_element(queue_.begin(), queue_.end(),
+                          [](const PrefetchTask& a, const PrefetchTask& b) {
+                            return a.est_deadline < b.est_deadline;
+                          });
+  }
+  PrefetchTask task = *it;
+  queue_.erase(it);
+  return task;
+}
+
+sim::SimTime Prefetcher::MinDeadline() const {
+  sim::SimTime min = sim::kSimTimeMax;
+  for (const PrefetchTask& task : queue_) {
+    min = std::min(min, task.est_deadline);
+  }
+  return min;
+}
+
+sim::Process Prefetcher::Worker() {
+  for (;;) {
+    if (queue_.empty()) {
+      (void)co_await arrivals_.Wait();
+      continue;  // re-check; another worker may have taken the task
+    }
+    if (policy_ == PrefetchPolicy::kDelayed) {
+      // Delay issuing until within max_advance of the estimated deadline
+      // (Fig 7). Wake early if a more urgent task arrives.
+      sim::SimTime eligible_at = MinDeadline() - max_advance_sec_;
+      if (env_->now() < eligible_at) {
+        (void)co_await arrivals_.WaitUntil(eligible_at);
+        continue;  // re-evaluate from scratch
+      }
+    }
+    PrefetchTask task = PopNext();
+
+    if (pool_->Lookup(task.key) != nullptr) {
+      // A real request (or another worker) got there first.
+      pending_.erase(task.key);
+      ++stats_.already_cached;
+      continue;
+    }
+
+    // Claim a buffer page, waiting for one if the pool is saturated.
+    BufferPool::Page* page = nullptr;
+    for (;;) {
+      page = pool_->Allocate(task.key, /*for_prefetch=*/true);
+      if (page != nullptr) break;
+      (void)co_await pool_->free_pages().Wait();
+      if (pool_->Lookup(task.key) != nullptr) break;  // raced; drop
+    }
+    if (page == nullptr) {
+      pending_.erase(task.key);
+      ++stats_.already_cached;
+      continue;
+    }
+
+    co_await cpu_->Execute(costs_.start_io_instructions);
+
+    hw::DiskRequest request;
+    request.video = task.key.video;
+    request.block = task.key.block;
+    request.disk_offset = task.disk_offset;
+    request.bytes = task.bytes;
+    request.is_prefetch = true;
+    request.terminal = task.terminal;
+    // FIFO prefetches carry no deadline: the real-time disk scheduler
+    // parks them in the lowest class; elevator ignores deadlines anyway.
+    request.deadline = policy_ == PrefetchPolicy::kFifo
+                           ? sim::kSimTimeMax
+                           : task.est_deadline;
+    // An attacher may have raised the urgency while we queued for the CPU.
+    request.deadline = std::min(request.deadline, page->urgent_deadline);
+    request.context = page;
+    page->inflight_request = &request;
+    ++stats_.issued;
+    disk_->Submit(&request);
+
+    (void)co_await pool_->Ready(page).Wait();
+    pool_->Unpin(page);
+    pending_.erase(task.key);
+  }
+}
+
+}  // namespace spiffi::server

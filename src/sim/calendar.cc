@@ -1,0 +1,56 @@
+#include "sim/calendar.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace spiffi::sim {
+
+EventId Calendar::Schedule(SimTime time, EventHandler* handler,
+                           std::uint64_t token) {
+  SPIFFI_DCHECK(handler != nullptr);
+  EventId id = next_id_++;
+  heap_.push_back(Entry{time, next_seq_++, handler, token, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+  return id;
+}
+
+void Calendar::Cancel(EventId id) { cancelled_.insert(id); }
+
+void Calendar::DropCancelledHead() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    heap_.pop_back();
+  }
+}
+
+SimTime Calendar::FireNext() {
+  DropCancelledHead();
+  if (heap_.empty()) return kSimTimeMax;
+  Entry entry = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  heap_.pop_back();
+  ++fired_;
+  entry.handler->OnEvent(entry.token);
+  return entry.time;
+}
+
+SimTime Calendar::PeekTime() {
+  DropCancelledHead();
+  return heap_.empty() ? kSimTimeMax : heap_.front().time;
+}
+
+bool Calendar::empty() {
+  DropCancelledHead();
+  return heap_.empty();
+}
+
+void Calendar::Clear() {
+  heap_.clear();
+  cancelled_.clear();
+}
+
+}  // namespace spiffi::sim

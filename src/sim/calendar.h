@@ -1,0 +1,98 @@
+// Event calendar: the priority queue at the heart of the simulator.
+//
+// The calendar holds (time, sequence, handler, token) entries in a binary
+// min-heap. Sequence numbers break ties so that events scheduled for the
+// same instant fire in the order they were scheduled (FIFO), which makes
+// every simulation run fully deterministic.
+//
+// Handlers are raw pointers to objects implementing EventHandler. The
+// calendar does not own handlers; schedulers must guarantee the handler
+// outlives the entry (coroutine awaiters do, because the frame is suspended
+// until the event fires). Entries can be cancelled lazily via Cancel(),
+// which marks the entry id; cancelled entries are skipped when popped.
+
+#ifndef SPIFFI_SIM_CALENDAR_H_
+#define SPIFFI_SIM_CALENDAR_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace spiffi::sim {
+
+// Interface fired by the calendar when an event comes due. The token is
+// whatever value was passed to Schedule, letting one handler multiplex
+// several pending events.
+class EventHandler {
+ public:
+  virtual void OnEvent(std::uint64_t token) = 0;
+  // Virtual: one-shot handlers (e.g. network deliveries) are owned and
+  // destroyed polymorphically.
+  virtual ~EventHandler() = default;
+};
+
+// Identifies one scheduled entry; used only for cancellation.
+using EventId = std::uint64_t;
+
+class Calendar {
+ public:
+  Calendar() = default;
+  Calendar(const Calendar&) = delete;
+  Calendar& operator=(const Calendar&) = delete;
+
+  // Adds an entry; returns an id usable with Cancel().
+  EventId Schedule(SimTime time, EventHandler* handler,
+                   std::uint64_t token = 0);
+
+  // Marks the entry as cancelled. Safe to call after the event fired
+  // (it is a no-op then). O(1) amortized; the entry is dropped lazily.
+  void Cancel(EventId id);
+
+  // Fires the earliest non-cancelled entry and returns its time, or
+  // returns kSimTimeMax if the calendar is empty.
+  // The handler may schedule further events from within OnEvent.
+  SimTime FireNext();
+
+  // Time of the earliest pending entry, or kSimTimeMax when empty.
+  SimTime PeekTime();
+
+  bool empty();
+
+  // Drops every pending entry without firing it.
+  void Clear();
+
+  // Number of live (non-cancelled) entries.
+  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+
+  // Total events fired since construction.
+  std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventHandler* handler;
+    std::uint64_t token;
+    EventId id;
+  };
+
+  // Min-heap ordering: earliest time first, then lowest sequence number.
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void DropCancelledHead();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace spiffi::sim
+
+#endif  // SPIFFI_SIM_CALENDAR_H_

@@ -1,0 +1,42 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// The simulator is deterministic and single-threaded; an invariant violation
+// means a programming error, so we fail fast and loud rather than attempting
+// recovery. Configuration errors (user input) are reported via return values
+// in vod/config.h, not via these macros.
+
+#ifndef SPIFFI_SIM_CHECK_H_
+#define SPIFFI_SIM_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spiffi::sim::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace spiffi::sim::internal
+
+#define SPIFFI_CHECK(expr)                                         \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::spiffi::sim::internal::CheckFailed(__FILE__, __LINE__,     \
+                                           #expr);                 \
+    }                                                              \
+  } while (0)
+
+// Checks that are cheap enough to keep in release builds stay as
+// SPIFFI_CHECK; use SPIFFI_DCHECK for hot-path checks.
+#ifdef NDEBUG
+#define SPIFFI_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define SPIFFI_DCHECK(expr) SPIFFI_CHECK(expr)
+#endif
+
+#endif  // SPIFFI_SIM_CHECK_H_

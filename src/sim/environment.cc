@@ -1,0 +1,98 @@
+#include "sim/environment.h"
+
+#include "sim/check.h"
+
+namespace spiffi::sim {
+
+namespace internal {
+
+void ProcessFinished(Environment* env, std::coroutine_handle<> handle) {
+  SPIFFI_CHECK(env != nullptr);  // every process must be Spawn-ed
+  env->processes_.erase(handle.address());
+  handle.destroy();
+}
+
+}  // namespace internal
+
+Environment::~Environment() {
+  // Pending events may reference awaiters living inside coroutine frames;
+  // drop them before destroying the frames. (ResumeSlots — including any
+  // still scheduled — are owned by all_slots_ and freed with it.)
+  calendar_.Clear();
+  DestroyLiveProcesses();
+}
+
+void Environment::DestroyLiveProcesses() {
+  // Frames may spawn no further work while being destroyed (destructors
+  // only); copy the set because erase during iteration is not allowed.
+  auto frames = processes_;
+  processes_.clear();
+  for (void* address : frames) {
+    std::coroutine_handle<>::from_address(address).destroy();
+  }
+}
+
+void Environment::Spawn(Process process) {
+  SPIFFI_CHECK(process.valid());
+  Process::Handle handle = process.Release();
+  handle.promise().env = this;
+  processes_.insert(handle.address());
+  ScheduleResume(handle, now_);
+}
+
+EventId Environment::Schedule(SimTime time, EventHandler* handler,
+                              std::uint64_t token) {
+  SPIFFI_DCHECK(time >= now_);
+  return calendar_.Schedule(time, handler, token);
+}
+
+EventId Environment::ScheduleAfter(SimTime delay, EventHandler* handler,
+                                   std::uint64_t token) {
+  SPIFFI_DCHECK(delay >= 0.0);
+  return calendar_.Schedule(now_ + delay, handler, token);
+}
+
+void Environment::ResumeSlot::OnEvent(std::uint64_t) {
+  std::coroutine_handle<> h = handle;
+  handle = {};
+  next_free = env->free_slots_;
+  env->free_slots_ = this;
+  h.resume();
+}
+
+void Environment::ScheduleResume(std::coroutine_handle<> handle,
+                                 SimTime time) {
+  ResumeSlot* slot = free_slots_;
+  if (slot != nullptr) {
+    free_slots_ = slot->next_free;
+  } else {
+    all_slots_.push_back(std::make_unique<ResumeSlot>());
+    slot = all_slots_.back().get();
+    slot->env = this;
+  }
+  slot->handle = handle;
+  calendar_.Schedule(time, slot);
+}
+
+void Environment::Run() {
+  stopped_ = false;
+  while (!stopped_ && !calendar_.empty()) {
+    SimTime t = calendar_.PeekTime();
+    SPIFFI_DCHECK(t >= now_);
+    now_ = t;
+    calendar_.FireNext();
+  }
+}
+
+void Environment::RunUntil(SimTime end) {
+  stopped_ = false;
+  while (!stopped_) {
+    SimTime t = calendar_.PeekTime();
+    if (t > end) break;
+    now_ = t;
+    calendar_.FireNext();
+  }
+  if (!stopped_ && now_ < end) now_ = end;
+}
+
+}  // namespace spiffi::sim

@@ -1,0 +1,113 @@
+// Simulation environment: clock, calendar, and process registry.
+//
+// One Environment owns one independent simulation run. All model objects
+// (disks, CPUs, terminals, ...) hold a pointer to their Environment and
+// schedule activity through it. The Environment is strictly
+// single-threaded.
+
+#ifndef SPIFFI_SIM_ENVIRONMENT_H_
+#define SPIFFI_SIM_ENVIRONMENT_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/calendar.h"
+#include "sim/process.h"
+#include "sim/time.h"
+
+namespace spiffi::sim {
+
+class Environment {
+ public:
+  Environment() = default;
+  ~Environment();
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  // Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  // Takes ownership of a suspended process coroutine and schedules its
+  // first step at the current time (after already-pending same-time
+  // events, preserving FIFO determinism).
+  void Spawn(Process process);
+
+  // Schedules handler->OnEvent(token) at absolute time `time` (>= now).
+  EventId Schedule(SimTime time, EventHandler* handler,
+                   std::uint64_t token = 0);
+  // Convenience: relative delay.
+  EventId ScheduleAfter(SimTime delay, EventHandler* handler,
+                        std::uint64_t token = 0);
+  void Cancel(EventId id) { calendar_.Cancel(id); }
+
+  // Schedules a coroutine resumption at absolute time `time`. The slot is
+  // owned by the environment (small pool); used by awaiters that do not
+  // want to be EventHandlers themselves.
+  void ScheduleResume(std::coroutine_handle<> handle, SimTime time);
+
+  // Awaitable: suspends the calling process for `delay` seconds. A zero
+  // delay still passes through the calendar, yielding to other events
+  // scheduled at the current instant.
+  struct HoldAwaiter final : EventHandler {
+    HoldAwaiter(Environment* e, SimTime t) : env(e), wake_time(t) {}
+
+    Environment* env;
+    SimTime wake_time;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      env->Schedule(wake_time, this);
+    }
+    void await_resume() const noexcept {}
+    void OnEvent(std::uint64_t) override { handle.resume(); }
+  };
+  HoldAwaiter Hold(SimTime delay) { return HoldAwaiter(this, now_ + delay); }
+  HoldAwaiter HoldUntil(SimTime time) { return HoldAwaiter(this, time); }
+
+  // Runs until the calendar is empty or Stop() is called.
+  void Run();
+
+  // Runs all events with time <= end, then sets now() = end.
+  void RunUntil(SimTime end);
+
+  // Stops the run loop after the event currently being fired.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  std::uint64_t events_fired() const { return calendar_.fired_count(); }
+  std::size_t live_processes() const { return processes_.size(); }
+
+ private:
+  friend void internal::ProcessFinished(Environment* env,
+                                        std::coroutine_handle<> handle);
+
+  // Calendar slot that resumes a coroutine and returns itself to a free
+  // list. Enables ScheduleResume without a dedicated awaiter object.
+  struct ResumeSlot final : EventHandler {
+    Environment* env = nullptr;
+    std::coroutine_handle<> handle;
+    ResumeSlot* next_free = nullptr;
+    void OnEvent(std::uint64_t) override;
+  };
+
+  void DestroyLiveProcesses();
+
+  Calendar calendar_;
+  SimTime now_ = 0.0;
+  bool stopped_ = false;
+  std::unordered_set<void*> processes_;  // live coroutine frame addresses
+  // All slots ever created (owned here, so slots still sitting in the
+  // calendar at teardown are reclaimed); free_slots_ chains the idle ones.
+  std::vector<std::unique_ptr<ResumeSlot>> all_slots_;
+  ResumeSlot* free_slots_ = nullptr;
+};
+
+}  // namespace spiffi::sim
+
+#endif  // SPIFFI_SIM_ENVIRONMENT_H_

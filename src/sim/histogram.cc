@@ -1,0 +1,71 @@
+#include "sim/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spiffi::sim {
+
+namespace {
+// Smallest representable value: 1 microsecond.
+constexpr double kBase = 1e-6;
+// Bucket width factor: 2^(1/4).
+const double kFactor = std::pow(2.0, 0.25);
+const double kLogFactor = std::log(kFactor);
+}  // namespace
+
+double Histogram::BucketBound(int index) {
+  return kBase * std::pow(kFactor, index + 1);
+}
+
+int Histogram::BucketFor(double value) {
+  if (value <= kBase) return 0;
+  int bucket = static_cast<int>(std::log(value / kBase) / kLogFactor);
+  return std::clamp(bucket, 0, kBuckets - 1);
+}
+
+void Histogram::Add(double value) {
+  ++buckets_[BucketFor(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      // Clamp to observed extremes for tighter tails.
+      return std::clamp(BucketBound(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace spiffi::sim

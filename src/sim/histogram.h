@@ -1,0 +1,53 @@
+// Fixed-bucket logarithmic histogram for latency-style observations.
+//
+// Buckets are powers of 2^(1/4) (about 19% wide), spanning ~1 us to ~1 h
+// for time-valued inputs; out-of-range values clamp to the end buckets.
+// Supports approximate percentile queries, which the Tally's
+// mean/variance cannot provide.
+
+#ifndef SPIFFI_SIM_HISTOGRAM_H_
+#define SPIFFI_SIM_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace spiffi::sim {
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 128;
+
+  void Add(double value);
+  // Accumulates another histogram into this one.
+  void Merge(const Histogram& other);
+  void Reset() { *this = Histogram(); }
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  // Approximate value at quantile q in [0, 1] (bucket upper bound);
+  // exact for min/max within bucket resolution (~19%).
+  double Percentile(double q) const;
+
+  std::uint64_t bucket(int index) const { return buckets_[index]; }
+
+  // Upper bound of bucket `index`.
+  static double BucketBound(int index);
+
+ private:
+  static int BucketFor(double value);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace spiffi::sim
+
+#endif  // SPIFFI_SIM_HISTOGRAM_H_

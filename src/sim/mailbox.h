@@ -1,0 +1,88 @@
+// Typed FIFO mailbox with blocking receive (CSIM-style message port).
+//
+// Senders never block (the queue is unbounded); receivers suspend until a
+// message is available. Multiple receivers are served FIFO. Like every
+// other primitive, wakeups pass through the calendar for determinism.
+
+#ifndef SPIFFI_SIM_MAILBOX_H_
+#define SPIFFI_SIM_MAILBOX_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/calendar.h"
+#include "sim/check.h"
+#include "sim/environment.h"
+
+namespace spiffi::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Environment* env) : env_(env) {
+    SPIFFI_CHECK(env != nullptr);
+  }
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  class ReceiveAwaiter final : public EventHandler {
+   public:
+    explicit ReceiveAwaiter(Mailbox* box) : box_(box) {}
+
+    bool await_ready() {
+      if (!box_->queue_.empty() && box_->receivers_.empty()) {
+        value_ = std::move(box_->queue_.front());
+        box_->queue_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      handle_ = handle;
+      box_->receivers_.push_back(this);
+    }
+    T await_resume() {
+      SPIFFI_DCHECK(value_.has_value());
+      return std::move(*value_);
+    }
+    void OnEvent(std::uint64_t) override { handle_.resume(); }
+
+   private:
+    friend class Mailbox;
+    Mailbox* box_;
+    std::coroutine_handle<> handle_;
+    std::optional<T> value_;
+  };
+
+  // co_await box.Receive(): pops the oldest message, suspending while the
+  // mailbox is empty.
+  ReceiveAwaiter Receive() { return ReceiveAwaiter(this); }
+
+  // Enqueues a message; wakes the oldest waiting receiver if any.
+  void Send(T value) {
+    if (!receivers_.empty()) {
+      ReceiveAwaiter* receiver = receivers_.front();
+      receivers_.pop_front();
+      receiver->value_ = std::move(value);
+      env_->Schedule(env_->now(), receiver);
+    } else {
+      queue_.push_back(std::move(value));
+    }
+  }
+
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t waiting_receivers() const { return receivers_.size(); }
+
+ private:
+  Environment* env_;
+  std::deque<T> queue_;
+  std::deque<ReceiveAwaiter*> receivers_;
+};
+
+}  // namespace spiffi::sim
+
+#endif  // SPIFFI_SIM_MAILBOX_H_

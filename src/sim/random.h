@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// Two facilities:
+//  * Rng — a sequential xoshiro256** stream for workload randomness (video
+//    selection, start times, pause times). Child streams are derived from a
+//    master seed with a name/index so each stochastic subsystem has its own
+//    stream and adding consumers never perturbs other streams.
+//  * Hash-based "counter mode" sampling — stateless draws addressed by
+//    (seed, index), used for per-frame MPEG sizes so that "each time the
+//    same video is played, the same sequence of frames and frame sizes is
+//    repeated" (paper §6.1) without storing the frames.
+
+#ifndef SPIFFI_SIM_RANDOM_H_
+#define SPIFFI_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace spiffi::sim {
+
+// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+std::uint64_t Mix64(std::uint64_t x);
+
+// Combines two 64-bit values into one well-mixed value.
+inline std::uint64_t Hash64(std::uint64_t a, std::uint64_t b) {
+  return Mix64(a + 0x9e3779b97f4a7c15ULL * (b + 1));
+}
+
+// Maps a 64-bit value to a double uniform in [0, 1).
+double ToUnitDouble(std::uint64_t bits);
+
+// Stateless exponential draw with the given mean, addressed by (seed, i).
+double ExponentialAt(std::uint64_t seed, std::uint64_t index, double mean);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derives an independent child stream; `stream` identifies the consumer.
+  Rng Child(std::uint64_t stream) const;
+
+  std::uint64_t NextU64();
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t UniformInt(std::uint64_t n);
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;  // retained for Child derivation
+};
+
+}  // namespace spiffi::sim
+
+#endif  // SPIFFI_SIM_RANDOM_H_

@@ -1,0 +1,52 @@
+#include "sim/resource.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace spiffi::sim {
+
+Resource::Resource(Environment* env, int servers, std::string name)
+    : env_(env),
+      servers_(servers),
+      name_(std::move(name)),
+      utilization_(servers) {
+  SPIFFI_CHECK(env != nullptr);
+  SPIFFI_CHECK(servers > 0);
+}
+
+void Resource::UseAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  handle_ = handle;
+  resource_->queue_.push_back(this);
+  resource_->queue_weighted_.Set(
+      static_cast<double>(resource_->queue_.size()), resource_->env_->now());
+  resource_->Dispatch();
+}
+
+void Resource::Dispatch() {
+  while (busy_ < servers_ && !queue_.empty()) {
+    UseAwaiter* request = queue_.front();
+    queue_.pop_front();
+    queue_weighted_.Set(static_cast<double>(queue_.size()), env_->now());
+    ++busy_;
+    utilization_.SetBusy(busy_, env_->now());
+    service_tally_.Add(request->service_time_);
+    env_->ScheduleAfter(request->service_time_, request);
+  }
+}
+
+void Resource::UseAwaiter::OnEvent(std::uint64_t) {
+  Resource* resource = resource_;
+  --resource->busy_;
+  resource->utilization_.SetBusy(resource->busy_, resource->env_->now());
+  resource->Dispatch();
+  handle_.resume();
+}
+
+void Resource::ResetStats(SimTime now) {
+  utilization_.Reset(now);
+  queue_weighted_.Reset(now);
+  service_tally_.Reset();
+}
+
+}  // namespace spiffi::sim

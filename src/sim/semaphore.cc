@@ -1,0 +1,39 @@
+#include "sim/semaphore.h"
+
+#include "sim/check.h"
+
+namespace spiffi::sim {
+
+Semaphore::Semaphore(Environment* env, std::int64_t initial_count)
+    : env_(env), count_(initial_count) {
+  SPIFFI_CHECK(env != nullptr);
+  SPIFFI_CHECK(initial_count >= 0);
+}
+
+bool Semaphore::AcquireAwaiter::await_ready() {
+  // Even when units are available, queued waiters go first (FIFO).
+  if (sem_->count_ > 0 && sem_->waiters_.empty()) {
+    --sem_->count_;
+    return true;
+  }
+  return false;
+}
+
+void Semaphore::AcquireAwaiter::await_suspend(std::coroutine_handle<> handle) {
+  handle_ = handle;
+  sem_->waiters_.push_back(this);
+}
+
+void Semaphore::Release() {
+  if (!waiters_.empty()) {
+    // Hand the unit directly to the oldest waiter; the count is not
+    // incremented, so a racing Acquire at the same instant cannot steal it.
+    AcquireAwaiter* waiter = waiters_.front();
+    waiters_.pop_front();
+    env_->Schedule(env_->now(), waiter);
+  } else {
+    ++count_;
+  }
+}
+
+}  // namespace spiffi::sim

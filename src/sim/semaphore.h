@@ -1,0 +1,60 @@
+// Counting semaphore with strict FIFO wakeup order.
+//
+// Wakeups pass through the calendar (a released waiter resumes as a
+// distinct event at the current simulated time) so that interleavings are
+// deterministic and recursion depth stays bounded.
+
+#ifndef SPIFFI_SIM_SEMAPHORE_H_
+#define SPIFFI_SIM_SEMAPHORE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/calendar.h"
+#include "sim/environment.h"
+
+namespace spiffi::sim {
+
+class Semaphore {
+ public:
+  Semaphore(Environment* env, std::int64_t initial_count);
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  class AcquireAwaiter final : public EventHandler {
+   public:
+    explicit AcquireAwaiter(Semaphore* sem) : sem_(sem) {}
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> handle);
+    void await_resume() const noexcept {}
+    void OnEvent(std::uint64_t) override { handle_.resume(); }
+
+   private:
+    Semaphore* sem_;
+    std::coroutine_handle<> handle_;
+  };
+
+  // co_await sem.Acquire(): decrements the count, suspending while it is
+  // zero. Waiters are served FIFO; a Release hands its unit directly to
+  // the oldest waiter, so waiters cannot be starved by late arrivals.
+  AcquireAwaiter Acquire() { return AcquireAwaiter(this); }
+
+  // Returns one unit; wakes the oldest waiter if any.
+  void Release();
+
+  std::int64_t available() const { return count_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+ private:
+  friend class AcquireAwaiter;
+
+  Environment* env_;
+  std::int64_t count_;
+  std::deque<AcquireAwaiter*> waiters_;
+};
+
+}  // namespace spiffi::sim
+
+#endif  // SPIFFI_SIM_SEMAPHORE_H_

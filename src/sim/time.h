@@ -1,0 +1,26 @@
+// Simulated-time type and unit helpers.
+//
+// Simulated time is a double, measured in seconds, starting at 0 when an
+// Environment is constructed. Doubles give ~microsecond resolution over
+// multi-hour simulations, which comfortably covers the finest event
+// granularity in this model (network wire delays of a few microseconds).
+
+#ifndef SPIFFI_SIM_TIME_H_
+#define SPIFFI_SIM_TIME_H_
+
+namespace spiffi::sim {
+
+using SimTime = double;
+
+inline constexpr SimTime kMicrosecond = 1e-6;
+inline constexpr SimTime kMillisecond = 1e-3;
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+
+// A time later than any event a simulation will ever schedule.
+inline constexpr SimTime kSimTimeMax = 1e300;
+
+}  // namespace spiffi::sim
+
+#endif  // SPIFFI_SIM_TIME_H_

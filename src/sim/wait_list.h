@@ -1,0 +1,112 @@
+// Condition-variable-like wait list for coroutine processes.
+//
+//   bool notified = co_await list.Wait();                 // wait forever
+//   bool notified = co_await list.WaitUntil(deadline);    // with timeout
+//
+// Wait() resumes when NotifyOne/NotifyAll is called (await returns true).
+// WaitUntil additionally resumes at `deadline` if no notification arrived
+// (await returns false). Waiters are notified FIFO, and all resumptions go
+// through the calendar for determinism.
+
+#ifndef SPIFFI_SIM_WAIT_LIST_H_
+#define SPIFFI_SIM_WAIT_LIST_H_
+
+#include <algorithm>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/calendar.h"
+#include "sim/check.h"
+#include "sim/environment.h"
+
+namespace spiffi::sim {
+
+class WaitList {
+ public:
+  explicit WaitList(Environment* env) : env_(env) {
+    SPIFFI_CHECK(env != nullptr);
+  }
+
+  WaitList(const WaitList&) = delete;
+  WaitList& operator=(const WaitList&) = delete;
+
+  class Awaiter final : public EventHandler {
+   public:
+    Awaiter(WaitList* list, SimTime deadline, bool has_deadline)
+        : list_(list), deadline_(deadline), has_deadline_(has_deadline) {}
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      handle_ = handle;
+      list_->waiters_.push_back(this);
+      if (has_deadline_) {
+        timer_ = list_->env_->Schedule(deadline_, this, kTimeoutToken);
+      }
+    }
+    // True if notified, false if the deadline expired first.
+    bool await_resume() const noexcept { return notified_; }
+
+    void OnEvent(std::uint64_t token) override {
+      if (token == kTimeoutToken) {
+        // Timed out: leave the wait list so a later notify skips us.
+        list_->Remove(this);
+        notified_ = false;
+      }
+      // (On the notify path we were already removed and the timer
+      // cancelled by Notify.)
+      handle_.resume();
+    }
+
+   private:
+    friend class WaitList;
+    static constexpr std::uint64_t kTimeoutToken = 1;
+
+    WaitList* list_;
+    SimTime deadline_;
+    bool has_deadline_;
+    bool notified_ = false;
+    EventId timer_ = 0;
+    std::coroutine_handle<> handle_;
+  };
+
+  Awaiter Wait() { return Awaiter(this, 0.0, false); }
+  Awaiter WaitUntil(SimTime deadline) { return Awaiter(this, deadline, true); }
+
+  // Wakes the oldest waiter (no-op when empty).
+  void NotifyOne() {
+    if (waiters_.empty()) return;
+    Dispatch(waiters_.front());
+    waiters_.pop_front();
+  }
+
+  // Wakes every waiter currently in the list.
+  void NotifyAll() {
+    // Waiters added by resumed coroutines belong to the next round; swap
+    // the list out first.
+    std::deque<Awaiter*> current;
+    current.swap(waiters_);
+    for (Awaiter* waiter : current) Dispatch(waiter);
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  void Dispatch(Awaiter* waiter) {
+    waiter->notified_ = true;
+    if (waiter->has_deadline_) env_->Cancel(waiter->timer_);
+    env_->Schedule(env_->now(), waiter, 0);
+  }
+
+  void Remove(Awaiter* waiter) {
+    auto it = std::find(waiters_.begin(), waiters_.end(), waiter);
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+
+  Environment* env_;
+  std::deque<Awaiter*> waiters_;
+};
+
+}  // namespace spiffi::sim
+
+#endif  // SPIFFI_SIM_WAIT_LIST_H_

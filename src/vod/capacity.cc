@@ -1,0 +1,102 @@
+#include "vod/capacity.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/check.h"
+#include "vod/simulation.h"
+
+namespace spiffi::vod {
+
+std::uint64_t GlitchesAt(SimConfig config, int terminals, int replications,
+                         SimMetrics* out_last) {
+  std::uint64_t total = 0;
+  std::uint64_t base_seed = config.seed;
+  config.terminals = terminals;
+  for (int r = 0; r < replications; ++r) {
+    config.seed = base_seed + static_cast<std::uint64_t>(r);
+    SimMetrics metrics = RunSimulation(config);
+    total += metrics.glitches;
+    if (out_last != nullptr) *out_last = metrics;
+  }
+  return total;
+}
+
+CapacityResult FindMaxTerminals(const SimConfig& base,
+                                const CapacitySearchOptions& options) {
+  SPIFFI_CHECK(options.step > 0);
+  SPIFFI_CHECK(options.min_terminals > 0);
+  SPIFFI_CHECK(options.max_terminals >= options.min_terminals);
+
+  CapacityResult result;
+  auto probe = [&](int terminals, SimMetrics* out) -> std::uint64_t {
+    std::uint64_t glitches =
+        GlitchesAt(base, terminals, options.replications, out);
+    result.probes.emplace_back(terminals, glitches);
+    if (options.verbose) {
+      std::fprintf(stderr, "  probe %4d terminals: %llu glitches\n",
+                   terminals, static_cast<unsigned long long>(glitches));
+    }
+    return glitches;
+  };
+
+  // Exponential bracketing from the starting guess.
+  int guess = std::clamp(options.start_guess, options.min_terminals,
+                         options.max_terminals);
+  int known_good = 0;
+  int known_bad = 0;  // 0 = none found yet
+  SimMetrics good_metrics;
+
+  int current = guess;
+  for (;;) {
+    SimMetrics metrics;
+    std::uint64_t glitches = probe(current, &metrics);
+    if (glitches == 0) {
+      known_good = current;
+      good_metrics = metrics;
+      if (current >= options.max_terminals) break;
+      if (known_bad != 0) break;
+      current = std::min(current * 2, options.max_terminals);
+    } else {
+      known_bad = current;
+      if (current <= options.min_terminals) break;
+      if (known_good != 0) break;
+      current = std::max(current / 2, options.min_terminals);
+    }
+  }
+
+  // Bisect (known_good, known_bad) to the step granularity.
+  if (known_good != 0 && known_bad != 0) {
+    int lo = known_good;
+    int hi = known_bad;
+    while (hi - lo > options.step) {
+      int mid = lo + (hi - lo) / 2;
+      SimMetrics metrics;
+      if (probe(mid, &metrics) == 0) {
+        lo = mid;
+        good_metrics = metrics;
+      } else {
+        hi = mid;
+      }
+    }
+    known_good = lo;
+  }
+
+  result.max_terminals = known_good;
+  result.at_capacity = good_metrics;
+  return result;
+}
+
+std::vector<std::pair<int, std::uint64_t>> GlitchCurve(
+    const SimConfig& base, const std::vector<int>& terminal_counts,
+    int replications) {
+  std::vector<std::pair<int, std::uint64_t>> curve;
+  curve.reserve(terminal_counts.size());
+  for (int terminals : terminal_counts) {
+    curve.emplace_back(terminals,
+                       GlitchesAt(base, terminals, replications));
+  }
+  return curve;
+}
+
+}  // namespace spiffi::vod

@@ -1,0 +1,54 @@
+// Capacity search: "the maximum number of terminals that a configuration
+// can support without glitches" (paper §7.1, Fig 9).
+//
+// The search evaluates the glitch-free predicate at increasing terminal
+// counts (exponential bracketing from a starting guess), then bisects to
+// the requested granularity. Replications rerun a point with different
+// seeds; a point passes only if every replication is glitch-free.
+
+#ifndef SPIFFI_VOD_CAPACITY_H_
+#define SPIFFI_VOD_CAPACITY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "vod/config.h"
+#include "vod/metrics.h"
+
+namespace spiffi::vod {
+
+struct CapacitySearchOptions {
+  int min_terminals = 10;
+  int max_terminals = 2000;
+  int step = 5;          // result granularity
+  int start_guess = 100; // first point probed
+  int replications = 1;  // seeds per point
+  bool verbose = false;  // print each probe to stderr
+};
+
+struct CapacityResult {
+  int max_terminals = 0;  // largest count found glitch-free
+  // Every probe made: (terminal count, total glitches over replications).
+  std::vector<std::pair<int, std::uint64_t>> probes;
+  // Metrics of the final glitch-free run (at max_terminals).
+  SimMetrics at_capacity;
+};
+
+// Total glitches at `terminals`, summed over `replications` seeds
+// (config.seed, config.seed+1, ...). `out_last` (optional) receives the
+// metrics of the last replication.
+std::uint64_t GlitchesAt(SimConfig config, int terminals, int replications,
+                         SimMetrics* out_last = nullptr);
+
+CapacityResult FindMaxTerminals(const SimConfig& base,
+                                const CapacitySearchOptions& options);
+
+// Glitch counts over a range of terminal counts (paper Fig 9's curve).
+std::vector<std::pair<int, std::uint64_t>> GlitchCurve(
+    const SimConfig& base, const std::vector<int>& terminal_counts,
+    int replications = 1);
+
+}  // namespace spiffi::vod
+
+#endif  // SPIFFI_VOD_CAPACITY_H_

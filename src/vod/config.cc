@@ -1,0 +1,72 @@
+#include "vod/config.h"
+
+#include <sstream>
+
+namespace spiffi::vod {
+
+std::string SimConfig::Validate() const {
+  if (num_nodes <= 0) return "num_nodes must be positive";
+  if (disks_per_node <= 0) return "disks_per_node must be positive";
+  if (cpu_mips <= 0.0) return "cpu_mips must be positive";
+  if (video_seconds <= 0.0) return "video_seconds must be positive";
+  if (videos_per_disk <= 0) return "videos_per_disk must be positive";
+  if (zipf_z < 0.0) return "zipf_z must be non-negative";
+  if (stripe_bytes <= 0) return "stripe_bytes must be positive";
+  if (terminals <= 0) return "terminals must be positive";
+  if (terminal_memory_bytes < stripe_bytes) {
+    return "terminal memory must hold at least one stripe block";
+  }
+  if (pool_pages_per_node() < 2) {
+    return "server memory must hold at least two pages per node";
+  }
+  if (gss_groups <= 0) return "gss_groups must be positive";
+  if (realtime_classes <= 0) return "realtime_classes must be positive";
+  if (realtime_spacing_sec <= 0.0) {
+    return "realtime_spacing_sec must be positive";
+  }
+  if (prefetch == server::PrefetchPolicy::kDelayed &&
+      max_advance_prefetch_sec <= 0.0) {
+    return "max_advance_prefetch_sec must be positive for delayed "
+           "prefetching";
+  }
+  if (placement == VideoPlacement::kNonStriped &&
+      num_videos() % total_disks() != 0) {
+    return "non-striped placement needs videos divisible by disks";
+  }
+  if (warmup_seconds < start_window_sec) {
+    return "warmup must cover the terminal start window";
+  }
+  if (measure_seconds <= 0.0) return "measure_seconds must be positive";
+  return "";
+}
+
+std::string SimConfig::Describe() const {
+  std::ostringstream out;
+  out << total_disks() << " disks, "
+      << server_memory_bytes / hw::kMiB << " MB server, "
+      << terminal_memory_bytes / hw::kMiB << " MB/terminal, stripe "
+      << stripe_bytes / hw::kKiB << " KB, "
+      << server::DiskSchedPolicyName(disk_sched);
+  if (disk_sched == server::DiskSchedPolicy::kGss) {
+    out << "(" << gss_groups << ")";
+  }
+  if (disk_sched == server::DiskSchedPolicy::kRealTime) {
+    out << "(" << realtime_classes << " classes, " << realtime_spacing_sec
+        << " s)";
+  }
+  out << ", "
+      << (replacement == server::ReplacementPolicy::kGlobalLru
+              ? "global-lru"
+              : "love-prefetch")
+      << ", prefetch " << server::PrefetchPolicyName(prefetch);
+  if (prefetch == server::PrefetchPolicy::kDelayed) {
+    out << "(" << max_advance_prefetch_sec << " s)";
+  }
+  out << ", "
+      << (placement == VideoPlacement::kStriped ? "striped"
+                                                : "non-striped")
+      << ", z=" << zipf_z;
+  return out.str();
+}
+
+}  // namespace spiffi::vod

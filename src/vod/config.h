@@ -1,0 +1,124 @@
+// Simulation configuration: every Table-1 parameter plus the algorithm
+// selections compared in §7.
+
+#ifndef SPIFFI_VOD_CONFIG_H_
+#define SPIFFI_VOD_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "client/terminal.h"
+#include "hw/cpu.h"
+#include "hw/disk_params.h"
+#include "hw/network.h"
+#include "mpeg/frame_model.h"
+#include "server/buffer_pool.h"
+#include "server/disk_sched.h"
+#include "server/prefetch.h"
+
+namespace spiffi::vod {
+
+enum class VideoPlacement { kStriped, kNonStriped };
+
+struct SimConfig {
+  // --- Hardware (Table 1 defaults) ---
+  int num_nodes = 4;
+  int disks_per_node = 4;
+  double cpu_mips = 40.0;
+  hw::CpuCosts cpu_costs;
+  hw::DiskParams disk;
+  hw::NetworkParams network;
+
+  // --- Videos ---
+  mpeg::MpegParams mpeg;
+  double video_seconds = 3600.0;  // one-hour videos
+  int videos_per_disk = 4;        // library size = 4 x total disks
+  double zipf_z = 1.0;            // 0 => uniform popularity
+
+  // --- Layout ---
+  VideoPlacement placement = VideoPlacement::kStriped;
+  std::int64_t stripe_bytes = 512 * hw::kKiB;  // also the read size
+
+  // --- Server memory & algorithms ---
+  std::int64_t server_memory_bytes = 4LL * hw::kGiB;  // aggregate
+  server::ReplacementPolicy replacement =
+      server::ReplacementPolicy::kGlobalLru;
+  server::DiskSchedPolicy disk_sched = server::DiskSchedPolicy::kElevator;
+  int gss_groups = 1;
+  int realtime_classes = 3;
+  double realtime_spacing_sec = 4.0;
+  server::PrefetchPolicy prefetch = server::PrefetchPolicy::kFifo;
+  // <= 0 selects the per-policy default: 1 worker per disk for the
+  // non-real-time schedulers (prefetching "severely limited" so it does
+  // not interfere with real requests) and 64 for real-time scheduling
+  // (aggressive, effectively unconstrained prefetching — the real-time
+  // scheduler can park prefetches at low priority), per §7.3.
+  int prefetch_workers = 0;
+  // kAuto mirrors the paper's per-scheduler prefetch configuration:
+  // on-miss (limited) for elevator/GSS/round-robin, on-reference
+  // (aggressive) for real-time scheduling.
+  enum class TriggerMode { kAuto, kOnMiss, kOnReference };
+  TriggerMode prefetch_trigger = TriggerMode::kAuto;
+  double max_advance_prefetch_sec = 8.0;
+
+  // --- Terminals ---
+  int terminals = 200;
+  std::int64_t terminal_memory_bytes = 2 * hw::kMiB;
+  bool pause_enabled = false;
+  double pauses_per_video_mean = 2.0;
+  double pause_duration_mean_sec = 120.0;
+  // Visual search (§8.1): skip-based fast-forward/rewind.
+  bool search_enabled = false;
+  double searches_per_video_mean = 1.0;
+  double search_duration_mean_sec = 30.0;
+  double search_show_sec = 1.0;
+  double search_skip_sec = 7.0;
+  double piggyback_window_sec = 0.0;  // 0 => disabled
+  // First videos start at random playback positions (steady-state
+  // initialization); disabled automatically when piggybacking is on.
+  bool random_initial_position = true;
+
+  // --- Run control ---
+  // Terminals start at uniform random times in [0, start_window_sec);
+  // statistics collection begins at warmup_seconds (>= start window) and
+  // runs for measure_seconds.
+  double start_window_sec = 60.0;
+  double warmup_seconds = 100.0;
+  double measure_seconds = 120.0;
+  std::uint64_t seed = 1;
+
+  // --- Derived ---
+  int total_disks() const { return num_nodes * disks_per_node; }
+  int num_videos() const { return videos_per_disk * total_disks(); }
+  std::int64_t pool_pages_per_node() const {
+    return server_memory_bytes / num_nodes / stripe_bytes;
+  }
+  int effective_prefetch_workers() const {
+    if (prefetch_workers > 0) return prefetch_workers;
+    return disk_sched == server::DiskSchedPolicy::kRealTime ? 64 : 1;
+  }
+  server::PrefetchTrigger effective_prefetch_trigger() const {
+    switch (prefetch_trigger) {
+      case TriggerMode::kOnMiss:
+        return server::PrefetchTrigger::kOnMiss;
+      case TriggerMode::kOnReference:
+        return server::PrefetchTrigger::kOnReference;
+      case TriggerMode::kAuto:
+        break;
+    }
+    return disk_sched == server::DiskSchedPolicy::kRealTime
+               ? server::PrefetchTrigger::kOnReference
+               : server::PrefetchTrigger::kOnMiss;
+  }
+
+  // Returns an empty string when the configuration is usable, else a
+  // human-readable description of the first problem found.
+  std::string Validate() const;
+
+  // One-line summary of the algorithm selections (for reports).
+  std::string Describe() const;
+};
+
+}  // namespace spiffi::vod
+
+#endif  // SPIFFI_VOD_CONFIG_H_

@@ -1,0 +1,69 @@
+// Aggregated results of one simulation run (measurement window only).
+
+#ifndef SPIFFI_VOD_METRICS_H_
+#define SPIFFI_VOD_METRICS_H_
+
+#include <cstdint>
+
+namespace spiffi::vod {
+
+struct SimMetrics {
+  int terminals = 0;
+  double measured_seconds = 0.0;
+
+  // Primary metric inputs.
+  std::uint64_t glitches = 0;
+  int terminals_with_glitches = 0;
+
+  // Utilizations (fractions in [0, 1]).
+  double avg_disk_utilization = 0.0;
+  double min_disk_utilization = 0.0;
+  double max_disk_utilization = 0.0;
+  double avg_cpu_utilization = 0.0;
+
+  // Network demand.
+  double peak_network_bytes_per_sec = 0.0;
+  double avg_network_bytes_per_sec = 0.0;
+
+  // Buffer pool behaviour (summed over nodes).
+  std::uint64_t buffer_references = 0;
+  std::uint64_t buffer_hits = 0;       // valid page found
+  std::uint64_t buffer_attaches = 0;   // joined an in-flight read
+  std::uint64_t buffer_misses = 0;
+  std::uint64_t shared_references = 0; // page previously referenced by
+                                       // another terminal (Fig 16)
+  std::uint64_t wasted_prefetches = 0;
+  std::uint64_t prefetches_issued = 0;
+
+  // Disk activity.
+  std::uint64_t disk_reads = 0;
+  double avg_disk_service_ms = 0.0;
+  double avg_seek_cylinders = 0.0;
+
+  // Terminal experience.
+  double avg_response_ms = 0.0;  // block request -> arrival
+  double p50_response_ms = 0.0;
+  double p99_response_ms = 0.0;
+  std::uint64_t frames_displayed = 0;
+  std::uint64_t videos_completed = 0;
+
+  std::uint64_t events_simulated = 0;
+
+  double hit_ratio() const {
+    return buffer_references == 0
+               ? 0.0
+               : static_cast<double>(buffer_hits + buffer_attaches) /
+                     static_cast<double>(buffer_references);
+  }
+  double shared_reference_ratio() const {
+    return buffer_references == 0
+               ? 0.0
+               : static_cast<double>(shared_references) /
+                     static_cast<double>(buffer_references);
+  }
+  bool glitch_free() const { return glitches == 0; }
+};
+
+}  // namespace spiffi::vod
+
+#endif  // SPIFFI_VOD_METRICS_H_

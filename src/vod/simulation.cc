@@ -1,0 +1,217 @@
+#include "vod/simulation.h"
+
+#include <algorithm>
+
+#include "layout/nonstriped.h"
+#include "layout/striping.h"
+#include "mpeg/zipf.h"
+#include "sim/check.h"
+
+namespace spiffi::vod {
+
+namespace {
+
+// Distinct child-stream tags for the master seed.
+constexpr std::uint64_t kLibraryStream = 1;
+constexpr std::uint64_t kPlacementStream = 2;
+constexpr std::uint64_t kTerminalStreamBase = 1000;
+
+}  // namespace
+
+Simulation::Simulation(const SimConfig& config) : config_(config) {
+  std::string error = config.Validate();
+  if (!error.empty()) {
+    std::fprintf(stderr, "invalid SimConfig: %s\n", error.c_str());
+  }
+  SPIFFI_CHECK(error.empty());
+
+  env_ = std::make_unique<sim::Environment>();
+  sim::Rng master(config.seed);
+
+  // Videos and their popularity (z = 0 degenerates to uniform).
+  mpeg::ZipfDistribution popularity(config.num_videos(), config.zipf_z);
+  library_ = std::make_unique<mpeg::VideoLibrary>(
+      config.num_videos(), config.video_seconds, config.mpeg, popularity,
+      master.Child(kLibraryStream).NextU64());
+
+  // Layout.
+  if (config.placement == VideoPlacement::kStriped) {
+    std::vector<std::int64_t> blocks(config.num_videos());
+    for (int v = 0; v < config.num_videos(); ++v) {
+      blocks[v] = library_->NumBlocks(v, config.stripe_bytes);
+    }
+    layout_ = std::make_unique<layout::StripedLayout>(
+        config.num_nodes, config.disks_per_node, config.stripe_bytes,
+        std::move(blocks));
+  } else {
+    std::vector<std::int64_t> bytes(config.num_videos());
+    for (int v = 0; v < config.num_videos(); ++v) {
+      bytes[v] = library_->video(v).total_bytes();
+    }
+    layout_ = std::make_unique<layout::NonStripedLayout>(
+        config.num_nodes, config.disks_per_node, config.stripe_bytes,
+        std::move(bytes), master.Child(kPlacementStream).NextU64());
+  }
+
+  network_ = std::make_unique<hw::Network>(env_.get(), config.network);
+
+  // Server nodes.
+  server::NodeConfig node_config;
+  node_config.disks_per_node = config.disks_per_node;
+  node_config.cpu_mips = config.cpu_mips;
+  node_config.costs = config.cpu_costs;
+  node_config.disk = config.disk;
+  node_config.sched.policy = config.disk_sched;
+  node_config.sched.cylinder_bytes = config.disk.cylinder_bytes;
+  node_config.sched.gss_groups = config.gss_groups;
+  node_config.sched.realtime_classes = config.realtime_classes;
+  node_config.sched.realtime_spacing_sec = config.realtime_spacing_sec;
+  node_config.pool_pages = config.pool_pages_per_node();
+  node_config.replacement = config.replacement;
+  node_config.prefetch = config.prefetch;
+  node_config.prefetch_trigger = config.effective_prefetch_trigger();
+  node_config.prefetch_workers = config.effective_prefetch_workers();
+  node_config.max_advance_prefetch_sec = config.max_advance_prefetch_sec;
+  node_config.block_bytes = config.stripe_bytes;
+  server_ = std::make_unique<server::VideoServer>(
+      env_.get(), config.num_nodes, node_config, network_.get(),
+      library_.get(), layout_.get());
+
+  if (config.piggyback_window_sec > 0.0) {
+    piggyback_ = std::make_unique<client::PiggybackManager>(
+        env_.get(), config.piggyback_window_sec);
+  }
+
+  // Terminals, with staggered starts.
+  client::TerminalParams terminal_params;
+  terminal_params.memory_bytes = config.terminal_memory_bytes;
+  terminal_params.block_bytes = config.stripe_bytes;
+  terminal_params.pause_enabled = config.pause_enabled;
+  terminal_params.pauses_per_video_mean = config.pauses_per_video_mean;
+  terminal_params.pause_duration_mean_sec = config.pause_duration_mean_sec;
+  terminal_params.search_enabled = config.search_enabled;
+  terminal_params.searches_per_video_mean = config.searches_per_video_mean;
+  terminal_params.search_duration_mean_sec =
+      config.search_duration_mean_sec;
+  terminal_params.search_show_sec = config.search_show_sec;
+  terminal_params.search_skip_sec = config.search_skip_sec;
+  terminal_params.random_initial_position =
+      config.random_initial_position && config.piggyback_window_sec <= 0.0;
+  terminals_.reserve(config.terminals);
+  for (int t = 0; t < config.terminals; ++t) {
+    sim::Rng rng = master.Child(kTerminalStreamBase + t);
+    sim::SimTime start = rng.Uniform(0.0, config.start_window_sec);
+    terminals_.push_back(std::make_unique<client::Terminal>(
+        env_.get(), t, terminal_params, network_.get(), server_.get(),
+        library_.get(), layout_.get(), rng, start, piggyback_.get()));
+  }
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::RunWarmup() { env_->RunUntil(config_.warmup_seconds); }
+
+void Simulation::ResetAllStats() {
+  sim::SimTime now = env_->now();
+  server_->ResetStats(now);
+  network_->ResetStats();
+  for (auto& terminal : terminals_) terminal->ResetStats();
+  if (piggyback_ != nullptr) piggyback_->ResetStats();
+  measure_start_ = now;
+}
+
+void Simulation::RunMeasurement() {
+  env_->RunUntil(measure_start_ + config_.measure_seconds);
+}
+
+SimMetrics Simulation::Collect() const {
+  SimMetrics m;
+  m.terminals = config_.terminals;
+  sim::SimTime now = env_->now();
+  m.measured_seconds = now - measure_start_;
+
+  sim::Histogram response_histogram;
+  for (const auto& terminal : terminals_) {
+    const auto& stats = terminal->stats();
+    m.glitches += stats.glitches;
+    if (stats.glitches > 0) ++m.terminals_with_glitches;
+    m.frames_displayed += stats.frames_displayed;
+    m.videos_completed += stats.videos_completed;
+    // Sum first; normalized to a mean after the loop.
+    m.avg_response_ms += stats.response_time.sum();
+    response_histogram.Merge(stats.response_histogram);
+  }
+  m.p50_response_ms = response_histogram.Percentile(0.5) * 1e3;
+  m.p99_response_ms = response_histogram.Percentile(0.99) * 1e3;
+  std::uint64_t total_blocks = 0;
+  for (const auto& terminal : terminals_) {
+    total_blocks += terminal->stats().blocks_received;
+  }
+  m.avg_response_ms =
+      total_blocks == 0 ? 0.0 : m.avg_response_ms / total_blocks * 1e3;
+
+  double disk_util_sum = 0.0;
+  double disk_util_min = 1.0;
+  double disk_util_max = 0.0;
+  double service_sum = 0.0;
+  double seek_sum = 0.0;
+  std::uint64_t service_count = 0;
+  double cpu_util_sum = 0.0;
+  int total_disks = 0;
+
+  for (int n = 0; n < server_->num_nodes(); ++n) {
+    const server::Node& node = server_->node(n);
+    cpu_util_sum += node.cpu().AverageUtilization(now);
+    const auto& pool_stats = node.pool().stats();
+    m.buffer_references += pool_stats.references;
+    m.buffer_hits += pool_stats.hits;
+    m.buffer_attaches += pool_stats.attaches;
+    m.buffer_misses += pool_stats.misses;
+    m.shared_references += pool_stats.shared_refs;
+    m.wasted_prefetches += pool_stats.wasted_prefetches;
+    for (int d = 0; d < node.num_disks(); ++d) {
+      const hw::Disk& disk = node.disk(d);
+      double util = disk.AverageUtilization(now);
+      disk_util_sum += util;
+      disk_util_min = std::min(disk_util_min, util);
+      disk_util_max = std::max(disk_util_max, util);
+      m.disk_reads += disk.requests_served();
+      service_sum += disk.service_tally().sum();
+      seek_sum += disk.seek_distance_tally().sum();
+      service_count += disk.service_tally().count();
+      ++total_disks;
+    }
+    for (int d = 0; d < node.num_disks(); ++d) {
+      m.prefetches_issued += node.prefetcher(d).stats().issued;
+    }
+  }
+  m.avg_disk_utilization = disk_util_sum / total_disks;
+  m.min_disk_utilization = disk_util_min;
+  m.max_disk_utilization = disk_util_max;
+  m.avg_cpu_utilization = cpu_util_sum / server_->num_nodes();
+  if (service_count > 0) {
+    m.avg_disk_service_ms = service_sum / service_count * 1e3;
+    m.avg_seek_cylinders = seek_sum / static_cast<double>(service_count);
+  }
+
+  m.peak_network_bytes_per_sec =
+      static_cast<double>(network_->peak_bytes_per_bucket()) /
+      config_.network.bandwidth_bucket_sec;
+  m.avg_network_bytes_per_sec = network_->AverageBandwidth(now);
+  m.events_simulated = env_->events_fired();
+  return m;
+}
+
+SimMetrics Simulation::Run() {
+  RunWarmup();
+  ResetAllStats();
+  RunMeasurement();
+  return Collect();
+}
+
+SimMetrics RunSimulation(const SimConfig& config) {
+  Simulation simulation(config);
+  return simulation.Run();
+}
+
+}  // namespace spiffi::vod

@@ -1,0 +1,73 @@
+// Builds and runs one complete video-on-demand simulation.
+//
+// The Simulation object wires together the full system — video library,
+// layout, network, server nodes, terminals, optional piggyback manager —
+// from a SimConfig, runs the warmup, opens the measurement window, and
+// collects SimMetrics. RunSimulation() is the one-call convenience used
+// by the benchmark harnesses.
+
+#ifndef SPIFFI_VOD_SIMULATION_H_
+#define SPIFFI_VOD_SIMULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "client/piggyback.h"
+#include "client/terminal.h"
+#include "hw/network.h"
+#include "layout/layout.h"
+#include "mpeg/video.h"
+#include "server/server.h"
+#include "sim/environment.h"
+#include "vod/config.h"
+#include "vod/metrics.h"
+
+namespace spiffi::vod {
+
+class Simulation {
+ public:
+  // Aborts (CHECK) if config.Validate() reports a problem; validate first
+  // when the configuration is user input.
+  explicit Simulation(const SimConfig& config);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Runs warmup + measurement and returns the collected metrics.
+  SimMetrics Run();
+
+  // Component access (for tests and custom experiment loops).
+  sim::Environment& env() { return *env_; }
+  server::VideoServer& server() { return *server_; }
+  const mpeg::VideoLibrary& library() const { return *library_; }
+  const layout::Layout& layout() const { return *layout_; }
+  client::Terminal& terminal(int id) { return *terminals_[id]; }
+  int num_terminals() const { return static_cast<int>(terminals_.size()); }
+  hw::Network& network() { return *network_; }
+
+  // Manual phase control used by Run(); exposed for experiments that
+  // sample mid-run (e.g. utilization traces).
+  void RunWarmup();
+  void ResetAllStats();
+  void RunMeasurement();
+  SimMetrics Collect() const;
+
+ private:
+  SimConfig config_;
+  std::unique_ptr<sim::Environment> env_;
+  std::unique_ptr<mpeg::VideoLibrary> library_;
+  std::unique_ptr<layout::Layout> layout_;
+  std::unique_ptr<hw::Network> network_;
+  std::unique_ptr<server::VideoServer> server_;
+  std::unique_ptr<client::PiggybackManager> piggyback_;
+  std::vector<std::unique_ptr<client::Terminal>> terminals_;
+  sim::SimTime measure_start_ = 0.0;
+};
+
+// Convenience: construct, run, and return the metrics.
+SimMetrics RunSimulation(const SimConfig& config);
+
+}  // namespace spiffi::vod
+
+#endif  // SPIFFI_VOD_SIMULATION_H_

@@ -1,0 +1,72 @@
+#include "vod/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "hw/disk_params.h"
+#include "sim/check.h"
+
+namespace spiffi::vod {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  SPIFFI_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FmtInt(std::int64_t v) { return std::to_string(v); }
+
+std::string FmtDouble(double v, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+std::string FmtPercent(double fraction, int precision) {
+  return FmtDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string FmtBytesPerSec(double bytes_per_sec) {
+  return FmtDouble(bytes_per_sec / static_cast<double>(hw::kMiB), 1) +
+         " MB/s";
+}
+
+std::string FmtMiB(std::int64_t bytes) {
+  return std::to_string(bytes / hw::kMiB) + " MB";
+}
+
+}  // namespace spiffi::vod

@@ -1,0 +1,37 @@
+// Tiny fixed-width text-table printer for the benchmark harnesses.
+
+#ifndef SPIFFI_VOD_TABLE_H_
+#define SPIFFI_VOD_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spiffi::vod {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment, a header underline, and two-space
+  // separators.
+  std::string ToString() const;
+  void Print() const;  // to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+std::string FmtInt(std::int64_t v);
+std::string FmtDouble(double v, int precision = 2);
+std::string FmtPercent(double fraction, int precision = 1);
+std::string FmtBytesPerSec(double bytes_per_sec);
+std::string FmtMiB(std::int64_t bytes);
+
+}  // namespace spiffi::vod
+
+#endif  // SPIFFI_VOD_TABLE_H_

@@ -1,0 +1,76 @@
+#include "vod/trace.h"
+
+#include "sim/check.h"
+
+namespace spiffi::vod {
+
+TraceRecorder::TraceRecorder(Simulation* simulation, double interval_sec)
+    : simulation_(simulation) {
+  SPIFFI_CHECK(simulation != nullptr);
+  SPIFFI_CHECK(interval_sec > 0.0);
+  simulation_->env().Spawn(Sampler(interval_sec));
+}
+
+TraceSample TraceRecorder::Capture() {
+  TraceSample sample;
+  sample.time = simulation_->env().now();
+
+  server::VideoServer& server = simulation_->server();
+  double queue_sum = 0.0;
+  for (int n = 0; n < server.num_nodes(); ++n) {
+    server::Node& node = server.node(n);
+    if (node.cpu().resource().busy() > 0) ++sample.cpus_busy;
+    sample.pool_pages_in_use += node.pool().pages_in_use();
+    for (int d = 0; d < node.num_disks(); ++d) {
+      ++sample.total_disks;
+      const hw::Disk& disk = node.disk(d);
+      if (disk.busy()) ++sample.disks_busy;
+      queue_sum += static_cast<double>(disk.queue_length());
+    }
+  }
+  sample.disk_queue_avg =
+      sample.total_disks > 0 ? queue_sum / sample.total_disks : 0.0;
+
+  for (int t = 0; t < simulation_->num_terminals(); ++t) {
+    const client::Terminal& terminal = simulation_->terminal(t);
+    sample.glitches += terminal.stats().glitches;
+    switch (terminal.state()) {
+      case client::Terminal::State::kPriming:
+        ++sample.terminals_priming;
+        break;
+      case client::Terminal::State::kPlaying:
+        ++sample.terminals_playing;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::uint64_t total = simulation_->network().total_bytes();
+  sample.network_bytes =
+      total >= last_network_bytes_ ? total - last_network_bytes_ : total;
+  last_network_bytes_ = total;
+  return sample;
+}
+
+sim::Process TraceRecorder::Sampler(double interval_sec) {
+  sim::Environment* env = &simulation_->env();
+  for (;;) {
+    co_await env->Hold(interval_sec);
+    samples_.push_back(Capture());
+  }
+}
+
+void TraceRecorder::WriteCsv(std::ostream& out) const {
+  out << "time,disks_busy,disk_queue_avg,cpus_busy,glitches,"
+         "terminals_priming,terminals_playing,pool_pages_in_use,"
+         "network_bytes\n";
+  for (const TraceSample& s : samples_) {
+    out << s.time << ',' << s.disks_busy << ',' << s.disk_queue_avg << ','
+        << s.cpus_busy << ',' << s.glitches << ',' << s.terminals_priming
+        << ',' << s.terminals_playing << ',' << s.pool_pages_in_use << ','
+        << s.network_bytes << '\n';
+  }
+}
+
+}  // namespace spiffi::vod

@@ -1,0 +1,63 @@
+// Time-series tracing: samples system state at a fixed simulated-time
+// interval while a Simulation runs, for plotting transient behaviour
+// (warmup, saturation onset, glitch storms).
+//
+//   vod::Simulation sim(config);
+//   vod::TraceRecorder trace(&sim, /*interval=*/1.0);
+//   sim.Run();
+//   trace.WriteCsv(std::cout);
+//
+// The recorder must be constructed before the simulation runs; it spawns
+// a sampling process into the simulation's environment.
+
+#ifndef SPIFFI_VOD_TRACE_H_
+#define SPIFFI_VOD_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/process.h"
+#include "vod/simulation.h"
+
+namespace spiffi::vod {
+
+struct TraceSample {
+  double time = 0.0;
+  int disks_busy = 0;          // disks servicing a request right now
+  int total_disks = 0;
+  double disk_queue_avg = 0.0; // mean disk queue length
+  int cpus_busy = 0;
+  std::uint64_t glitches = 0;  // cumulative terminal glitches
+  int terminals_priming = 0;   // terminals (re)filling buffers
+  int terminals_playing = 0;
+  std::int64_t pool_pages_in_use = 0;  // summed over nodes
+  std::uint64_t network_bytes = 0;     // since the previous sample
+};
+
+class TraceRecorder {
+ public:
+  // Samples every `interval_sec` of simulated time until the simulation
+  // stops. Construct after the Simulation, before running it.
+  TraceRecorder(Simulation* simulation, double interval_sec);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  const std::vector<TraceSample>& samples() const { return samples_; }
+
+  // Writes a CSV with a header row.
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  sim::Process Sampler(double interval_sec);
+  TraceSample Capture();
+
+  Simulation* simulation_;
+  std::vector<TraceSample> samples_;
+  std::uint64_t last_network_bytes_ = 0;
+};
+
+}  // namespace spiffi::vod
+
+#endif  // SPIFFI_VOD_TRACE_H_

@@ -1,0 +1,272 @@
+// Terminal state-machine tests against a controllable fake server.
+
+#include "client/terminal.h"
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "layout/striping.h"
+#include "mpeg/zipf.h"
+
+namespace spiffi::client {
+namespace {
+
+using server::Message;
+
+// A fake server node that replies after a configurable delay, with an
+// optional per-block hold to create gaps/glitches.
+class FakeServer final : public server::NodeDirectory,
+                         public server::MessageSink {
+ public:
+  FakeServer(sim::Environment* env, hw::Network* network)
+      : env_(env), network_(network) {}
+
+  server::MessageSink* node_sink(int) override { return this; }
+
+  void OnMessage(const Message& request) override {
+    requests.push_back(request);
+    if (held_blocks.count(request.block) > 0) {
+      held.push_back(request);
+      return;
+    }
+    Reply(request);
+  }
+
+  // Deliver after the configured service delay; delivery objects are
+  // owned by the fake (freed at fixture teardown).
+  class Deliver final : public sim::EventHandler {
+   public:
+    Deliver(Message m, server::MessageSink* sink) : m_(m), sink_(sink) {}
+    void OnEvent(std::uint64_t) override { sink_->OnMessage(m_); }
+
+   private:
+    Message m_;
+    server::MessageSink* sink_;
+  };
+
+  void Reply(const Message& request) {
+    Message reply = request;
+    reply.kind = Message::Kind::kReadReply;
+    deliveries_.push_back(
+        std::make_unique<Deliver>(reply, request.reply_to));
+    env_->ScheduleAfter(reply_delay, deliveries_.back().get());
+  }
+
+  void ReleaseHeld() {
+    for (const Message& request : held) Reply(request);
+    held.clear();
+    held_blocks.clear();
+  }
+
+  double reply_delay = 0.01;
+  std::set<std::int64_t> held_blocks;
+  std::vector<Message> requests;
+  std::vector<Message> held;
+
+ private:
+  sim::Environment* env_;
+  hw::Network* network_;
+  std::vector<std::unique_ptr<Deliver>> deliveries_;
+};
+
+class TerminalTest : public ::testing::Test {
+ protected:
+  static constexpr std::int64_t kBlock = 512 * 1024;
+
+  void Build(TerminalParams params = TerminalParams(),
+             double video_seconds = 30.0,
+             PiggybackManager* piggyback = nullptr) {
+    mpeg::ZipfDistribution popularity(2, 0.0);
+    library_ = std::make_unique<mpeg::VideoLibrary>(
+        2, video_seconds, mpeg::MpegParams(), popularity, 1);
+    std::vector<std::int64_t> blocks;
+    for (int v = 0; v < 2; ++v) {
+      blocks.push_back(library_->NumBlocks(v, kBlock));
+    }
+    layout_ = std::make_unique<layout::StripedLayout>(1, 1, kBlock,
+                                                      std::move(blocks));
+    network_ = std::make_unique<hw::Network>(&env_, hw::NetworkParams());
+    fake_ = std::make_unique<FakeServer>(&env_, network_.get());
+    params.random_initial_position = false;  // deterministic tests
+    terminal_ = std::make_unique<Terminal>(
+        &env_, 0, params, network_.get(), fake_.get(), library_.get(),
+        layout_.get(), sim::Rng(7), /*start_time=*/0.0, piggyback);
+  }
+
+  sim::Environment env_;
+  std::unique_ptr<mpeg::VideoLibrary> library_;
+  std::unique_ptr<layout::StripedLayout> layout_;
+  std::unique_ptr<hw::Network> network_;
+  std::unique_ptr<FakeServer> fake_;
+  std::unique_ptr<Terminal> terminal_;
+};
+
+TEST_F(TerminalTest, PrimesBuffersBeforeDisplay) {
+  Build();
+  // 2 MB memory / 512 KB blocks -> primes with 4 blocks.
+  env_.RunUntil(0.005);  // requests sent, replies not yet arrived
+  EXPECT_EQ(terminal_->state(), Terminal::State::kPriming);
+  EXPECT_EQ(fake_->requests.size(), 4u);
+  env_.RunUntil(0.5);
+  EXPECT_EQ(terminal_->state(), Terminal::State::kPlaying);
+  EXPECT_GT(terminal_->stats().frames_displayed, 0u);
+}
+
+TEST_F(TerminalTest, RequestsCarryIncreasingDeadlines) {
+  Build();
+  env_.RunUntil(0.005);
+  ASSERT_GE(fake_->requests.size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(fake_->requests[i].deadline, fake_->requests[i - 1].deadline);
+  }
+  // Block k's deadline is about k seconds out (512 KB ~ 1 s of video).
+  EXPECT_NEAR(fake_->requests[3].deadline - fake_->requests[0].deadline,
+              3.0, 1.0);
+}
+
+TEST_F(TerminalTest, SteadyStateKeepsBufferNearlyFull) {
+  Build();
+  env_.RunUntil(10.0);
+  EXPECT_EQ(terminal_->stats().glitches, 0u);
+  // Occupied + in-flight stays within a block of the 2 MB budget.
+  EXPECT_GE(terminal_->occupied_bytes() + terminal_->inflight_bytes(),
+            2 * 1024 * 1024 - kBlock);
+  // ~30 fps of frames displayed over ~9.5 s of playback.
+  EXPECT_NEAR(static_cast<double>(terminal_->stats().frames_displayed),
+              9.7 * 30.0, 30.0);
+}
+
+TEST_F(TerminalTest, GlitchWhenBlockWithheld) {
+  Build();
+  fake_->held_blocks.insert(6);  // block 6 never arrives (for a while)
+  env_.RunUntil(10.0);
+  EXPECT_GE(terminal_->stats().glitches, 1u);
+  EXPECT_EQ(terminal_->state(), Terminal::State::kPriming);
+  // Display stopped at the boundary of block 6.
+  std::uint64_t frames_at_glitch = terminal_->stats().frames_displayed;
+  // Release the block: the terminal re-primes and resumes.
+  fake_->ReleaseHeld();
+  env_.RunUntil(12.0);
+  EXPECT_EQ(terminal_->state(), Terminal::State::kPlaying);
+  EXPECT_GT(terminal_->stats().frames_displayed, frames_at_glitch);
+  EXPECT_EQ(terminal_->stats().glitches, 1u);  // no repeat glitch
+}
+
+TEST_F(TerminalTest, ReprimeFillsWholeBufferBeforeRestart) {
+  Build();
+  fake_->held_blocks.insert(6);
+  env_.RunUntil(10.0);
+  ASSERT_GE(terminal_->stats().glitches, 1u);
+  fake_->ReleaseHeld();
+  env_.RunUntil(10.5);
+  // After restart the buffer is full again (4 blocks).
+  EXPECT_GE(terminal_->occupied_bytes() + terminal_->inflight_bytes(),
+            2 * 1024 * 1024 - kBlock);
+  EXPECT_EQ(terminal_->state(), Terminal::State::kPlaying);
+}
+
+TEST_F(TerminalTest, FinishesVideoAndStartsNext) {
+  Build(TerminalParams(), /*video_seconds=*/10.0);
+  env_.RunUntil(25.0);
+  EXPECT_GE(terminal_->stats().videos_completed, 2u);
+  EXPECT_EQ(terminal_->stats().glitches, 0u);
+}
+
+TEST_F(TerminalTest, OutOfOrderArrivalsHandled) {
+  Build();
+  // Hold block 1 so block 2 and 3 arrive first, then release.
+  fake_->held_blocks.insert(1);
+  env_.RunUntil(0.2);
+  EXPECT_EQ(terminal_->state(), Terminal::State::kPriming);
+  fake_->ReleaseHeld();
+  env_.RunUntil(1.0);
+  EXPECT_EQ(terminal_->state(), Terminal::State::kPlaying);
+  EXPECT_EQ(terminal_->stats().glitches, 0u);
+}
+
+TEST_F(TerminalTest, SlowServerCausesGlitchThenRecovery) {
+  Build();
+  env_.RunUntil(5.0);
+  EXPECT_EQ(terminal_->stats().glitches, 0u);
+  fake_->reply_delay = 3.0;  // every block now takes 3 s
+  env_.RunUntil(20.0);
+  EXPECT_GE(terminal_->stats().glitches, 1u);
+  fake_->reply_delay = 0.01;
+  std::uint64_t glitches = terminal_->stats().glitches;
+  env_.RunUntil(29.0);
+  EXPECT_GT(terminal_->stats().frames_displayed, 0u);
+  // Fast server again: glitch count stabilizes.
+  EXPECT_LE(terminal_->stats().glitches, glitches + 1);
+}
+
+TEST_F(TerminalTest, PauseStopsDisplayWithoutGlitch) {
+  TerminalParams params;
+  params.pause_enabled = true;
+  params.pauses_per_video_mean = 10.0;  // make pausing near-certain
+  params.pause_duration_mean_sec = 0.5;
+  Build(params, /*video_seconds=*/20.0);
+  env_.RunUntil(60.0);
+  EXPECT_GT(terminal_->stats().pauses, 0u);
+  EXPECT_EQ(terminal_->stats().glitches, 0u);
+  EXPECT_GT(terminal_->stats().videos_completed, 0u);
+}
+
+TEST_F(TerminalTest, MemoryLimitsOutstandingRequests) {
+  TerminalParams params;
+  params.memory_bytes = 1024 * 1024;  // only 2 blocks
+  Build(params);
+  env_.RunUntil(0.005);
+  EXPECT_EQ(fake_->requests.size(), 2u);
+}
+
+TEST_F(TerminalTest, ResponseTimeRecorded) {
+  Build();
+  env_.RunUntil(2.0);
+  EXPECT_GT(terminal_->stats().response_time.count(), 0u);
+  // The fake server replies after reply_delay (10 ms) plus the request's
+  // small wire delay.
+  EXPECT_NEAR(terminal_->stats().response_time.mean(), 0.010, 0.002);
+}
+
+TEST_F(TerminalTest, ResetStatsClearsCounters) {
+  Build();
+  env_.RunUntil(2.0);
+  terminal_->ResetStats();
+  EXPECT_EQ(terminal_->stats().frames_displayed, 0u);
+  EXPECT_EQ(terminal_->stats().requests_sent, 0u);
+}
+
+TEST_F(TerminalTest, PiggybackFollowerSendsNoRequests) {
+  // Two terminals, one manager with a 5 s window: the second terminal
+  // must follow the first and never touch the server.
+  mpeg::ZipfDistribution popularity(1, 0.0);  // one video: guaranteed match
+  library_ = std::make_unique<mpeg::VideoLibrary>(
+      1, 20.0, mpeg::MpegParams(), popularity, 1);
+  layout_ = std::make_unique<layout::StripedLayout>(
+      1, 1, kBlock,
+      std::vector<std::int64_t>{library_->NumBlocks(0, kBlock)});
+  network_ = std::make_unique<hw::Network>(&env_, hw::NetworkParams());
+  fake_ = std::make_unique<FakeServer>(&env_, network_.get());
+  PiggybackManager manager(&env_, 5.0);
+  TerminalParams params;
+  params.random_initial_position = false;
+  Terminal leader(&env_, 0, params, network_.get(), fake_.get(),
+                  library_.get(), layout_.get(), sim::Rng(1), 0.0,
+                  &manager);
+  Terminal follower(&env_, 1, params, network_.get(), fake_.get(),
+                    library_.get(), layout_.get(), sim::Rng(2), 1.0,
+                    &manager);
+  env_.RunUntil(10.0);
+  EXPECT_EQ(leader.state(), Terminal::State::kPlaying);
+  EXPECT_EQ(follower.state(), Terminal::State::kFollowing);
+  EXPECT_EQ(follower.stats().requests_sent, 0u);
+  EXPECT_GT(leader.stats().requests_sent, 0u);
+  EXPECT_EQ(manager.followers_attached(), 1u);
+  // The follower finishes its video at leader start + duration.
+  env_.RunUntil(26.0);
+  EXPECT_GE(follower.stats().videos_completed, 1u);
+}
+
+}  // namespace
+}  // namespace spiffi::client

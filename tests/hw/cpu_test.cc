@@ -1,0 +1,57 @@
+#include "hw/cpu.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/process.h"
+
+namespace spiffi::hw {
+namespace {
+
+TEST(CpuTest, ExecutionTimeMatchesMips) {
+  sim::Environment env;
+  Cpu cpu(&env, 40.0, "cpu0");
+  double done_at = -1.0;
+  env.Spawn([](sim::Environment* e, Cpu* c, double* t) -> sim::Process {
+    co_await c->Execute(20000);  // start-an-I/O cost
+    *t = e->now();
+  }(&env, &cpu, &done_at));
+  env.Run();
+  // 20000 instructions at 40 MIPS = 0.5 ms.
+  EXPECT_NEAR(done_at, 0.0005, 1e-12);
+}
+
+TEST(CpuTest, RequestsQueueFcfs) {
+  sim::Environment env;
+  Cpu cpu(&env, 40.0, "cpu0");
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    env.Spawn([](Cpu* c, sim::Environment* e,
+                 std::vector<double>* log) -> sim::Process {
+      co_await c->Execute(40'000'000);  // 1 second each
+      log->push_back(e->now());
+    }(&cpu, &env, &done));
+  }
+  env.Run();
+  EXPECT_EQ(done, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(CpuTest, UtilizationTracksLoad) {
+  sim::Environment env;
+  Cpu cpu(&env, 40.0, "cpu0");
+  env.Spawn([](Cpu* c) -> sim::Process {
+    co_await c->Execute(40'000'000);  // busy [0, 1)
+  }(&cpu));
+  env.RunUntil(4.0);
+  EXPECT_NEAR(cpu.AverageUtilization(env.now()), 0.25, 1e-9);
+}
+
+TEST(CpuTest, DefaultTableOneCosts) {
+  CpuCosts costs;
+  EXPECT_EQ(costs.start_io_instructions, 20000);
+  EXPECT_EQ(costs.send_message_instructions, 6800);
+  EXPECT_EQ(costs.receive_message_instructions, 2200);
+}
+
+}  // namespace
+}  // namespace spiffi::hw

@@ -1,0 +1,155 @@
+// Parameterized property tests of the disk mechanism's timing model.
+
+#include <deque>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "hw/disk.h"
+#include "sim/random.h"
+
+namespace spiffi::hw {
+namespace {
+
+class SinkListener final : public DiskCompletionListener {
+ public:
+  void OnDiskComplete(DiskRequest*) override { ++completions; }
+  int completions = 0;
+};
+
+class NullSched final : public DiskScheduler {
+ public:
+  void Push(DiskRequest* r) override { q_.push_back(r); }
+  DiskRequest* Pop(std::int64_t, sim::SimTime) override {
+    DiskRequest* r = q_.front();
+    q_.pop_front();
+    return r;
+  }
+  bool empty() const override { return q_.empty(); }
+  std::size_t size() const override { return q_.size(); }
+  std::string name() const override { return "null"; }
+
+ private:
+  std::deque<DiskRequest*> q_;
+};
+
+// Parameter: read size in KiB.
+class DiskTimingProperty : public ::testing::TestWithParam<int> {
+ protected:
+  DiskTimingProperty()
+      : listener_(),
+        disk_(&env_, DiskParams(), std::make_unique<NullSched>(), 0,
+              &listener_) {}
+
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(GetParam()) * kKiB;
+  }
+
+  sim::Environment env_;
+  SinkListener listener_;
+  Disk disk_;
+};
+
+TEST_P(DiskTimingProperty, ServiceTimeAtLeastTransferTime) {
+  const DiskParams& p = disk_.params();
+  double transfer =
+      static_cast<double>(bytes()) / p.transfer_rate_bytes_per_sec;
+  sim::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::int64_t head = static_cast<std::int64_t>(rng.UniformInt(7000));
+    std::int64_t offset = static_cast<std::int64_t>(
+        rng.UniformInt(7000) * p.cylinder_bytes);
+    double t = disk_.ServiceTimeFrom(head, rng.Uniform(0, 100), offset,
+                                     bytes(), 0);
+    EXPECT_GE(t, transfer);
+  }
+}
+
+TEST_P(DiskTimingProperty, ServiceTimeBoundedByWorstCase) {
+  const DiskParams& p = disk_.params();
+  double transfer =
+      static_cast<double>(bytes()) / p.transfer_rate_bytes_per_sec;
+  double worst = p.SeekTimeSeconds(p.num_cylinders()) +
+                 p.rotation_time_ms * 1e-3 + transfer +
+                 // one settle per possibly-crossed cylinder
+                 (static_cast<double>(bytes()) / p.cylinder_bytes + 1) *
+                     p.settle_time_ms * 1e-3;
+  sim::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    std::int64_t head = static_cast<std::int64_t>(rng.UniformInt(7000));
+    std::int64_t offset = static_cast<std::int64_t>(
+        rng.UniformInt(7000) * p.cylinder_bytes);
+    double t = disk_.ServiceTimeFrom(head, rng.Uniform(0, 100), offset,
+                                     bytes(), 0);
+    EXPECT_LE(t, worst + 1e-9);
+  }
+}
+
+TEST_P(DiskTimingProperty, CacheCreditBoundedRegression) {
+  // Skipping cached bytes shifts where the mechanical read begins, which
+  // changes the rotational phase — so a small credit may cost up to one
+  // extra revolution, but never more, and a full credit always wins.
+  sim::Rng rng(3);
+  const DiskParams& p = disk_.params();
+  double rotation = p.rotation_time_ms * 1e-3;
+  for (int i = 0; i < 100; ++i) {
+    std::int64_t head = static_cast<std::int64_t>(rng.UniformInt(7000));
+    std::int64_t offset = static_cast<std::int64_t>(
+        rng.UniformInt(7000) * p.cylinder_bytes);
+    std::int64_t cached = std::min<std::int64_t>(
+        bytes(), static_cast<std::int64_t>(rng.UniformInt(128)) * kKiB);
+    double without = disk_.ServiceTimeFrom(head, 0.25, offset, bytes(), 0);
+    double with =
+        disk_.ServiceTimeFrom(head, 0.25, offset, bytes(), cached);
+    EXPECT_LE(with, without + rotation + 1e-9);
+    double fully_cached =
+        disk_.ServiceTimeFrom(head, 0.25, offset, bytes(), bytes());
+    EXPECT_LE(fully_cached, without + 1e-9);
+  }
+}
+
+TEST_P(DiskTimingProperty, LongerSeeksCostMore) {
+  const DiskParams& p = disk_.params();
+  std::int64_t offset = 3000 * p.cylinder_bytes;
+  // Service time from heads progressively farther away, at the same
+  // start time modulo rotation so the rotational term matches.
+  double rotation = p.rotation_time_ms * 1e-3;
+  double near = disk_.ServiceTimeFrom(2990, 0.0, offset, bytes(), 0);
+  double far = disk_.ServiceTimeFrom(1000, 0.0, offset, bytes(), 0);
+  // Rotational phase differs; allow one rotation of slack.
+  EXPECT_GE(far + rotation, near);
+  EXPECT_GE(p.SeekTimeSeconds(2000), p.SeekTimeSeconds(10));
+}
+
+INSTANTIATE_TEST_SUITE_P(ReadSizes, DiskTimingProperty,
+                         ::testing::Values(64, 128, 256, 512, 1024, 2048),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "KiB";
+                         });
+
+// End-to-end mechanism property: total busy time equals the sum of
+// per-request service times, and completions arrive in service order.
+TEST(DiskMechanismProperty, BusyTimeAccountsEveryRequest) {
+  sim::Environment env;
+  SinkListener listener;
+  Disk disk(&env, DiskParams(), std::make_unique<NullSched>(), 0,
+            &listener);
+  sim::Rng rng(7);
+  std::vector<DiskRequest> requests(50);
+  for (int i = 0; i < 50; ++i) {
+    requests[i].video = static_cast<std::int64_t>(rng.UniformInt(4));
+    requests[i].block = i;
+    requests[i].disk_offset = static_cast<std::int64_t>(
+        rng.UniformInt(5000)) * disk.params().cylinder_bytes;
+    requests[i].bytes = 512 * kKiB;
+    disk.Submit(&requests[i]);
+  }
+  env.Run();
+  EXPECT_EQ(listener.completions, 50);
+  EXPECT_EQ(disk.requests_served(), 50u);
+  // The disk was busy the whole run (no think time between requests).
+  EXPECT_NEAR(disk.AverageUtilization(env.now()), 1.0, 1e-9);
+  EXPECT_NEAR(disk.service_tally().sum(), env.now(), 1e-9);
+}
+
+}  // namespace
+}  // namespace spiffi::hw

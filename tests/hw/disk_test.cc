@@ -1,0 +1,231 @@
+#include "hw/disk.h"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/environment.h"
+
+namespace spiffi::hw {
+namespace {
+
+// Minimal FCFS policy for exercising the disk mechanism in isolation.
+class FcfsPolicy final : public DiskScheduler {
+ public:
+  void Push(DiskRequest* request) override { queue_.push_back(request); }
+  DiskRequest* Pop(std::int64_t, sim::SimTime) override {
+    DiskRequest* r = queue_.front();
+    queue_.pop_front();
+    return r;
+  }
+  bool empty() const override { return queue_.empty(); }
+  std::size_t size() const override { return queue_.size(); }
+  std::string name() const override { return "fcfs"; }
+
+ private:
+  std::deque<DiskRequest*> queue_;
+};
+
+class Collector final : public DiskCompletionListener {
+ public:
+  explicit Collector(sim::Environment* env) : env_(env) {}
+  void OnDiskComplete(DiskRequest* request) override {
+    completions.push_back({request, env_->now()});
+  }
+  std::vector<std::pair<DiskRequest*, double>> completions;
+
+ private:
+  sim::Environment* env_;
+};
+
+class DiskTest : public ::testing::Test {
+ protected:
+  void Build(DiskParams params = DiskParams()) {
+    params_ = params;
+    collector_ = std::make_unique<Collector>(&env_);
+    disk_ = std::make_unique<Disk>(&env_, params_,
+                                   std::make_unique<FcfsPolicy>(), 0,
+                                   collector_.get());
+  }
+
+  DiskRequest MakeRequest(std::int64_t offset, std::int64_t bytes,
+                          std::int64_t video = 0,
+                          std::int64_t block = 0) {
+    DiskRequest r;
+    r.video = video;
+    r.block = block;
+    r.disk_offset = offset;
+    r.bytes = bytes;
+    return r;
+  }
+
+  // Keeps late-submitted requests alive for the whole test.
+  DiskRequest* Own(DiskRequest request) {
+    owned_.push_back(std::make_unique<DiskRequest>(request));
+    return owned_.back().get();
+  }
+
+  sim::Environment env_;
+  DiskParams params_;
+  std::unique_ptr<Collector> collector_;
+  std::unique_ptr<Disk> disk_;
+  std::vector<std::unique_ptr<DiskRequest>> owned_;
+};
+
+TEST_F(DiskTest, ZeroSeekWhenSameCylinder) {
+  Build();
+  // Head starts at cylinder 0; a read at offset 0 needs no seek.
+  double t = disk_->ServiceTimeFrom(0, 0.0, 0, 64 * kKiB, 0);
+  double transfer = 64.0 * kKiB / params_.transfer_rate_bytes_per_sec;
+  // Only rotation (at most one revolution) plus transfer.
+  EXPECT_GE(t, transfer);
+  EXPECT_LE(t, transfer + params_.rotation_time_ms * 1e-3 + 1e-12);
+}
+
+TEST_F(DiskTest, SeekTimeGrowsWithDistance) {
+  Build();
+  double near = params_.SeekTimeSeconds(10);
+  double far = params_.SeekTimeSeconds(1000);
+  EXPECT_GT(far, near);
+  // sqrt model: quadrupling distance doubles the non-settle part.
+  double base = params_.settle_time_ms * 1e-3;
+  EXPECT_NEAR((far - base) / (near - base), 10.0, 1e-9);
+}
+
+TEST_F(DiskTest, FullStrokeSeekMatchesDataSheetOrder) {
+  Build();
+  // ~5600-cylinder stroke should be around 22 ms for the ST15150N.
+  double t = params_.SeekTimeSeconds(5600);
+  EXPECT_GT(t, 0.018);
+  EXPECT_LT(t, 0.025);
+}
+
+TEST_F(DiskTest, CompletionDeliveredAfterServiceTime) {
+  Build();
+  DiskRequest r = MakeRequest(0, 512 * kKiB);
+  disk_->Submit(&r);
+  env_.Run();
+  ASSERT_EQ(collector_->completions.size(), 1u);
+  double done = collector_->completions[0].second;
+  double transfer = 512.0 * kKiB / params_.transfer_rate_bytes_per_sec;
+  EXPECT_GE(done, transfer);  // at least the media transfer time
+  EXPECT_LT(done, transfer + 0.05);  // plus bounded positioning
+}
+
+TEST_F(DiskTest, RequestsServicedSequentially) {
+  Build();
+  DiskRequest a = MakeRequest(0, 512 * kKiB, 0, 0);
+  DiskRequest b = MakeRequest(100 * params_.cylinder_bytes, 512 * kKiB, 1, 0);
+  disk_->Submit(&a);
+  disk_->Submit(&b);
+  env_.Run();
+  ASSERT_EQ(collector_->completions.size(), 2u);
+  EXPECT_EQ(collector_->completions[0].first, &a);
+  EXPECT_EQ(collector_->completions[1].first, &b);
+  EXPECT_GT(collector_->completions[1].second,
+            collector_->completions[0].second);
+}
+
+TEST_F(DiskTest, HeadPositionPersistsAcrossRequests) {
+  Build();
+  DiskRequest a = MakeRequest(500 * params_.cylinder_bytes, 128 * kKiB);
+  disk_->Submit(&a);
+  env_.Run();
+  EXPECT_EQ(disk_->head_cylinder(), 500);
+}
+
+TEST_F(DiskTest, TransferSpanningCylindersAddsSettle) {
+  Build();
+  // 4 cylinders' worth of data starting at a cylinder boundary crosses
+  // 3 boundaries.
+  std::int64_t bytes = 4 * params_.cylinder_bytes;
+  double t0 = disk_->ServiceTimeFrom(0, 0.0, 0, params_.cylinder_bytes, 0);
+  double t1 = disk_->ServiceTimeFrom(0, 0.0, 0, bytes, 0);
+  double extra_transfer = 3.0 * params_.cylinder_bytes /
+                          params_.transfer_rate_bytes_per_sec;
+  double extra_settle = 3.0 * params_.settle_time_ms * 1e-3;
+  EXPECT_NEAR(t1 - t0, extra_transfer + extra_settle, 1e-9);
+}
+
+TEST_F(DiskTest, IdleDiskCreditsReadAheadForSequentialStream) {
+  Build();
+  DiskRequest a = MakeRequest(0, 512 * kKiB, /*video=*/7, /*block=*/0);
+  disk_->Submit(&a);
+  env_.Run();
+  EXPECT_EQ(disk_->cache_hit_bytes(), 0u);
+
+  // Long idle gap, then the sequential continuation: up to one cache
+  // context (128 KB) should be credited.
+  env_.Spawn([](sim::Environment* env, Disk* disk,
+                DiskRequest* r) -> sim::Process {
+    co_await env->Hold(1.0);
+    disk->Submit(r);
+  }(&env_, disk_.get(), Own(MakeRequest(512 * kKiB, 512 * kKiB, 7, 16))));
+  env_.Run();
+  EXPECT_EQ(disk_->cache_hit_bytes(),
+            static_cast<std::uint64_t>(params_.cache_context_bytes));
+}
+
+TEST_F(DiskTest, BusyDiskGetsNoReadAhead) {
+  Build();
+  // Back-to-back sequential requests: no idle time, no cache credit.
+  DiskRequest a = MakeRequest(0, 512 * kKiB, 7, 0);
+  DiskRequest b = MakeRequest(512 * kKiB, 512 * kKiB, 7, 16);
+  disk_->Submit(&a);
+  disk_->Submit(&b);
+  env_.Run();
+  EXPECT_EQ(disk_->cache_hit_bytes(), 0u);
+}
+
+TEST_F(DiskTest, NonSequentialStreamGetsNoReadAhead) {
+  Build();
+  DiskRequest a = MakeRequest(0, 512 * kKiB, 7, 0);
+  disk_->Submit(&a);
+  env_.Run();
+  env_.Spawn([](sim::Environment* env, Disk* disk,
+                DiskRequest* r) -> sim::Process {
+    co_await env->Hold(1.0);
+    disk->Submit(r);
+  }(&env_, disk_.get(),
+        Own(MakeRequest(64 * kMiB, 512 * kKiB, 8, 3))));
+  env_.Run();
+  EXPECT_EQ(disk_->cache_hit_bytes(), 0u);
+}
+
+TEST_F(DiskTest, UtilizationReflectsBusyTime) {
+  Build();
+  DiskRequest a = MakeRequest(0, 512 * kKiB);
+  disk_->Submit(&a);
+  env_.Run();
+  double service = collector_->completions[0].second;
+  // Run further idle time, utilization halves.
+  env_.RunUntil(2.0 * service);
+  EXPECT_NEAR(disk_->AverageUtilization(env_.now()), 0.5, 1e-9);
+}
+
+TEST_F(DiskTest, RotationalDelayIsDeterministicAndBounded) {
+  Build();
+  double rotation = params_.rotation_time_ms * 1e-3;
+  double t1 = disk_->ServiceTimeFrom(0, 0.123, 0, 64 * kKiB, 0);
+  double t2 = disk_->ServiceTimeFrom(0, 0.123, 0, 64 * kKiB, 0);
+  EXPECT_DOUBLE_EQ(t1, t2);  // pure function of inputs
+  double transfer = 64.0 * kKiB / params_.transfer_rate_bytes_per_sec;
+  EXPECT_LT(t1 - transfer, rotation + 1e-12);
+}
+
+TEST_F(DiskTest, CachedBytesSkipMechanicalPath) {
+  Build();
+  std::int64_t bytes = 512 * kKiB;
+  double uncached = disk_->ServiceTimeFrom(100, 0.0, 200 * params_.cylinder_bytes,
+                                           bytes, 0);
+  double fully_cached = disk_->ServiceTimeFrom(
+      100, 0.0, 200 * params_.cylinder_bytes, bytes, bytes);
+  EXPECT_NEAR(fully_cached,
+              static_cast<double>(bytes) / params_.transfer_rate_bytes_per_sec,
+              1e-12);
+  EXPECT_GT(uncached, fully_cached);
+}
+
+}  // namespace
+}  // namespace spiffi::hw

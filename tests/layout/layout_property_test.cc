@@ -1,0 +1,116 @@
+// Parameterized property tests over layout geometries: every (video,
+// block) maps to exactly one non-overlapping extent, and the prefetch
+// successor relation is consistent with Locate.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "layout/nonstriped.h"
+#include "layout/striping.h"
+
+namespace spiffi::layout {
+namespace {
+
+constexpr std::int64_t kBlock = 512 * 1024;
+
+// Parameter: (nodes, disks_per_node, blocks_per_video).
+using Geometry = std::tuple<int, int, int>;
+
+class LayoutPropertyTest : public ::testing::TestWithParam<Geometry> {
+ protected:
+  int nodes() const { return std::get<0>(GetParam()); }
+  int disks_per_node() const { return std::get<1>(GetParam()); }
+  int blocks_per_video() const { return std::get<2>(GetParam()); }
+  int total_disks() const { return nodes() * disks_per_node(); }
+  // Non-striped layouts need videos divisible by disks; use 2 per disk.
+  int videos() const { return 2 * total_disks(); }
+
+  void CheckInvariants(const Layout& layout, std::int64_t num_blocks) {
+    std::map<int, std::set<std::int64_t>> extents;
+    for (int v = 0; v < videos(); ++v) {
+      for (std::int64_t b = 0; b < num_blocks; ++b) {
+        BlockLocation loc = layout.Locate(v, b);
+        // Valid coordinates.
+        ASSERT_GE(loc.node, 0);
+        ASSERT_LT(loc.node, nodes());
+        ASSERT_GE(loc.disk_local, 0);
+        ASSERT_LT(loc.disk_local, disks_per_node());
+        ASSERT_EQ(loc.disk_global,
+                  loc.node * disks_per_node() + loc.disk_local);
+        ASSERT_GE(loc.offset, 0);
+        ASSERT_EQ(loc.offset % kBlock, 0);
+        // No two blocks share an extent.
+        ASSERT_TRUE(extents[loc.disk_global].insert(loc.offset).second)
+            << "overlap at disk " << loc.disk_global << " offset "
+            << loc.offset;
+        // Successor consistency.
+        std::int64_t next = layout.NextBlockOnSameDisk(v, b);
+        if (next >= 0) {
+          ASSERT_LT(next, num_blocks);
+          ASSERT_GT(next, b);
+          ASSERT_EQ(layout.Locate(v, next).disk_global, loc.disk_global);
+          // No intermediate block of this video on the same disk.
+          for (std::int64_t mid = b + 1; mid < next; ++mid) {
+            ASSERT_NE(layout.Locate(v, mid).disk_global, loc.disk_global);
+          }
+        } else {
+          // None of the later blocks are on this disk.
+          for (std::int64_t later = b + 1; later < num_blocks; ++later) {
+            ASSERT_NE(layout.Locate(v, later).disk_global,
+                      loc.disk_global);
+          }
+        }
+      }
+    }
+  }
+};
+
+TEST_P(LayoutPropertyTest, StripedInvariants) {
+  std::vector<std::int64_t> blocks(videos(), blocks_per_video());
+  StripedLayout layout(nodes(), disks_per_node(), kBlock, blocks);
+  CheckInvariants(layout, blocks_per_video());
+}
+
+TEST_P(LayoutPropertyTest, NonStripedInvariants) {
+  std::vector<std::int64_t> bytes(videos(),
+                                  blocks_per_video() * kBlock);
+  NonStripedLayout layout(nodes(), disks_per_node(), kBlock, bytes, 17);
+  CheckInvariants(layout, blocks_per_video());
+}
+
+TEST_P(LayoutPropertyTest, StripedBalancesWithinOneBlock) {
+  std::vector<std::int64_t> blocks(videos(), blocks_per_video());
+  StripedLayout layout(nodes(), disks_per_node(), kBlock, blocks);
+  std::map<int, int> per_disk;
+  for (int v = 0; v < videos(); ++v) {
+    for (std::int64_t b = 0; b < blocks_per_video(); ++b) {
+      ++per_disk[layout.Locate(v, b).disk_global];
+    }
+  }
+  int min = blocks_per_video() * videos();
+  int max = 0;
+  for (int d = 0; d < total_disks(); ++d) {
+    min = std::min(min, per_disk[d]);
+    max = std::max(max, per_disk[d]);
+  }
+  // Each video spreads within one block per disk; totals within
+  // videos() blocks of each other.
+  EXPECT_LE(max - min, videos());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LayoutPropertyTest,
+    ::testing::Values(Geometry{1, 1, 7}, Geometry{1, 4, 13},
+                      Geometry{2, 2, 16}, Geometry{4, 4, 33},
+                      Geometry{3, 2, 10}, Geometry{4, 16, 65}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return std::to_string(std::get<0>(info.param)) + "n" +
+             std::to_string(std::get<1>(info.param)) + "d" +
+             std::to_string(std::get<2>(info.param)) + "b";
+    });
+
+}  // namespace
+}  // namespace spiffi::layout

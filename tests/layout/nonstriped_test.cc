@@ -1,0 +1,91 @@
+#include "layout/nonstriped.h"
+
+#include <map>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::layout {
+namespace {
+
+constexpr std::int64_t kRead = 512 * 1024;
+
+std::vector<std::int64_t> SameSize(int videos, std::int64_t bytes) {
+  return std::vector<std::int64_t>(videos, bytes);
+}
+
+TEST(NonStripedLayoutTest, ExactlyFourVideosPerDisk) {
+  NonStripedLayout layout(4, 4, kRead, SameSize(64, 100 * kRead), 1);
+  std::map<int, int> per_disk;
+  for (int v = 0; v < 64; ++v) ++per_disk[layout.DiskOfVideo(v)];
+  EXPECT_EQ(per_disk.size(), 16u);
+  for (const auto& [disk, count] : per_disk) EXPECT_EQ(count, 4);
+}
+
+TEST(NonStripedLayoutTest, AllBlocksOfVideoOnOneDisk) {
+  NonStripedLayout layout(2, 2, kRead, SameSize(8, 20 * kRead), 1);
+  for (int v = 0; v < 8; ++v) {
+    int disk = layout.Locate(v, 0).disk_global;
+    for (std::int64_t b = 1; b < 20; ++b) {
+      EXPECT_EQ(layout.Locate(v, b).disk_global, disk);
+    }
+  }
+}
+
+TEST(NonStripedLayoutTest, BlocksSequentialOnDisk) {
+  NonStripedLayout layout(2, 2, kRead, SameSize(4, 20 * kRead), 1);
+  for (std::int64_t b = 0; b + 1 < 20; ++b) {
+    EXPECT_EQ(layout.Locate(0, b + 1).offset,
+              layout.Locate(0, b).offset + kRead);
+  }
+}
+
+TEST(NonStripedLayoutTest, NextBlockOnSameDiskIsSuccessor) {
+  NonStripedLayout layout(2, 2, kRead, SameSize(4, 20 * kRead), 1);
+  EXPECT_EQ(layout.NextBlockOnSameDisk(0, 5), 6);
+  EXPECT_EQ(layout.NextBlockOnSameDisk(0, 19), -1);
+}
+
+TEST(NonStripedLayoutTest, NoOverlappingExtents) {
+  NonStripedLayout layout(2, 2, kRead, SameSize(8, 13 * kRead + 5), 3);
+  std::map<int, std::set<std::int64_t>> offsets;
+  for (int v = 0; v < 8; ++v) {
+    for (std::int64_t b = 0; b < 14; ++b) {  // 13*kRead+5 -> 14 blocks
+      BlockLocation loc = layout.Locate(v, b);
+      auto [it, inserted] = offsets[loc.disk_global].insert(loc.offset);
+      EXPECT_TRUE(inserted);
+    }
+  }
+}
+
+TEST(NonStripedLayoutTest, SeedChangesAssignment) {
+  auto sizes = SameSize(64, 100 * kRead);
+  NonStripedLayout a(4, 4, kRead, sizes, 1);
+  NonStripedLayout b(4, 4, kRead, sizes, 2);
+  int differing = 0;
+  for (int v = 0; v < 64; ++v) {
+    if (a.DiskOfVideo(v) != b.DiskOfVideo(v)) ++differing;
+  }
+  EXPECT_GT(differing, 16);  // placement is genuinely random
+}
+
+TEST(NonStripedLayoutTest, SameSeedReproducesAssignment) {
+  auto sizes = SameSize(64, 100 * kRead);
+  NonStripedLayout a(4, 4, kRead, sizes, 9);
+  NonStripedLayout b(4, 4, kRead, sizes, 9);
+  for (int v = 0; v < 64; ++v) {
+    EXPECT_EQ(a.DiskOfVideo(v), b.DiskOfVideo(v));
+  }
+}
+
+TEST(NonStripedLayoutTest, NodeDerivedFromGlobalDisk) {
+  NonStripedLayout layout(4, 4, kRead, SameSize(64, 10 * kRead), 1);
+  for (int v = 0; v < 64; ++v) {
+    BlockLocation loc = layout.Locate(v, 0);
+    EXPECT_EQ(loc.node, loc.disk_global / 4);
+    EXPECT_EQ(loc.disk_local, loc.disk_global % 4);
+  }
+}
+
+}  // namespace
+}  // namespace spiffi::layout

@@ -1,0 +1,108 @@
+#include "layout/striping.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::layout {
+namespace {
+
+constexpr std::int64_t kStripe = 512 * 1024;
+
+TEST(StripedLayoutTest, PaperFigureThreePattern) {
+  // Fig 3: 2 nodes x 2 disks. Block 0 -> node 0 disk 0; block 1 -> node 1
+  // disk 0; block 2 -> node 0 disk 1; block 3 -> node 1 disk 1; block 4
+  // wraps to node 0 disk 0.
+  StripedLayout layout(2, 2, kStripe, {16});
+  EXPECT_EQ(layout.Locate(0, 0).node, 0);
+  EXPECT_EQ(layout.Locate(0, 0).disk_local, 0);
+  EXPECT_EQ(layout.Locate(0, 1).node, 1);
+  EXPECT_EQ(layout.Locate(0, 1).disk_local, 0);
+  EXPECT_EQ(layout.Locate(0, 2).node, 0);
+  EXPECT_EQ(layout.Locate(0, 2).disk_local, 1);
+  EXPECT_EQ(layout.Locate(0, 3).node, 1);
+  EXPECT_EQ(layout.Locate(0, 3).disk_local, 1);
+  EXPECT_EQ(layout.Locate(0, 4).node, 0);
+  EXPECT_EQ(layout.Locate(0, 4).disk_local, 0);
+}
+
+TEST(StripedLayoutTest, FragmentIsContiguous) {
+  // Blocks B.3, B.7, B.11... on one disk are laid out back to back.
+  StripedLayout layout(2, 2, kStripe, {16});
+  BlockLocation first = layout.Locate(0, 3);
+  BlockLocation second = layout.Locate(0, 7);
+  BlockLocation third = layout.Locate(0, 11);
+  EXPECT_EQ(first.disk_global, second.disk_global);
+  EXPECT_EQ(second.offset - first.offset, kStripe);
+  EXPECT_EQ(third.offset - second.offset, kStripe);
+}
+
+TEST(StripedLayoutTest, SuccessiveVideosStackOnDisk) {
+  StripedLayout layout(2, 2, kStripe, {16, 16});
+  BlockLocation last_of_v0 = layout.Locate(0, 12);  // fragment index 3
+  BlockLocation first_of_v1 = layout.Locate(1, 0);
+  EXPECT_EQ(last_of_v0.disk_global, first_of_v1.disk_global);
+  EXPECT_EQ(first_of_v1.offset, last_of_v0.offset + kStripe);
+}
+
+TEST(StripedLayoutTest, EveryBlockMapsToExactlyOneDisk) {
+  StripedLayout layout(4, 4, kStripe, {100});
+  std::map<int, int> per_disk;
+  for (std::int64_t b = 0; b < 100; ++b) {
+    BlockLocation loc = layout.Locate(0, b);
+    EXPECT_EQ(loc.disk_global, loc.node * 4 + loc.disk_local);
+    ++per_disk[loc.disk_global];
+  }
+  // 100 blocks over 16 disks: each disk gets 6 or 7.
+  EXPECT_EQ(per_disk.size(), 16u);
+  for (const auto& [disk, count] : per_disk) {
+    EXPECT_GE(count, 6);
+    EXPECT_LE(count, 7);
+  }
+}
+
+TEST(StripedLayoutTest, NoOverlappingExtentsOnAnyDisk) {
+  StripedLayout layout(2, 3, kStripe, {50, 47, 61});
+  std::map<int, std::set<std::int64_t>> offsets;
+  for (int v = 0; v < 3; ++v) {
+    std::int64_t blocks = v == 0 ? 50 : (v == 1 ? 47 : 61);
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      BlockLocation loc = layout.Locate(v, b);
+      auto [it, inserted] = offsets[loc.disk_global].insert(loc.offset);
+      EXPECT_TRUE(inserted) << "duplicate extent on disk "
+                            << loc.disk_global << " at " << loc.offset;
+    }
+  }
+}
+
+TEST(StripedLayoutTest, NextBlockOnSameDiskSkipsWidth) {
+  StripedLayout layout(4, 4, kStripe, {100});
+  EXPECT_EQ(layout.NextBlockOnSameDisk(0, 3), 19);
+  EXPECT_EQ(layout.Locate(0, 3).disk_global,
+            layout.Locate(0, 19).disk_global);
+  // Near the end of the video there is no next block.
+  EXPECT_EQ(layout.NextBlockOnSameDisk(0, 95), -1);
+}
+
+TEST(StripedLayoutTest, MaxBytesOnAnyDiskBalanced) {
+  // 113 blocks over 16 disks: the first 113 mod 16 = 1 disk in cycle
+  // order gets ceil(113/16) = 8 blocks, the rest get 7. Every video is
+  // balanced to within one block per disk.
+  StripedLayout layout(4, 4, kStripe, std::vector<std::int64_t>(64, 113));
+  EXPECT_EQ(layout.MaxBytesOnAnyDisk(), 64 * 8 * kStripe);
+}
+
+TEST(StripedLayoutTest, SingleNodeSingleDiskDegenerates) {
+  StripedLayout layout(1, 1, kStripe, {10});
+  for (std::int64_t b = 0; b < 10; ++b) {
+    BlockLocation loc = layout.Locate(0, b);
+    EXPECT_EQ(loc.disk_global, 0);
+    EXPECT_EQ(loc.offset, b * kStripe);
+  }
+  EXPECT_EQ(layout.NextBlockOnSameDisk(0, 4), 5);
+}
+
+}  // namespace
+}  // namespace spiffi::layout

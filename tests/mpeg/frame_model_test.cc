@@ -1,0 +1,100 @@
+#include "mpeg/frame_model.h"
+
+#include "gtest/gtest.h"
+
+namespace spiffi::mpeg {
+namespace {
+
+TEST(FrameModelTest, GopPatternMatchesFrequencyRatio) {
+  FrameModel model{MpegParams()};
+  int i = 0, p = 0, b = 0;
+  for (std::int64_t f = 0; f < 15; ++f) {
+    switch (model.TypeOf(f)) {
+      case FrameType::kI: ++i; break;
+      case FrameType::kP: ++p; break;
+      case FrameType::kB: ++b; break;
+    }
+  }
+  EXPECT_EQ(i, 1);
+  EXPECT_EQ(p, 4);
+  EXPECT_EQ(b, 10);
+}
+
+TEST(FrameModelTest, PatternRepeatsEveryGop) {
+  FrameModel model{MpegParams()};
+  for (std::int64_t f = 0; f < 15; ++f) {
+    EXPECT_EQ(model.TypeOf(f), model.TypeOf(f + 15));
+    EXPECT_EQ(model.TypeOf(f), model.TypeOf(f + 150));
+  }
+}
+
+TEST(FrameModelTest, MeanSizesFollowSizeRatio) {
+  FrameModel model{MpegParams()};
+  double i = model.MeanBytes(FrameType::kI);
+  double p = model.MeanBytes(FrameType::kP);
+  double b = model.MeanBytes(FrameType::kB);
+  EXPECT_NEAR(i / p, 2.0, 1e-12);   // 10:5
+  EXPECT_NEAR(p / b, 2.5, 1e-12);   // 5:2
+}
+
+TEST(FrameModelTest, LongRunRateMatchesBitRate) {
+  MpegParams params;
+  FrameModel model{params};
+  // Expected bytes per GOP from mean sizes.
+  double gop_bytes = model.MeanBytes(FrameType::kI) +
+                     4 * model.MeanBytes(FrameType::kP) +
+                     10 * model.MeanBytes(FrameType::kB);
+  double secs_per_gop = 15.0 / params.frames_per_second;
+  EXPECT_NEAR(gop_bytes / secs_per_gop, params.bytes_per_second(), 1e-6);
+}
+
+TEST(FrameModelTest, FrameBytesDeterministicPerSeed) {
+  FrameModel model{MpegParams()};
+  for (std::int64_t f = 0; f < 100; ++f) {
+    EXPECT_EQ(model.FrameBytes(11, f), model.FrameBytes(11, f));
+  }
+  // Different seeds give different streams.
+  int diffs = 0;
+  for (std::int64_t f = 0; f < 100; ++f) {
+    if (model.FrameBytes(11, f) != model.FrameBytes(12, f)) ++diffs;
+  }
+  EXPECT_GT(diffs, 90);
+}
+
+TEST(FrameModelTest, EmpiricalMeanNearNominal) {
+  MpegParams params;
+  FrameModel model{params};
+  double sum = 0.0;
+  constexpr std::int64_t kFrames = 150000;
+  for (std::int64_t f = 0; f < kFrames; ++f) {
+    sum += static_cast<double>(model.FrameBytes(99, f));
+  }
+  double empirical = sum / kFrames;
+  EXPECT_NEAR(empirical / params.mean_frame_bytes(), 1.0, 0.02);
+}
+
+TEST(FrameModelTest, SizesAreAtLeastOneByte) {
+  FrameModel model{MpegParams()};
+  for (std::int64_t f = 0; f < 10000; ++f) {
+    EXPECT_GE(model.FrameBytes(3, f), 1);
+  }
+}
+
+TEST(FrameModelTest, IFramesLargerOnAverageThanBFrames) {
+  FrameModel model{MpegParams()};
+  double i_sum = 0, b_sum = 0;
+  int i_n = 0, b_n = 0;
+  for (std::int64_t f = 0; f < 30000; ++f) {
+    if (model.TypeOf(f) == FrameType::kI) {
+      i_sum += static_cast<double>(model.FrameBytes(5, f));
+      ++i_n;
+    } else if (model.TypeOf(f) == FrameType::kB) {
+      b_sum += static_cast<double>(model.FrameBytes(5, f));
+      ++b_n;
+    }
+  }
+  EXPECT_NEAR((i_sum / i_n) / (b_sum / b_n), 5.0, 0.8);
+}
+
+}  // namespace
+}  // namespace spiffi::mpeg

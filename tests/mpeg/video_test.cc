@@ -1,0 +1,128 @@
+#include "mpeg/video.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::mpeg {
+namespace {
+
+class VideoTest : public ::testing::Test {
+ protected:
+  VideoTest() : model_(MpegParams()) {}
+  FrameModel model_;
+};
+
+TEST_F(VideoTest, FrameCountMatchesDuration) {
+  Video v(0, 1, &model_, 60.0);
+  EXPECT_EQ(v.frame_count(), 1800);  // 60 s at 30 fps
+}
+
+TEST_F(VideoTest, TotalBytesNearNominalRate) {
+  Video v(0, 1, &model_, 600.0);
+  double nominal = 600.0 * model_.params().bytes_per_second();
+  EXPECT_NEAR(static_cast<double>(v.total_bytes()) / nominal, 1.0, 0.05);
+}
+
+TEST_F(VideoTest, CumulativeBytesMonotone) {
+  Video v(0, 1, &model_, 30.0);
+  std::int64_t prev = 0;
+  for (std::int64_t f = 0; f <= v.frame_count(); f += 97) {
+    std::int64_t cum = v.CumulativeBytesAtFrame(f);
+    EXPECT_GE(cum, prev);
+    prev = cum;
+  }
+  EXPECT_EQ(v.CumulativeBytesAtFrame(v.frame_count()), v.total_bytes());
+}
+
+TEST_F(VideoTest, CumulativeBytesMatchesManualSum) {
+  Video v(0, 7, &model_, 10.0);
+  std::int64_t sum = 0;
+  for (std::int64_t f = 0; f < 45; ++f) sum += v.FrameBytes(f);
+  EXPECT_EQ(v.CumulativeBytesAtFrame(45), sum);
+}
+
+TEST_F(VideoTest, FrameOfByteInverseOfCumulative) {
+  Video v(0, 3, &model_, 30.0);
+  for (std::int64_t f = 0; f < v.frame_count(); f += 13) {
+    std::int64_t start = v.CumulativeBytesAtFrame(f);
+    EXPECT_EQ(v.FrameOfByte(start), f);
+    EXPECT_EQ(v.FrameOfByte(start + v.FrameBytes(f) - 1), f);
+  }
+}
+
+TEST_F(VideoTest, PlaybackTimeMonotoneInByte) {
+  Video v(0, 3, &model_, 60.0);
+  double prev = -1.0;
+  for (std::int64_t b = 0; b < v.total_bytes(); b += v.total_bytes() / 50) {
+    double t = v.PlaybackTimeOfByte(b);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(VideoTest, PlaybackTimeOfEndIsDuration) {
+  Video v(0, 3, &model_, 60.0);
+  EXPECT_DOUBLE_EQ(v.PlaybackTimeOfByte(v.total_bytes()), 60.0);
+  EXPECT_DOUBLE_EQ(v.PlaybackTimeOfByte(v.total_bytes() + 1000), 60.0);
+}
+
+TEST_F(VideoTest, FirstByteNeededAtTimeZero) {
+  Video v(0, 3, &model_, 60.0);
+  EXPECT_DOUBLE_EQ(v.PlaybackTimeOfByte(0), 0.0);
+}
+
+TEST_F(VideoTest, SameSeedReproducesStream) {
+  Video a(0, 42, &model_, 30.0);
+  Video b(1, 42, &model_, 30.0);
+  for (std::int64_t f = 0; f < a.frame_count(); f += 7) {
+    EXPECT_EQ(a.FrameBytes(f), b.FrameBytes(f));
+  }
+}
+
+TEST(VideoLibraryTest, BuildsRequestedCount) {
+  ZipfDistribution zipf(64, 1.0);
+  VideoLibrary lib(64, 60.0, MpegParams(), zipf, 1);
+  EXPECT_EQ(lib.count(), 64);
+  // Distinct videos have distinct streams.
+  EXPECT_NE(lib.video(0).total_bytes(), lib.video(1).total_bytes());
+}
+
+TEST(VideoLibraryTest, NumBlocksCoversVideo) {
+  ZipfDistribution zipf(4, 1.0);
+  VideoLibrary lib(4, 60.0, MpegParams(), zipf, 1);
+  std::int64_t block_bytes = 512 * 1024;
+  std::int64_t blocks = lib.NumBlocks(0, block_bytes);
+  EXPECT_GE(blocks * block_bytes, lib.video(0).total_bytes());
+  EXPECT_LT((blocks - 1) * block_bytes, lib.video(0).total_bytes());
+}
+
+TEST(VideoLibraryTest, BlockPlaybackTimesSpreadOverDuration) {
+  ZipfDistribution zipf(2, 1.0);
+  VideoLibrary lib(2, 60.0, MpegParams(), zipf, 1);
+  std::int64_t block_bytes = 512 * 1024;
+  std::int64_t blocks = lib.NumBlocks(0, block_bytes);
+  EXPECT_DOUBLE_EQ(lib.BlockPlaybackTime(0, 0, block_bytes), 0.0);
+  double late = lib.BlockPlaybackTime(0, blocks - 1, block_bytes);
+  EXPECT_GT(late, 55.0);
+  EXPECT_LE(late, 60.0);
+  // Consecutive blocks are roughly one second of video apart (512 KiB at
+  // 4 Mbit/s ~ 1 s).
+  double t10 = lib.BlockPlaybackTime(0, 10, block_bytes);
+  double t11 = lib.BlockPlaybackTime(0, 11, block_bytes);
+  EXPECT_GT(t11 - t10, 0.3);
+  EXPECT_LT(t11 - t10, 3.0);
+}
+
+TEST(VideoLibraryTest, SelectionFollowsPopularity) {
+  ZipfDistribution zipf(16, 1.0);
+  VideoLibrary lib(16, 60.0, MpegParams(), zipf, 1);
+  sim::Rng rng(5);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[lib.Select(&rng)];
+  EXPECT_GT(counts[0], counts[8]);
+  EXPECT_GT(counts[0], 3 * counts[15]);
+}
+
+}  // namespace
+}  // namespace spiffi::mpeg

@@ -1,0 +1,80 @@
+#include "mpeg/zipf.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::mpeg {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution zipf(64, 1.0);
+  double sum = 0.0;
+  for (int r = 0; r < 64; ++r) sum += zipf.Probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ZipfOneFollowsHarmonicLaw) {
+  ZipfDistribution zipf(64, 1.0);
+  // P(rank r) / P(rank 2r) == 2 for z = 1.
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(1), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.Probability(4) / zipf.Probability(9), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (int r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Probability(r), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  ZipfDistribution mild(64, 0.5);
+  ZipfDistribution strong(64, 1.5);
+  EXPECT_GT(strong.Probability(0), mild.Probability(0));
+  EXPECT_LT(strong.Probability(63), mild.Probability(63));
+}
+
+TEST(ZipfTest, SampleMatchesProbabilities) {
+  ZipfDistribution zipf(8, 1.0);
+  sim::Rng rng(3);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (int r = 0; r < 8; ++r) {
+    double expected = zipf.Probability(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, 5.0 * std::sqrt(expected) + 10.0);
+  }
+}
+
+TEST(ZipfTest, SampleAlwaysInRange) {
+  ZipfDistribution zipf(5, 1.5);
+  sim::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    int r = zipf.Sample(&rng);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 5);
+  }
+}
+
+TEST(ZipfTest, SingleItemAlwaysSelected) {
+  ZipfDistribution zipf(1, 1.0);
+  sim::Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0);
+}
+
+// Paper Fig 8 sanity: with 64 videos and z=1, the most popular video draws
+// about 21% of requests ("a small set of movies account for a substantial
+// percentage of all rentals").
+TEST(ZipfTest, FigureEightHeadMass) {
+  ZipfDistribution zipf(64, 1.0);
+  EXPECT_NEAR(zipf.Probability(0), 0.21, 0.02);
+  double top5 = 0.0;
+  for (int r = 0; r < 5; ++r) top5 += zipf.Probability(r);
+  EXPECT_GT(top5, 0.45);
+}
+
+}  // namespace
+}  // namespace spiffi::mpeg

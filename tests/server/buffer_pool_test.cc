@@ -1,0 +1,233 @@
+#include "server/buffer_pool.h"
+
+#include "gtest/gtest.h"
+
+namespace spiffi::server {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void Build(std::int64_t pages, ReplacementPolicy policy) {
+    pool_ = std::make_unique<BufferPool>(&env_, pages, policy);
+  }
+
+  // Allocates, completes, and unpins a page: the state of a block that
+  // was read and fully delivered.
+  BufferPool::Page* FillPage(int video, std::int64_t block,
+                             bool prefetch = false) {
+    BufferPool::Page* page =
+        pool_->Allocate(PageKey{video, block}, prefetch);
+    EXPECT_NE(page, nullptr);
+    pool_->Complete(page);
+    pool_->Unpin(page);
+    return page;
+  }
+
+  sim::Environment env_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(BufferPoolTest, LookupMissesOnEmptyPool) {
+  Build(4, ReplacementPolicy::kGlobalLru);
+  EXPECT_EQ(pool_->Lookup(PageKey{0, 0}), nullptr);
+}
+
+TEST_F(BufferPoolTest, AllocateThenLookupFinds) {
+  Build(4, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* page = pool_->Allocate(PageKey{1, 7}, false);
+  ASSERT_NE(page, nullptr);
+  EXPECT_TRUE(page->io_in_flight);
+  EXPECT_FALSE(page->valid);
+  EXPECT_EQ(page->pin_count, 1);
+  EXPECT_EQ(pool_->Lookup(PageKey{1, 7}), page);
+}
+
+TEST_F(BufferPoolTest, CompleteMakesPageValid) {
+  Build(4, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* page = pool_->Allocate(PageKey{1, 7}, false);
+  pool_->Complete(page);
+  EXPECT_TRUE(page->valid);
+  EXPECT_FALSE(page->io_in_flight);
+}
+
+TEST_F(BufferPoolTest, ExhaustedPoolReturnsNull) {
+  Build(2, ReplacementPolicy::kGlobalLru);
+  // Both pages pinned in flight: no allocation possible.
+  ASSERT_NE(pool_->Allocate(PageKey{0, 0}, false), nullptr);
+  ASSERT_NE(pool_->Allocate(PageKey{0, 1}, false), nullptr);
+  EXPECT_EQ(pool_->Allocate(PageKey{0, 2}, false), nullptr);
+  EXPECT_EQ(pool_->stats().allocation_stalls, 1u);
+}
+
+TEST_F(BufferPoolTest, GlobalLruEvictsOldestUnpinned) {
+  Build(2, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* a = FillPage(0, 0);
+  FillPage(0, 1);
+  // Pool full; a is LRU and unpinned -> recycled for the new key.
+  BufferPool::Page* c = pool_->Allocate(PageKey{0, 2}, false);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(pool_->Lookup(PageKey{0, 0}), nullptr);
+  EXPECT_NE(pool_->Lookup(PageKey{0, 1}), nullptr);
+  EXPECT_EQ(pool_->stats().evictions, 1u);
+}
+
+TEST_F(BufferPoolTest, TouchMovesPageToMruEnd) {
+  Build(2, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* a = FillPage(0, 0);
+  BufferPool::Page* b = FillPage(0, 1);
+  pool_->Touch(a, /*terminal=*/3);  // a becomes MRU; b is now LRU
+  BufferPool::Page* c = pool_->Allocate(PageKey{0, 2}, false);
+  EXPECT_EQ(c, b);
+  EXPECT_NE(pool_->Lookup(PageKey{0, 0}), nullptr);
+}
+
+TEST_F(BufferPoolTest, PinnedPageNotEvicted) {
+  Build(2, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* a = FillPage(0, 0);
+  BufferPool::Page* b = FillPage(0, 1);
+  pool_->Pin(a);
+  BufferPool::Page* c = pool_->Allocate(PageKey{0, 2}, false);
+  EXPECT_EQ(c, b);  // skipped pinned a even though a was LRU
+  pool_->Unpin(a);
+}
+
+TEST_F(BufferPoolTest, LovePrefetchEvictsReferencedBeforePrefetched) {
+  Build(2, ReplacementPolicy::kLovePrefetch);
+  BufferPool::Page* prefetched = FillPage(0, 0, /*prefetch=*/true);
+  BufferPool::Page* referenced = FillPage(0, 1, /*prefetch=*/false);
+  pool_->Touch(referenced, 1);
+  // Under love prefetch the referenced page goes first even though the
+  // prefetched page is older.
+  BufferPool::Page* c = pool_->Allocate(PageKey{0, 2}, false);
+  EXPECT_EQ(c, referenced);
+  EXPECT_NE(pool_->Lookup(PageKey{0, 0}), nullptr);
+  (void)prefetched;
+}
+
+TEST_F(BufferPoolTest, LovePrefetchFallsBackToPrefetchedChain) {
+  Build(2, ReplacementPolicy::kLovePrefetch);
+  BufferPool::Page* p0 = FillPage(0, 0, true);
+  BufferPool::Page* p1 = FillPage(0, 1, true);
+  // No referenced pages at all: must take the LRU prefetched page.
+  BufferPool::Page* c = pool_->Allocate(PageKey{0, 2}, false);
+  EXPECT_EQ(c, p0);
+  EXPECT_EQ(pool_->stats().wasted_prefetches, 1u);
+  (void)p1;
+}
+
+TEST_F(BufferPoolTest, GlobalLruIgnoresPrefetchDistinction) {
+  Build(2, ReplacementPolicy::kGlobalLru);
+  FillPage(0, 0, /*prefetch=*/true);   // older
+  BufferPool::Page* r = FillPage(0, 1, /*prefetch=*/false);
+  pool_->Touch(r, 1);
+  // Global LRU evicts by age only: the prefetched page goes first.
+  BufferPool::Page* c = pool_->Allocate(PageKey{0, 2}, false);
+  EXPECT_EQ(pool_->Lookup(PageKey{0, 0}), nullptr);
+  EXPECT_NE(pool_->Lookup(PageKey{0, 1}), nullptr);
+  (void)c;
+}
+
+TEST_F(BufferPoolTest, TouchPullsPrefetchedPageOffPrefetchChain) {
+  Build(4, ReplacementPolicy::kLovePrefetch);
+  BufferPool::Page* page = FillPage(0, 0, /*prefetch=*/true);
+  EXPECT_EQ(pool_->chain_size(BufferPool::kPrefetchedChain), 1u);
+  pool_->Touch(page, 2);
+  EXPECT_EQ(pool_->chain_size(BufferPool::kPrefetchedChain), 0u);
+  EXPECT_EQ(pool_->chain_size(BufferPool::kReferencedChain), 1u);
+  EXPECT_FALSE(page->prefetched);
+}
+
+TEST_F(BufferPoolTest, SharedReferenceDetection) {
+  Build(4, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* page = FillPage(0, 0);
+  pool_->RecordReference(page, 1);
+  pool_->Touch(page, 1);
+  EXPECT_EQ(pool_->stats().shared_refs, 0u);
+  pool_->RecordReference(page, 2);  // different terminal -> shared
+  pool_->Touch(page, 2);
+  pool_->RecordReference(page, 2);  // same terminal again -> not shared
+  EXPECT_EQ(pool_->stats().shared_refs, 1u);
+  EXPECT_EQ(pool_->stats().references, 3u);
+}
+
+TEST_F(BufferPoolTest, HitAttachMissClassification) {
+  Build(4, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* inflight = pool_->Allocate(PageKey{0, 0}, false);
+  pool_->RecordReference(inflight, 1);  // in flight -> attach
+  pool_->Complete(inflight);
+  pool_->RecordReference(inflight, 2);  // valid -> hit
+  pool_->RecordMiss();
+  const auto& stats = pool_->stats();
+  EXPECT_EQ(stats.attaches, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.references, 3u);
+  pool_->Unpin(inflight);
+}
+
+TEST_F(BufferPoolTest, ReadyWaitersNotifiedOnComplete) {
+  Build(4, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* page = pool_->Allocate(PageKey{0, 0}, false);
+  int woken = 0;
+  env_.Spawn([](BufferPool* pool, BufferPool::Page* page,
+                int* woken) -> sim::Process {
+    pool->Pin(page);
+    (void)co_await pool->Ready(page).Wait();
+    EXPECT_TRUE(page->valid);
+    ++*woken;
+    pool->Unpin(page);
+  }(pool_.get(), page, &woken));
+  env_.Spawn([](sim::Environment* env, BufferPool* pool,
+                BufferPool::Page* page) -> sim::Process {
+    co_await env->Hold(1.0);
+    pool->Complete(page);
+    pool->Unpin(page);
+  }(&env_, pool_.get(), page));
+  env_.Run();
+  EXPECT_EQ(woken, 1);
+}
+
+TEST_F(BufferPoolTest, UnpinWakesAllocationStalledProcess) {
+  Build(1, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* only = pool_->Allocate(PageKey{0, 0}, false);
+  pool_->Complete(only);  // valid but still pinned by allocator
+  bool allocated = false;
+  env_.Spawn([](BufferPool* pool, bool* done) -> sim::Process {
+    BufferPool::Page* page = nullptr;
+    while ((page = pool->Allocate(PageKey{0, 1}, false)) == nullptr) {
+      (void)co_await pool->free_pages().Wait();
+    }
+    *done = true;
+    pool->Complete(page);
+    pool->Unpin(page);
+  }(pool_.get(), &allocated));
+  env_.Spawn([](sim::Environment* env, BufferPool* pool,
+                BufferPool::Page* page) -> sim::Process {
+    co_await env->Hold(2.0);
+    pool->Unpin(page);  // page becomes evictable; waiter proceeds
+  }(&env_, pool_.get(), only));
+  env_.Run();
+  EXPECT_TRUE(allocated);
+  EXPECT_EQ(pool_->Lookup(PageKey{0, 0}), nullptr);  // evicted
+  EXPECT_NE(pool_->Lookup(PageKey{0, 1}), nullptr);
+}
+
+TEST_F(BufferPoolTest, WastedPrefetchOnlyWhenNeverReferenced) {
+  Build(1, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* page = FillPage(0, 0, /*prefetch=*/true);
+  pool_->Touch(page, 1);  // referenced before eviction
+  pool_->Allocate(PageKey{0, 1}, false);
+  EXPECT_EQ(pool_->stats().wasted_prefetches, 0u);
+  EXPECT_EQ(pool_->stats().evictions, 1u);
+}
+
+TEST_F(BufferPoolTest, PagesInUseTracksFreeList) {
+  Build(4, ReplacementPolicy::kGlobalLru);
+  EXPECT_EQ(pool_->pages_in_use(), 0);
+  FillPage(0, 0);
+  FillPage(0, 1);
+  EXPECT_EQ(pool_->pages_in_use(), 2);
+}
+
+}  // namespace
+}  // namespace spiffi::server

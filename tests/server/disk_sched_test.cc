@@ -1,0 +1,258 @@
+#include "server/disk_sched.h"
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::server {
+namespace {
+
+constexpr std::int64_t kCyl = 1024;  // 1 KB cylinders for easy math
+
+// Builds a request at the given cylinder for a terminal.
+hw::DiskRequest Req(std::int64_t cylinder, int terminal = 0,
+                    double deadline = sim::kSimTimeMax,
+                    std::uint64_t seq = 0) {
+  hw::DiskRequest r;
+  r.disk_offset = cylinder * kCyl;
+  r.bytes = 1;
+  r.terminal = terminal;
+  r.deadline = deadline;
+  r.seq = seq;
+  return r;
+}
+
+TEST(FcfsSchedulerTest, ServesInArrivalOrder) {
+  FcfsScheduler sched;
+  hw::DiskRequest a = Req(50), b = Req(10), c = Req(90);
+  sched.Push(&a);
+  sched.Push(&b);
+  sched.Push(&c);
+  EXPECT_EQ(sched.Pop(0, 0.0), &a);
+  EXPECT_EQ(sched.Pop(0, 0.0), &b);
+  EXPECT_EQ(sched.Pop(0, 0.0), &c);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(ElevatorSchedulerTest, SweepsUpThenDown) {
+  ElevatorScheduler sched(kCyl);
+  hw::DiskRequest a = Req(30), b = Req(10), c = Req(70);
+  sched.Push(&a);
+  sched.Push(&b);
+  sched.Push(&c);
+  // Head at 20 sweeping up: 30, then 70, then reverse to 10.
+  EXPECT_EQ(sched.Pop(20, 0.0), &a);
+  EXPECT_EQ(sched.Pop(30, 0.0), &c);
+  EXPECT_EQ(sched.Pop(70, 0.0), &b);
+}
+
+TEST(ElevatorSchedulerTest, ReversesAtEndOfSweep) {
+  ElevatorScheduler sched(kCyl);
+  hw::DiskRequest a = Req(10), b = Req(5);
+  sched.Push(&a);
+  sched.Push(&b);
+  // Head at 50 going up: nothing above, reverse: 10 then 5.
+  EXPECT_EQ(sched.Pop(50, 0.0), &a);
+  EXPECT_FALSE(sched.sweeping_up());
+  EXPECT_EQ(sched.Pop(10, 0.0), &b);
+}
+
+TEST(ElevatorSchedulerTest, ServicesRequestAtHeadCylinder) {
+  ElevatorScheduler sched(kCyl);
+  hw::DiskRequest a = Req(42);
+  sched.Push(&a);
+  EXPECT_EQ(sched.Pop(42, 0.0), &a);
+}
+
+TEST(ElevatorSchedulerTest, EqualCylindersFifo) {
+  ElevatorScheduler sched(kCyl);
+  hw::DiskRequest a = Req(42), b = Req(42), c = Req(42);
+  sched.Push(&a);
+  sched.Push(&b);
+  sched.Push(&c);
+  EXPECT_EQ(sched.Pop(0, 0.0), &a);
+  EXPECT_EQ(sched.Pop(42, 0.0), &b);
+  EXPECT_EQ(sched.Pop(42, 0.0), &c);
+}
+
+TEST(ElevatorSchedulerTest, LateArrivalAheadOfHeadJoinsSweep) {
+  ElevatorScheduler sched(kCyl);
+  hw::DiskRequest a = Req(30), late = Req(40), behind = Req(5);
+  sched.Push(&a);
+  sched.Push(&behind);
+  EXPECT_EQ(sched.Pop(10, 0.0), &a);
+  sched.Push(&late);  // arrives while head at 30 sweeping up
+  EXPECT_EQ(sched.Pop(30, 0.0), &late);
+  EXPECT_EQ(sched.Pop(40, 0.0), &behind);
+}
+
+TEST(RoundRobinSchedulerTest, CyclesThroughTerminals) {
+  RoundRobinScheduler sched;
+  hw::DiskRequest a0 = Req(10, 0), a1 = Req(20, 0);
+  hw::DiskRequest b0 = Req(90, 1);
+  hw::DiskRequest c0 = Req(50, 2);
+  sched.Push(&a0);
+  sched.Push(&a1);
+  sched.Push(&b0);
+  sched.Push(&c0);
+  EXPECT_EQ(sched.Pop(0, 0.0), &a0);  // terminal 0
+  EXPECT_EQ(sched.Pop(0, 0.0), &b0);  // terminal 1
+  EXPECT_EQ(sched.Pop(0, 0.0), &c0);  // terminal 2
+  EXPECT_EQ(sched.Pop(0, 0.0), &a1);  // wraps to terminal 0
+}
+
+TEST(RoundRobinSchedulerTest, FifoWithinTerminal) {
+  RoundRobinScheduler sched;
+  hw::DiskRequest first = Req(90, 7), second = Req(10, 7);
+  sched.Push(&first);
+  sched.Push(&second);
+  EXPECT_EQ(sched.Pop(0, 0.0), &first);  // arrival order, not cylinder
+  EXPECT_EQ(sched.Pop(0, 0.0), &second);
+}
+
+TEST(GssSchedulerTest, OneGroupTakesOneRequestPerTerminalPerPass) {
+  GssScheduler sched(1, kCyl);
+  hw::DiskRequest a0 = Req(10, 0), a1 = Req(20, 0), b0 = Req(30, 1);
+  sched.Push(&a0);
+  sched.Push(&a1);
+  sched.Push(&b0);
+  // First pass: one request from each terminal (a0, b0), elevator order.
+  hw::DiskRequest* first = sched.Pop(0, 0.0);
+  hw::DiskRequest* second = sched.Pop(0, 0.0);
+  EXPECT_TRUE((first == &a0 && second == &b0) ||
+              (first == &b0 && second == &a0));
+  // a1 only comes in the next pass.
+  EXPECT_EQ(sched.Pop(0, 0.0), &a1);
+}
+
+TEST(GssSchedulerTest, GroupsProcessedRoundRobin) {
+  GssScheduler sched(2, kCyl);  // terminal % 2 -> group
+  hw::DiskRequest g0 = Req(10, 0), g1 = Req(20, 1), g0b = Req(30, 2);
+  sched.Push(&g0);
+  sched.Push(&g1);
+  sched.Push(&g0b);
+  // Group 0 first (terminals 0 and 2), then group 1.
+  hw::DiskRequest* first = sched.Pop(0, 0.0);
+  hw::DiskRequest* second = sched.Pop(0, 0.0);
+  EXPECT_TRUE((first == &g0 || first == &g0b) &&
+              (second == &g0 || second == &g0b));
+  EXPECT_EQ(sched.Pop(0, 0.0), &g1);
+}
+
+TEST(GssSchedulerTest, EmptyGroupsSkipped) {
+  GssScheduler sched(4, kCyl);
+  hw::DiskRequest only = Req(10, 3);  // group 3
+  sched.Push(&only);
+  EXPECT_EQ(sched.Pop(0, 0.0), &only);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(GssSchedulerTest, SweepUsesElevatorOrder) {
+  GssScheduler sched(1, kCyl);
+  hw::DiskRequest a = Req(50, 0), b = Req(10, 1), c = Req(90, 2);
+  sched.Push(&a);
+  sched.Push(&b);
+  sched.Push(&c);
+  std::vector<std::int64_t> cylinders;
+  for (int i = 0; i < 3; ++i) {
+    cylinders.push_back(sched.Pop(0, 0.0)->disk_offset / kCyl);
+  }
+  // One monotone sweep (ascending or descending).
+  bool ascending = cylinders[0] <= cylinders[1] &&
+                   cylinders[1] <= cylinders[2];
+  bool descending = cylinders[0] >= cylinders[1] &&
+                    cylinders[1] >= cylinders[2];
+  EXPECT_TRUE(ascending || descending);
+}
+
+TEST(RealTimeSchedulerTest, PriorityClassMapping) {
+  // Fig 5: 3 classes, 2 s spacing -> cutoffs at 2 s and 4 s.
+  RealTimeScheduler sched(3, 2.0, kCyl);
+  EXPECT_EQ(sched.PriorityClass(1.0, 0.0), 0);   // within 2 s
+  EXPECT_EQ(sched.PriorityClass(3.0, 0.0), 1);   // 2-4 s out
+  EXPECT_EQ(sched.PriorityClass(10.0, 0.0), 2);  // beyond 4 s
+  EXPECT_EQ(sched.PriorityClass(-5.0, 0.0), 0);  // past due
+  EXPECT_EQ(sched.PriorityClass(sim::kSimTimeMax, 0.0), 2);  // none
+}
+
+TEST(RealTimeSchedulerTest, UrgentRequestOvertakesElevatorOrder) {
+  // Fig 6: request 2 (priority 1) is serviced before request 1
+  // (priority 2) even though the head must seek past request 1.
+  RealTimeScheduler sched(3, 2.0, kCyl);
+  hw::DiskRequest r1 = Req(10, 0, /*deadline=*/3.0);   // priority 1
+  hw::DiskRequest r2 = Req(40, 1, /*deadline=*/1.5);   // priority 0
+  sched.Push(&r1);
+  sched.Push(&r2);
+  EXPECT_EQ(sched.Pop(0, 0.0), &r2);
+}
+
+TEST(RealTimeSchedulerTest, PrioritiesRecomputedEachPop) {
+  // Continuing Fig 6: after servicing request 2, request 1 is now within
+  // 2 s of its deadline and is promoted.
+  RealTimeScheduler sched(3, 2.0, kCyl);
+  hw::DiskRequest r1 = Req(10, 0, /*deadline=*/3.0);
+  hw::DiskRequest lazy = Req(12, 1, /*deadline=*/100.0);
+  sched.Push(&r1);
+  sched.Push(&lazy);
+  // At t=2, r1 has 1 s of slack -> class 0; lazy stays class 2.
+  EXPECT_EQ(sched.Pop(40, 2.0), &r1);
+  EXPECT_EQ(sched.Pop(10, 2.0), &lazy);
+}
+
+TEST(RealTimeSchedulerTest, ElevatorOrderWithinClass) {
+  RealTimeScheduler sched(2, 4.0, kCyl);
+  hw::DiskRequest a = Req(30, 0, 1.0), b = Req(10, 1, 1.2),
+                  c = Req(70, 2, 0.9);
+  sched.Push(&a);
+  sched.Push(&b);
+  sched.Push(&c);
+  // All in class 0; head at 20 going up: 30, 70, then down to 10.
+  EXPECT_EQ(sched.Pop(20, 0.0), &a);
+  EXPECT_EQ(sched.Pop(30, 0.0), &c);
+  EXPECT_EQ(sched.Pop(70, 0.0), &b);
+}
+
+TEST(RealTimeSchedulerTest, PrefetchWithoutDeadlineIsLowestPriority) {
+  RealTimeScheduler sched(3, 2.0, kCyl);
+  hw::DiskRequest prefetch = Req(10, 0);
+  prefetch.is_prefetch = true;  // deadline stays kSimTimeMax -> class 2
+  hw::DiskRequest real = Req(90, 1, /*deadline=*/3.0);  // class 1
+  sched.Push(&prefetch);
+  sched.Push(&real);
+  EXPECT_EQ(sched.Pop(0, 0.0), &real);
+  EXPECT_EQ(sched.Pop(90, 0.0), &prefetch);
+}
+
+TEST(RealTimeSchedulerTest, UrgentPrefetchOvertakesLazyRealRequest) {
+  // Real-time prefetching: a prefetch with an urgent estimated deadline
+  // beats a non-urgent true request (§5.2.3).
+  RealTimeScheduler sched(3, 2.0, kCyl);
+  hw::DiskRequest prefetch = Req(80, 0, /*deadline=*/0.5);
+  prefetch.is_prefetch = true;
+  hw::DiskRequest real = Req(10, 1, /*deadline=*/30.0);
+  sched.Push(&prefetch);
+  sched.Push(&real);
+  EXPECT_EQ(sched.Pop(0, 0.0), &prefetch);
+}
+
+TEST(MakeDiskSchedulerTest, BuildsEveryPolicy) {
+  for (DiskSchedPolicy policy :
+       {DiskSchedPolicy::kFcfs, DiskSchedPolicy::kElevator,
+        DiskSchedPolicy::kRoundRobin, DiskSchedPolicy::kGss,
+        DiskSchedPolicy::kRealTime}) {
+    DiskSchedParams params;
+    params.policy = policy;
+    params.cylinder_bytes = kCyl;
+    std::unique_ptr<hw::DiskScheduler> sched = MakeDiskScheduler(params);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_TRUE(sched->empty());
+    hw::DiskRequest r = Req(5, 0, 1.0);
+    sched->Push(&r);
+    EXPECT_EQ(sched->size(), 1u);
+    EXPECT_EQ(sched->Pop(0, 0.0), &r);
+  }
+}
+
+}  // namespace
+}  // namespace spiffi::server

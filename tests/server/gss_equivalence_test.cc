@@ -1,0 +1,102 @@
+// The paper's limit claims about GSS (§5.2.2): with one group it is
+// nearly the elevator (at most one request per terminal per pass), and
+// with one group per terminal it is round-robin.
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/disk_sched.h"
+#include "sim/random.h"
+
+namespace spiffi::server {
+namespace {
+
+constexpr std::int64_t kCyl = 1280 * 1024;
+
+std::vector<hw::DiskRequest> OnePerTerminal(int terminals,
+                                            std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<hw::DiskRequest> requests(terminals);
+  for (int i = 0; i < terminals; ++i) {
+    requests[i].disk_offset =
+        static_cast<std::int64_t>(rng.UniformInt(5000)) * kCyl;
+    requests[i].bytes = 1;
+    requests[i].terminal = i;
+    requests[i].seq = static_cast<std::uint64_t>(i);
+  }
+  return requests;
+}
+
+// GSS with groups == terminals pops in the same terminal-cyclic order as
+// round-robin when each terminal has one pending request.
+TEST(GssEquivalenceTest, ManyGroupsActsLikeRoundRobin) {
+  constexpr int kTerminals = 24;
+  auto requests = OnePerTerminal(kTerminals, 5);
+  GssScheduler gss(kTerminals, kCyl);
+  RoundRobinScheduler rr;
+  for (auto& r : requests) {
+    gss.Push(&r);
+    rr.Push(&r);
+  }
+  // Each GSS group holds one terminal; groups are processed round-robin
+  // by group id == terminal id, so the terminal order matches
+  // round-robin's cyclic id order.
+  for (int i = 0; i < kTerminals; ++i) {
+    hw::DiskRequest* from_gss = gss.Pop(0, 0.0);
+    hw::DiskRequest* from_rr = rr.Pop(0, 0.0);
+    EXPECT_EQ(from_gss->terminal, from_rr->terminal) << "pop " << i;
+  }
+}
+
+// GSS with one group serves a one-request-per-terminal batch in a single
+// monotone sweep, exactly like the elevator would for that batch.
+TEST(GssEquivalenceTest, OneGroupSweepsLikeElevator) {
+  auto requests = OnePerTerminal(16, 9);
+  GssScheduler gss(1, kCyl);
+  for (auto& r : requests) gss.Push(&r);
+  std::vector<std::int64_t> cylinders;
+  for (int i = 0; i < 16; ++i) {
+    cylinders.push_back(gss.Pop(0, 0.0)->disk_offset / kCyl);
+  }
+  bool ascending = true;
+  bool descending = true;
+  for (std::size_t i = 1; i < cylinders.size(); ++i) {
+    if (cylinders[i] < cylinders[i - 1]) ascending = false;
+    if (cylinders[i] > cylinders[i - 1]) descending = false;
+  }
+  EXPECT_TRUE(ascending || descending);
+}
+
+// The difference from a true elevator: a terminal with many queued
+// requests gets exactly one serviced per pass under GSS-1.
+TEST(GssEquivalenceTest, OneGroupLimitsTerminalToOnePerPass) {
+  GssScheduler gss(1, kCyl);
+  std::vector<hw::DiskRequest> hog(5);
+  hw::DiskRequest other;
+  for (int i = 0; i < 5; ++i) {
+    hog[i].disk_offset = i * kCyl;
+    hog[i].bytes = 1;
+    hog[i].terminal = 0;
+    hog[i].seq = static_cast<std::uint64_t>(i);
+    gss.Push(&hog[i]);
+  }
+  other.disk_offset = 100 * kCyl;
+  other.bytes = 1;
+  other.terminal = 1;
+  other.seq = 99;
+  gss.Push(&other);
+  // First pass: one request from terminal 0 and the one from terminal 1.
+  std::vector<int> first_pass = {gss.Pop(0, 0.0)->terminal,
+                                 gss.Pop(0, 0.0)->terminal};
+  std::sort(first_pass.begin(), first_pass.end());
+  EXPECT_EQ(first_pass, (std::vector<int>{0, 1}));
+  // Remaining passes drain terminal 0's queue one per pass.
+  for (int pass = 0; pass < 4; ++pass) {
+    EXPECT_EQ(gss.Pop(0, 0.0)->terminal, 0);
+  }
+  EXPECT_TRUE(gss.empty());
+}
+
+}  // namespace
+}  // namespace spiffi::server

@@ -1,0 +1,236 @@
+// Property tests that every disk scheduling policy must satisfy,
+// parameterized over the policy and a randomized workload.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/disk_sched.h"
+#include "sim/random.h"
+
+namespace spiffi::server {
+namespace {
+
+constexpr std::int64_t kCylBytes = 1280 * 1024;
+
+struct SchedCase {
+  DiskSchedPolicy policy;
+  int gss_groups;
+  const char* name;
+};
+
+class SchedPropertyTest : public ::testing::TestWithParam<SchedCase> {
+ protected:
+  std::unique_ptr<hw::DiskScheduler> Make() {
+    DiskSchedParams params;
+    params.policy = GetParam().policy;
+    params.cylinder_bytes = kCylBytes;
+    params.gss_groups = GetParam().gss_groups;
+    params.realtime_classes = 3;
+    params.realtime_spacing_sec = 4.0;
+    return MakeDiskScheduler(params);
+  }
+
+  std::vector<hw::DiskRequest> RandomRequests(int n, std::uint64_t seed) {
+    sim::Rng rng(seed);
+    std::vector<hw::DiskRequest> requests(n);
+    for (int i = 0; i < n; ++i) {
+      requests[i].disk_offset =
+          static_cast<std::int64_t>(rng.UniformInt(5000)) * kCylBytes;
+      requests[i].bytes = 512 * 1024;
+      requests[i].terminal = static_cast<int>(rng.UniformInt(40));
+      requests[i].deadline = rng.Uniform(0.0, 20.0);
+      requests[i].is_prefetch = rng.NextDouble() < 0.3;
+      requests[i].seq = static_cast<std::uint64_t>(i);
+      requests[i].video = static_cast<std::int64_t>(rng.UniformInt(8));
+      requests[i].block = i;
+    }
+    return requests;
+  }
+};
+
+// Conservation: everything pushed is popped exactly once, regardless of
+// how pushes and pops interleave.
+TEST_P(SchedPropertyTest, EveryRequestPoppedExactlyOnce) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto sched = Make();
+    auto requests = RandomRequests(200, seed);
+    sim::Rng rng(seed * 977);
+    std::set<const hw::DiskRequest*> popped;
+    std::size_t pushed = 0;
+    std::int64_t head = 0;
+    double now = 0.0;
+    while (popped.size() < requests.size()) {
+      bool can_push = pushed < requests.size();
+      bool do_push = can_push && (sched->empty() || rng.NextDouble() < 0.5);
+      if (do_push) {
+        sched->Push(&requests[pushed++]);
+      } else {
+        ASSERT_FALSE(sched->empty());
+        hw::DiskRequest* r = sched->Pop(head, now);
+        ASSERT_NE(r, nullptr);
+        EXPECT_TRUE(popped.insert(r).second)
+            << GetParam().name << " popped a request twice";
+        head = r->disk_offset / kCylBytes;
+        now += 0.05;
+      }
+    }
+    EXPECT_TRUE(sched->empty());
+    EXPECT_EQ(sched->size(), 0u);
+  }
+}
+
+// Size bookkeeping stays consistent with pushes and pops.
+TEST_P(SchedPropertyTest, SizeTracksPushPop) {
+  auto sched = Make();
+  auto requests = RandomRequests(50, 3);
+  for (int i = 0; i < 50; ++i) {
+    sched->Push(&requests[i]);
+    EXPECT_EQ(sched->size(), static_cast<std::size_t>(i + 1));
+  }
+  for (int i = 49; i >= 0; --i) {
+    sched->Pop(0, 1.0);
+    EXPECT_EQ(sched->size(), static_cast<std::size_t>(i));
+  }
+}
+
+// Pop never invents requests: the returned pointer is one we pushed.
+TEST_P(SchedPropertyTest, PopReturnsPushedRequests) {
+  auto sched = Make();
+  auto requests = RandomRequests(64, 9);
+  std::set<const hw::DiskRequest*> pushed_set;
+  for (auto& r : requests) {
+    sched->Push(&r);
+    pushed_set.insert(&r);
+  }
+  while (!sched->empty()) {
+    EXPECT_EQ(pushed_set.count(sched->Pop(100, 2.0)), 1u);
+  }
+}
+
+// A drained scheduler can be reused.
+TEST_P(SchedPropertyTest, ReusableAfterDrain) {
+  auto sched = Make();
+  auto first = RandomRequests(20, 11);
+  for (auto& r : first) sched->Push(&r);
+  while (!sched->empty()) sched->Pop(0, 0.0);
+  auto second = RandomRequests(20, 13);
+  for (auto& r : second) sched->Push(&r);
+  int popped = 0;
+  while (!sched->empty()) {
+    sched->Pop(0, 0.0);
+    ++popped;
+  }
+  EXPECT_EQ(popped, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SchedPropertyTest,
+    ::testing::Values(
+        SchedCase{DiskSchedPolicy::kFcfs, 1, "fcfs"},
+        SchedCase{DiskSchedPolicy::kElevator, 1, "elevator"},
+        SchedCase{DiskSchedPolicy::kRoundRobin, 1, "round_robin"},
+        SchedCase{DiskSchedPolicy::kGss, 1, "gss1"},
+        SchedCase{DiskSchedPolicy::kGss, 4, "gss4"},
+        SchedCase{DiskSchedPolicy::kGss, 16, "gss16"},
+        SchedCase{DiskSchedPolicy::kRealTime, 1, "real_time"}),
+    [](const ::testing::TestParamInfo<SchedCase>& info) {
+      return info.param.name;
+    });
+
+// Seek-optimization ordering: over a random batch, the elevator's total
+// head travel never exceeds FCFS's (that is its whole point).
+TEST(SchedComparisonTest, ElevatorTravelsNoMoreThanFcfs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Rng rng(seed);
+    std::vector<hw::DiskRequest> requests(64);
+    for (int i = 0; i < 64; ++i) {
+      requests[i].disk_offset =
+          static_cast<std::int64_t>(rng.UniformInt(5000)) * kCylBytes;
+      requests[i].bytes = 1;
+      requests[i].terminal = i % 16;
+      requests[i].seq = static_cast<std::uint64_t>(i);
+    }
+    auto travel = [&](hw::DiskScheduler* sched) {
+      for (auto& r : requests) sched->Push(&r);
+      std::int64_t head = 2500;
+      std::int64_t total = 0;
+      while (!sched->empty()) {
+        hw::DiskRequest* r = sched->Pop(head, 0.0);
+        std::int64_t cyl = r->disk_offset / kCylBytes;
+        total += std::llabs(cyl - head);
+        head = cyl;
+      }
+      return total;
+    };
+    FcfsScheduler fcfs;
+    ElevatorScheduler elevator(kCylBytes);
+    EXPECT_LE(travel(&elevator), travel(&fcfs)) << "seed " << seed;
+  }
+}
+
+// With everything in one priority class, the real-time scheduler behaves
+// like an elevator: total travel well below FCFS.
+TEST(SchedComparisonTest, RealTimeDegeneratesToElevatorOrder) {
+  sim::Rng rng(5);
+  std::vector<hw::DiskRequest> requests(64);
+  for (int i = 0; i < 64; ++i) {
+    requests[i].disk_offset =
+        static_cast<std::int64_t>(rng.UniformInt(5000)) * kCylBytes;
+    requests[i].bytes = 1;
+    requests[i].deadline = 100.0;  // all in the same (lowest) class
+    requests[i].seq = static_cast<std::uint64_t>(i);
+  }
+  RealTimeScheduler rt(3, 4.0, kCylBytes);
+  ElevatorScheduler elevator(kCylBytes);
+  auto travel = [&](hw::DiskScheduler* sched) {
+    for (auto& r : requests) sched->Push(&r);
+    std::int64_t head = 0;
+    std::int64_t total = 0;
+    while (!sched->empty()) {
+      hw::DiskRequest* r = sched->Pop(head, 0.0);
+      std::int64_t cyl = r->disk_offset / kCylBytes;
+      total += std::llabs(cyl - head);
+      head = cyl;
+    }
+    return total;
+  };
+  EXPECT_EQ(travel(&rt), travel(&elevator));
+}
+
+// Deadline dominance: whenever the real-time scheduler pops, no pending
+// request belongs to a strictly more urgent priority class.
+TEST(SchedComparisonTest, RealTimeNeverSkipsMoreUrgentClass) {
+  sim::Rng rng(17);
+  RealTimeScheduler sched(3, 4.0, kCylBytes);
+  std::vector<hw::DiskRequest> requests(128);
+  std::vector<hw::DiskRequest*> pending;
+  for (int i = 0; i < 128; ++i) {
+    requests[i].disk_offset =
+        static_cast<std::int64_t>(rng.UniformInt(5000)) * kCylBytes;
+    requests[i].bytes = 1;
+    requests[i].deadline = rng.Uniform(0.0, 20.0);
+    requests[i].seq = static_cast<std::uint64_t>(i);
+    sched.Push(&requests[i]);
+    pending.push_back(&requests[i]);
+  }
+  double now = 0.0;
+  std::int64_t head = 0;
+  while (!sched.empty()) {
+    hw::DiskRequest* r = sched.Pop(head, now);
+    int popped_class = sched.PriorityClass(r->deadline, now);
+    for (hw::DiskRequest* p : pending) {
+      if (p == r) continue;
+      EXPECT_GE(sched.PriorityClass(p->deadline, now), popped_class);
+    }
+    pending.erase(std::find(pending.begin(), pending.end(), r));
+    head = r->disk_offset / kCylBytes;
+    now += 0.08;
+  }
+}
+
+}  // namespace
+}  // namespace spiffi::server

@@ -1,0 +1,132 @@
+#include "sim/calendar.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::sim {
+namespace {
+
+// Records the token of every event fired into a shared log.
+class Recorder : public EventHandler {
+ public:
+  explicit Recorder(std::vector<std::uint64_t>* log) : log_(log) {}
+  void OnEvent(std::uint64_t token) override { log_->push_back(token); }
+
+ private:
+  std::vector<std::uint64_t>* log_;
+};
+
+TEST(CalendarTest, EmptyCalendarReportsMaxTime) {
+  Calendar calendar;
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_EQ(calendar.PeekTime(), kSimTimeMax);
+  EXPECT_EQ(calendar.FireNext(), kSimTimeMax);
+}
+
+TEST(CalendarTest, FiresInTimeOrder) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  calendar.Schedule(3.0, &recorder, 3);
+  calendar.Schedule(1.0, &recorder, 1);
+  calendar.Schedule(2.0, &recorder, 2);
+  EXPECT_DOUBLE_EQ(calendar.FireNext(), 1.0);
+  EXPECT_DOUBLE_EQ(calendar.FireNext(), 2.0);
+  EXPECT_DOUBLE_EQ(calendar.FireNext(), 3.0);
+  EXPECT_EQ(log, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(CalendarTest, SameTimeFiresInScheduleOrder) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    calendar.Schedule(5.0, &recorder, i);
+  }
+  while (!calendar.empty()) calendar.FireNext();
+  ASSERT_EQ(log.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(log[i], i);
+}
+
+TEST(CalendarTest, CancelledEventDoesNotFire) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  calendar.Schedule(1.0, &recorder, 1);
+  EventId id = calendar.Schedule(2.0, &recorder, 2);
+  calendar.Schedule(3.0, &recorder, 3);
+  calendar.Cancel(id);
+  while (!calendar.empty()) calendar.FireNext();
+  EXPECT_EQ(log, (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(CalendarTest, CancelHeadEntryAdjustsPeek) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  EventId id = calendar.Schedule(1.0, &recorder, 1);
+  calendar.Schedule(2.0, &recorder, 2);
+  calendar.Cancel(id);
+  EXPECT_DOUBLE_EQ(calendar.PeekTime(), 2.0);
+  EXPECT_EQ(calendar.size(), 1u);
+}
+
+TEST(CalendarTest, CancelAfterFireIsNoOp) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  EventId id = calendar.Schedule(1.0, &recorder, 1);
+  calendar.FireNext();
+  calendar.Cancel(id);  // stale id; must not disturb later events
+  calendar.Schedule(2.0, &recorder, 2);
+  calendar.FireNext();
+  EXPECT_EQ(log, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(CalendarTest, HandlerMayScheduleDuringFire) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+
+  class Chainer : public EventHandler {
+   public:
+    Chainer(Calendar* calendar, std::vector<std::uint64_t>* log)
+        : calendar_(calendar), log_(log) {}
+    void OnEvent(std::uint64_t token) override {
+      log_->push_back(token);
+      if (token < 5) calendar_->Schedule(token + 1.0, this, token + 1);
+    }
+
+   private:
+    Calendar* calendar_;
+    std::vector<std::uint64_t>* log_;
+  };
+
+  Chainer chainer(&calendar, &log);
+  calendar.Schedule(1.0, &chainer, 1);
+  while (!calendar.empty()) calendar.FireNext();
+  EXPECT_EQ(log, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(CalendarTest, ClearDropsAllEntries) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  calendar.Schedule(1.0, &recorder, 1);
+  calendar.Schedule(2.0, &recorder, 2);
+  calendar.Clear();
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(CalendarTest, CountsFiredEvents) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  for (int i = 0; i < 10; ++i) calendar.Schedule(i, &recorder, i);
+  while (!calendar.empty()) calendar.FireNext();
+  EXPECT_EQ(calendar.fired_count(), 10u);
+}
+
+}  // namespace
+}  // namespace spiffi::sim

@@ -1,0 +1,81 @@
+#include "sim/histogram.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "sim/random.h"
+
+namespace spiffi::sim {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, TracksExactExtremesAndMean) {
+  Histogram h;
+  for (double v : {0.010, 0.020, 0.030, 0.040}) h.Add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.010);
+  EXPECT_DOUBLE_EQ(h.max(), 0.040);
+  EXPECT_NEAR(h.mean(), 0.025, 1e-12);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketResolution) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.Uniform(0.0, 1.0));
+  // Uniform on [0,1]: p50 ~ 0.5, p90 ~ 0.9, within ~19% bucket width.
+  EXPECT_NEAR(h.Percentile(0.5), 0.5, 0.1);
+  EXPECT_NEAR(h.Percentile(0.9), 0.9, 0.18);
+  EXPECT_LE(h.Percentile(0.1), h.Percentile(0.5));
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.99));
+}
+
+TEST(HistogramTest, PercentileZeroAndOneClampToExtremes) {
+  Histogram h;
+  h.Add(0.005);
+  h.Add(0.500);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.005);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.500);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEndBuckets) {
+  Histogram h;
+  h.Add(1e-9);   // below the 1 us floor
+  h.Add(1e9);    // way above an hour
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+}
+
+TEST(HistogramTest, BucketBoundsGrowGeometrically) {
+  double previous = Histogram::BucketBound(0);
+  for (int b = 1; b < Histogram::kBuckets; ++b) {
+    double bound = Histogram::BucketBound(b);
+    EXPECT_NEAR(bound / previous, std::pow(2.0, 0.25), 1e-9);
+    previous = bound;
+  }
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, ExponentialTailPercentiles) {
+  Histogram h;
+  Rng rng(9);
+  for (int i = 0; i < 200000; ++i) h.Add(rng.Exponential(0.1));
+  // Exponential(0.1): p50 = 0.0693, p99 = 0.4605.
+  EXPECT_NEAR(h.Percentile(0.5), 0.0693, 0.02);
+  EXPECT_NEAR(h.Percentile(0.99), 0.4605, 0.1);
+}
+
+}  // namespace
+}  // namespace spiffi::sim

@@ -1,0 +1,103 @@
+#include "sim/mailbox.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/process.h"
+
+namespace spiffi::sim {
+namespace {
+
+TEST(MailboxTest, ReceiveGetsQueuedMessage) {
+  Environment env;
+  Mailbox<int> box(&env);
+  box.Send(42);
+  int got = 0;
+  env.Spawn([](Mailbox<int>* b, int* out) -> Process {
+    *out = co_await b->Receive();
+  }(&box, &got));
+  env.Run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(MailboxTest, ReceiverBlocksUntilSend) {
+  Environment env;
+  Mailbox<int> box(&env);
+  std::vector<double> received_at;
+  env.Spawn([](Environment* e, Mailbox<int>* b,
+               std::vector<double>* log) -> Process {
+    (void)co_await b->Receive();
+    log->push_back(e->now());
+  }(&env, &box, &received_at));
+  env.Spawn([](Environment* e, Mailbox<int>* b) -> Process {
+    co_await e->Hold(3.0);
+    b->Send(7);
+  }(&env, &box));
+  env.Run();
+  ASSERT_EQ(received_at.size(), 1u);
+  EXPECT_DOUBLE_EQ(received_at[0], 3.0);
+}
+
+TEST(MailboxTest, MessagesDeliveredInFifoOrder) {
+  Environment env;
+  Mailbox<int> box(&env);
+  for (int i = 0; i < 5; ++i) box.Send(i);
+  std::vector<int> got;
+  env.Spawn([](Mailbox<int>* b, std::vector<int>* out) -> Process {
+    for (int i = 0; i < 5; ++i) out->push_back(co_await b->Receive());
+  }(&box, &got));
+  env.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MailboxTest, MultipleReceiversServedFifo) {
+  Environment env;
+  Mailbox<int> box(&env);
+  std::vector<std::pair<int, int>> got;  // (receiver id, value)
+  for (int r = 0; r < 3; ++r) {
+    env.Spawn([](Mailbox<int>* b, std::vector<std::pair<int, int>>* out,
+                 int id) -> Process {
+      int v = co_await b->Receive();
+      out->push_back({id, v});
+    }(&box, &got, r));
+  }
+  env.Spawn([](Environment* e, Mailbox<int>* b) -> Process {
+    co_await e->Hold(1.0);
+    b->Send(100);
+    b->Send(200);
+    b->Send(300);
+  }(&env, &box));
+  env.Run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{1, 200}));
+  EXPECT_EQ(got[2], (std::pair<int, int>{2, 300}));
+}
+
+TEST(MailboxTest, MoveOnlyPayload) {
+  Environment env;
+  Mailbox<std::unique_ptr<std::string>> box(&env);
+  box.Send(std::make_unique<std::string>("hello"));
+  std::string got;
+  env.Spawn(
+      [](Mailbox<std::unique_ptr<std::string>>* b, std::string* out)
+          -> Process {
+        auto p = co_await b->Receive();
+        *out = *p;
+      }(&box, &got));
+  env.Run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(MailboxTest, PendingCountTracksQueue) {
+  Environment env;
+  Mailbox<int> box(&env);
+  EXPECT_EQ(box.pending(), 0u);
+  box.Send(1);
+  box.Send(2);
+  EXPECT_EQ(box.pending(), 2u);
+}
+
+}  // namespace
+}  // namespace spiffi::sim

@@ -1,0 +1,111 @@
+#include "sim/process.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/environment.h"
+
+namespace spiffi::sim {
+namespace {
+
+Process Trivial(Environment* env, bool* ran) {
+  *ran = true;
+  co_await env->Hold(0.0);
+}
+
+TEST(ProcessTest, DoesNotRunUntilSpawned) {
+  Environment env;
+  bool ran = false;
+  Process p = Trivial(&env, &ran);
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(p.valid());
+  env.Spawn(std::move(p));
+  EXPECT_FALSE(ran);  // spawn schedules; nothing runs until Run()
+  env.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ProcessTest, UnspawnedProcessIsDestroyedCleanly) {
+  Environment env;
+  bool ran = false;
+  {
+    Process p = Trivial(&env, &ran);
+    // p destroyed without Spawn: frame must be freed, body never run.
+  }
+  env.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(ProcessTest, MoveTransfersOwnership) {
+  Environment env;
+  bool ran = false;
+  Process a = Trivial(&env, &ran);
+  Process b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  env.Spawn(std::move(b));
+  env.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ProcessTest, CompletedProcessIsDeregistered) {
+  Environment env;
+  bool ran = false;
+  env.Spawn(Trivial(&env, &ran));
+  EXPECT_EQ(env.live_processes(), 1u);
+  env.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(env.live_processes(), 0u);
+}
+
+Process SpawnChild(Environment* env, std::vector<int>* log) {
+  log->push_back(1);
+  env->Spawn([](Environment* e, std::vector<int>* l) -> Process {
+    l->push_back(2);
+    co_await e->Hold(1.0);
+    l->push_back(4);
+  }(env, log));
+  co_await env->Hold(0.5);
+  log->push_back(3);
+}
+
+TEST(ProcessTest, ProcessesCanSpawnProcesses) {
+  Environment env;
+  std::vector<int> log;
+  env.Spawn(SpawnChild(&env, &log));
+  env.Run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(env.live_processes(), 0u);
+}
+
+Process MultiHold(Environment* env, std::vector<double>* times, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await env->Hold(1.0);
+    times->push_back(env->now());
+  }
+}
+
+TEST(ProcessTest, SequentialHoldsAccumulate) {
+  Environment env;
+  std::vector<double> times;
+  env.Spawn(MultiHold(&env, &times, 4));
+  env.Run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(ProcessTest, ThousandsOfProcessesComplete) {
+  Environment env;
+  int completed = 0;
+  for (int i = 0; i < 5000; ++i) {
+    env.Spawn([](Environment* e, int* done, int id) -> Process {
+      co_await e->Hold(0.001 * (id % 100));
+      ++*done;
+    }(&env, &completed, i));
+  }
+  env.Run();
+  EXPECT_EQ(completed, 5000);
+  EXPECT_EQ(env.live_processes(), 0u);
+}
+
+}  // namespace
+}  // namespace spiffi::sim

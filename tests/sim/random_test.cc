@@ -1,0 +1,118 @@
+#include "sim/random.h"
+
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::sim {
+namespace {
+
+TEST(RandomTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, ChildStreamsAreIndependentOfConsumption) {
+  // Deriving a child must depend only on the parent seed, not on how much
+  // the parent has been consumed.
+  Rng a(42);
+  Rng child_before = a.Child(7);
+  a.NextU64();
+  a.NextU64();
+  Rng child_after = a.Child(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child_before.NextU64(), child_after.NextU64());
+  }
+}
+
+TEST(RandomTest, DistinctChildStreamsDiffer) {
+  Rng a(42);
+  Rng c1 = a.Child(1);
+  Rng c2 = a.Child(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.NextU64() == c2.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.UniformInt(8);
+    EXPECT_LT(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all values hit in 1000 draws
+}
+
+TEST(RandomTest, ExponentialMeanApproximately) {
+  Rng rng(77);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(RandomTest, ExponentialIsNonNegative) {
+  Rng rng(77);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.Exponential(1.0), 0.0);
+}
+
+TEST(RandomTest, CounterModeIsStateless) {
+  // Same (seed, index) -> same draw, regardless of call order.
+  double a = ExponentialAt(5, 100, 2.0);
+  double b = ExponentialAt(5, 7, 2.0);
+  EXPECT_DOUBLE_EQ(ExponentialAt(5, 100, 2.0), a);
+  EXPECT_DOUBLE_EQ(ExponentialAt(5, 7, 2.0), b);
+  EXPECT_NE(a, b);
+}
+
+TEST(RandomTest, CounterModeMeanApproximately) {
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += ExponentialAt(11, i, 4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(RandomTest, Mix64AvalanchesLowBits) {
+  // Adjacent inputs must produce wildly different outputs.
+  int differing_bits = 0;
+  std::uint64_t x = Mix64(1000);
+  std::uint64_t y = Mix64(1001);
+  differing_bits = __builtin_popcountll(x ^ y);
+  EXPECT_GT(differing_bits, 16);
+  EXPECT_LT(differing_bits, 48);
+}
+
+}  // namespace
+}  // namespace spiffi::sim

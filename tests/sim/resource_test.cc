@@ -1,0 +1,105 @@
+#include "sim/resource.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/process.h"
+
+namespace spiffi::sim {
+namespace {
+
+Process UseOnce(Environment* env, Resource* res, double service,
+                std::vector<double>* done_at) {
+  co_await res->Use(service);
+  done_at->push_back(env->now());
+}
+
+TEST(ResourceTest, SingleServerSerializesRequests) {
+  Environment env;
+  Resource cpu(&env, 1, "cpu");
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) env.Spawn(UseOnce(&env, &cpu, 2.0, &done));
+  env.Run();
+  EXPECT_EQ(done, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(ResourceTest, MultiServerRunsInParallel) {
+  Environment env;
+  Resource res(&env, 2, "disk-pair");
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) env.Spawn(UseOnce(&env, &res, 2.0, &done));
+  env.Run();
+  EXPECT_EQ(done, (std::vector<double>{2.0, 2.0, 4.0, 4.0}));
+}
+
+TEST(ResourceTest, FcfsOrderPreserved) {
+  Environment env;
+  Resource res(&env, 1, "cpu");
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    env.Spawn([](Environment* e, Resource* r, std::vector<int>* log,
+                 int id) -> Process {
+      co_await e->Hold(0.1 * id);  // arrive staggered
+      co_await r->Use(1.0);
+      log->push_back(id);
+    }(&env, &res, &order, i));
+  }
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, UtilizationFullWhenAlwaysBusy) {
+  Environment env;
+  Resource res(&env, 1, "cpu");
+  std::vector<double> done;
+  for (int i = 0; i < 10; ++i) env.Spawn(UseOnce(&env, &res, 1.0, &done));
+  env.Run();
+  EXPECT_NEAR(res.AverageUtilization(env.now()), 1.0, 1e-9);
+}
+
+TEST(ResourceTest, UtilizationHalfWhenBusyHalfTheTime) {
+  Environment env;
+  Resource res(&env, 1, "cpu");
+  env.Spawn([](Environment* e, Resource* r) -> Process {
+    co_await r->Use(5.0);  // busy [0, 5)
+    co_await e->Hold(5.0);  // idle [5, 10)
+  }(&env, &res));
+  env.RunUntil(10.0);
+  EXPECT_NEAR(res.AverageUtilization(env.now()), 0.5, 1e-9);
+}
+
+TEST(ResourceTest, ResetStatsOpensNewWindow) {
+  Environment env;
+  Resource res(&env, 1, "cpu");
+  std::vector<double> done;
+  env.Spawn(UseOnce(&env, &res, 4.0, &done));  // busy [0,4)
+  env.Run();
+  res.ResetStats(env.now());
+  env.Spawn(UseOnce(&env, &res, 1.0, &done));  // busy [4,5)
+  env.RunUntil(6.0);
+  EXPECT_NEAR(res.AverageUtilization(env.now()), 0.5, 1e-9);
+}
+
+TEST(ResourceTest, ServiceTallyRecordsTimes) {
+  Environment env;
+  Resource res(&env, 1, "cpu");
+  std::vector<double> done;
+  env.Spawn(UseOnce(&env, &res, 1.0, &done));
+  env.Spawn(UseOnce(&env, &res, 3.0, &done));
+  env.Run();
+  EXPECT_EQ(res.service_tally().count(), 2u);
+  EXPECT_DOUBLE_EQ(res.service_tally().mean(), 2.0);
+}
+
+TEST(ResourceTest, QueueLengthVisibleMidRun) {
+  Environment env;
+  Resource res(&env, 1, "cpu");
+  std::vector<double> done;
+  for (int i = 0; i < 5; ++i) env.Spawn(UseOnce(&env, &res, 10.0, &done));
+  env.RunUntil(1.0);
+  EXPECT_EQ(res.busy(), 1);
+  EXPECT_EQ(res.queue_length(), 4u);
+}
+
+}  // namespace
+}  // namespace spiffi::sim

@@ -1,0 +1,122 @@
+#include "sim/semaphore.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/process.h"
+
+namespace spiffi::sim {
+namespace {
+
+TEST(SemaphoreTest, AcquireSucceedsImmediatelyWhenAvailable) {
+  Environment env;
+  Semaphore sem(&env, 2);
+  std::vector<double> acquired_at;
+  env.Spawn([](Environment* e, Semaphore* s,
+               std::vector<double>* log) -> Process {
+    co_await s->Acquire();
+    log->push_back(e->now());
+  }(&env, &sem, &acquired_at));
+  env.Run();
+  ASSERT_EQ(acquired_at.size(), 1u);
+  EXPECT_DOUBLE_EQ(acquired_at[0], 0.0);
+  EXPECT_EQ(sem.available(), 1);
+}
+
+Process HoldUnit(Environment* env, Semaphore* sem, double hold_time,
+                 std::vector<std::pair<int, double>>* log, int id) {
+  co_await sem->Acquire();
+  log->push_back({id, env->now()});
+  co_await env->Hold(hold_time);
+  sem->Release();
+}
+
+TEST(SemaphoreTest, WaitersServedFifo) {
+  Environment env;
+  Semaphore sem(&env, 1);
+  std::vector<std::pair<int, double>> log;
+  for (int i = 0; i < 4; ++i) {
+    env.Spawn(HoldUnit(&env, &sem, 1.0, &log, i));
+  }
+  env.Run();
+  ASSERT_EQ(log.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(log[i].first, i);
+    EXPECT_DOUBLE_EQ(log[i].second, static_cast<double>(i));
+  }
+}
+
+TEST(SemaphoreTest, ReleaseWithoutWaitersIncrementsCount) {
+  Environment env;
+  Semaphore sem(&env, 0);
+  sem.Release();
+  sem.Release();
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(SemaphoreTest, LateArrivalCannotStealFromWaiter) {
+  // Process A waits on an empty semaphore. A release and a new Acquire
+  // happen at the same instant: A must win.
+  Environment env;
+  Semaphore sem(&env, 0);
+  std::vector<int> order;
+
+  env.Spawn([](Environment* e, Semaphore* s, std::vector<int>* o) -> Process {
+    co_await s->Acquire();
+    o->push_back(1);  // the original waiter
+    (void)e;
+  }(&env, &sem, &order));
+
+  env.Spawn([](Environment* e, Semaphore* s, std::vector<int>* o) -> Process {
+    co_await e->Hold(1.0);
+    s->Release();
+    co_await s->Acquire();  // same instant as the release
+    o->push_back(2);
+  }(&env, &sem, &order));
+
+  env.Spawn([](Environment* e, Semaphore* s, std::vector<int>*) -> Process {
+    co_await e->Hold(2.0);
+    s->Release();  // unblock the second acquirer so the run finishes
+  }(&env, &sem, &order));
+
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SemaphoreTest, CountsWaiters) {
+  Environment env;
+  Semaphore sem(&env, 0);
+  std::vector<std::pair<int, double>> log;
+  for (int i = 0; i < 3; ++i) env.Spawn(HoldUnit(&env, &sem, 0.0, &log, i));
+  env.RunUntil(0.5);
+  EXPECT_EQ(sem.waiters(), 3u);
+  sem.Release();
+  env.Run();
+  EXPECT_EQ(sem.waiters(), 0u);  // chain of release->acquire drained all
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(SemaphoreTest, MultiUnitMutualExclusion) {
+  // With capacity 2, at most two holders may overlap.
+  Environment env;
+  Semaphore sem(&env, 2);
+  int active = 0;
+  int max_active = 0;
+  for (int i = 0; i < 10; ++i) {
+    env.Spawn([](Environment* e, Semaphore* s, int* act,
+                 int* max_act) -> Process {
+      co_await s->Acquire();
+      ++*act;
+      if (*act > *max_act) *max_act = *act;
+      co_await e->Hold(1.0);
+      --*act;
+      s->Release();
+    }(&env, &sem, &active, &max_active));
+  }
+  env.Run();
+  EXPECT_EQ(max_active, 2);
+  EXPECT_EQ(active, 0);
+}
+
+}  // namespace
+}  // namespace spiffi::sim

@@ -1,0 +1,86 @@
+#include "sim/stats.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::sim {
+namespace {
+
+TEST(TallyTest, EmptyTallyIsZero) {
+  Tally t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+}
+
+TEST(TallyTest, MeanAndVariance) {
+  Tally t;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.Add(x);
+  EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(t.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.min(), 2.0);
+  EXPECT_DOUBLE_EQ(t.max(), 9.0);
+}
+
+TEST(TallyTest, CiHalfWidthShrinksWithSamples) {
+  Tally small, large;
+  for (int i = 0; i < 10; ++i) small.Add(i % 5);
+  for (int i = 0; i < 1000; ++i) large.Add(i % 5);
+  EXPECT_GT(small.ci_half_width(), large.ci_half_width());
+}
+
+TEST(TallyTest, ResetClears) {
+  Tally t;
+  t.Add(5.0);
+  t.Reset();
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+}
+
+TEST(TimeWeightedTest, ConstantValueAverage) {
+  TimeWeighted w(3.0);
+  EXPECT_DOUBLE_EQ(w.Average(10.0), 3.0);
+}
+
+TEST(TimeWeightedTest, StepFunctionAverage) {
+  TimeWeighted w(0.0);
+  w.Set(1.0, 2.0);   // 0 over [0,2), 1 over [2,...)
+  w.Set(3.0, 6.0);   // 1 over [2,6), 3 over [6,...)
+  // At t=10: integral = 0*2 + 1*4 + 3*4 = 16; avg = 1.6.
+  EXPECT_DOUBLE_EQ(w.Average(10.0), 1.6);
+  EXPECT_DOUBLE_EQ(w.max(), 3.0);
+}
+
+TEST(TimeWeightedTest, ResetStartsNewWindow) {
+  TimeWeighted w(0.0);
+  w.Set(10.0, 5.0);
+  w.Reset(5.0);
+  // After reset only the constant 10 over [5, 8) counts.
+  EXPECT_DOUBLE_EQ(w.Average(8.0), 10.0);
+}
+
+TEST(TimeWeightedTest, ZeroWindowReturnsCurrentValue) {
+  TimeWeighted w(4.0);
+  w.Reset(2.0);
+  EXPECT_DOUBLE_EQ(w.Average(2.0), 4.0);
+}
+
+TEST(UtilizationTest, FractionOfCapacity) {
+  Utilization u(4);
+  u.SetBusy(2, 0.0);
+  // busy 2/4 over [0, 10)
+  EXPECT_DOUBLE_EQ(u.Average(10.0), 0.5);
+}
+
+TEST(UtilizationTest, VaryingBusyCount) {
+  Utilization u(2);
+  u.SetBusy(1, 0.0);
+  u.SetBusy(2, 5.0);
+  // integral = 1*5 + 2*5 = 15 busy-seconds over 10 s of 2 servers -> 0.75
+  EXPECT_DOUBLE_EQ(u.Average(10.0), 0.75);
+}
+
+}  // namespace
+}  // namespace spiffi::sim

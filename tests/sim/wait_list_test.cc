@@ -1,0 +1,149 @@
+#include "sim/wait_list.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/process.h"
+
+namespace spiffi::sim {
+namespace {
+
+TEST(WaitListTest, NotifyOneWakesOldestWaiter) {
+  Environment env;
+  WaitList list(&env);
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    env.Spawn([](WaitList* l, std::vector<int>* log, int id) -> Process {
+      bool notified = co_await l->Wait();
+      EXPECT_TRUE(notified);
+      log->push_back(id);
+    }(&list, &woke, i));
+  }
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(1.0);
+    l->NotifyOne();
+    co_await e->Hold(1.0);
+    l->NotifyOne();
+    l->NotifyOne();
+  }(&env, &list));
+  env.Run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitListTest, NotifyAllWakesEveryone) {
+  Environment env;
+  WaitList list(&env);
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    env.Spawn([](WaitList* l, int* count) -> Process {
+      (void)co_await l->Wait();
+      ++*count;
+    }(&list, &woke));
+  }
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(2.0);
+    l->NotifyAll();
+  }(&env, &list));
+  env.Run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(WaitListTest, WaitUntilTimesOut) {
+  Environment env;
+  WaitList list(&env);
+  double resumed_at = -1.0;
+  bool notified = true;
+  env.Spawn([](Environment* e, WaitList* l, double* at,
+               bool* n) -> Process {
+    *n = co_await l->WaitUntil(3.0);
+    *at = e->now();
+  }(&env, &list, &resumed_at, &notified));
+  env.Run();
+  EXPECT_FALSE(notified);
+  EXPECT_DOUBLE_EQ(resumed_at, 3.0);
+  EXPECT_EQ(list.waiter_count(), 0u);
+}
+
+TEST(WaitListTest, NotifyBeforeDeadlineCancelsTimer) {
+  Environment env;
+  WaitList list(&env);
+  double resumed_at = -1.0;
+  bool notified = false;
+  env.Spawn([](Environment* e, WaitList* l, double* at,
+               bool* n) -> Process {
+    *n = co_await l->WaitUntil(10.0);
+    *at = e->now();
+  }(&env, &list, &resumed_at, &notified));
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(2.0);
+    l->NotifyAll();
+  }(&env, &list));
+  env.Run();
+  EXPECT_TRUE(notified);
+  EXPECT_DOUBLE_EQ(resumed_at, 2.0);
+}
+
+TEST(WaitListTest, TimedOutWaiterNotNotifiedLater) {
+  Environment env;
+  WaitList list(&env);
+  int notify_count = 0;
+  env.Spawn([](WaitList* l, int* n) -> Process {
+    if (co_await l->WaitUntil(1.0)) ++*n;
+  }(&list, &notify_count));
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(5.0);
+    l->NotifyAll();  // nobody should be waiting by now
+  }(&env, &list));
+  env.Run();
+  EXPECT_EQ(notify_count, 0);
+}
+
+TEST(WaitListTest, ReWaitAfterNotifyAllJoinsNextRound) {
+  // A waiter that re-waits inside its resumption must not be woken by the
+  // same NotifyAll round.
+  Environment env;
+  WaitList list(&env);
+  int wakes = 0;
+  env.Spawn([](WaitList* l, int* w) -> Process {
+    (void)co_await l->Wait();
+    ++*w;
+    (void)co_await l->Wait();
+    ++*w;
+  }(&list, &wakes));
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(1.0);
+    l->NotifyAll();
+    co_await e->Hold(1.0);
+    l->NotifyAll();
+  }(&env, &list));
+  env.Run();
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(WaitListTest, MixedTimeoutAndNotifyOrdering) {
+  Environment env;
+  WaitList list(&env);
+  std::vector<std::pair<int, bool>> events;  // (id, notified)
+  // Waiter 0 times out at t=1; waiter 1 is notified at t=2.
+  env.Spawn([](WaitList* l, std::vector<std::pair<int, bool>>* log)
+                -> Process {
+    bool n = co_await l->WaitUntil(1.0);
+    log->push_back({0, n});
+  }(&list, &events));
+  env.Spawn([](WaitList* l, std::vector<std::pair<int, bool>>* log)
+                -> Process {
+    bool n = co_await l->WaitUntil(10.0);
+    log->push_back({1, n});
+  }(&list, &events));
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(2.0);
+    l->NotifyOne();
+  }(&env, &list));
+  env.Run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<int, bool>{0, false}));
+  EXPECT_EQ(events[1], (std::pair<int, bool>{1, true}));
+}
+
+}  // namespace
+}  // namespace spiffi::sim

@@ -1,0 +1,92 @@
+// Edge-case behaviour of the capacity search.
+
+#include "gtest/gtest.h"
+#include "vod/capacity.h"
+
+namespace spiffi::vod {
+namespace {
+
+SimConfig TinyConfig() {
+  SimConfig config;
+  config.num_nodes = 1;
+  config.disks_per_node = 2;
+  config.video_seconds = 120.0;
+  config.videos_per_disk = 4;
+  config.server_memory_bytes = 128LL * 1024 * 1024;
+  config.start_window_sec = 10.0;
+  config.warmup_seconds = 15.0;
+  config.measure_seconds = 20.0;
+  return config;
+}
+
+TEST(CapacityEdgeTest, EverythingGlitchesReportsZeroCapacity) {
+  // A configuration that glitches even at the minimum probe: one disk
+  // cannot feed 30+ terminals, and we forbid probing below 30.
+  SimConfig config = TinyConfig();
+  config.disks_per_node = 1;
+  config.videos_per_disk = 8;  // keep 8 videos on the single disk
+  CapacitySearchOptions options;
+  options.min_terminals = 30;
+  options.max_terminals = 100;
+  options.start_guess = 60;
+  options.step = 10;
+  CapacityResult result = FindMaxTerminals(config, options);
+  // Depending on luck the single disk may or may not carry exactly 30;
+  // the contract is that the result is below the first failing probe and
+  // that a failing probe exists.
+  bool any_failure = false;
+  for (const auto& [terminals, glitches] : result.probes) {
+    if (glitches > 0) any_failure = true;
+  }
+  EXPECT_TRUE(any_failure);
+  EXPECT_LT(result.max_terminals, 60);
+}
+
+TEST(CapacityEdgeTest, StartGuessClampedIntoRange) {
+  SimConfig config = TinyConfig();
+  CapacitySearchOptions options;
+  options.min_terminals = 5;
+  options.max_terminals = 20;  // guess of 100 must be clamped to 20
+  options.start_guess = 100;
+  options.step = 5;
+  CapacityResult result = FindMaxTerminals(config, options);
+  for (const auto& [terminals, glitches] : result.probes) {
+    EXPECT_LE(terminals, 20);
+    EXPECT_GE(terminals, 5);
+  }
+  EXPECT_EQ(result.max_terminals, 20);  // 2 disks carry 20 easily
+}
+
+TEST(CapacityEdgeTest, CoarseStepStillBracketsBoundary) {
+  SimConfig config = TinyConfig();
+  CapacitySearchOptions fine;
+  fine.start_guess = 16;
+  fine.step = 2;
+  fine.max_terminals = 150;
+  CapacitySearchOptions coarse = fine;
+  coarse.step = 20;
+  CapacityResult fine_result = FindMaxTerminals(config, fine);
+  CapacityResult coarse_result = FindMaxTerminals(config, coarse);
+  // Coarse search lands within one coarse step of the fine result.
+  EXPECT_NEAR(coarse_result.max_terminals, fine_result.max_terminals, 25);
+  // Fine search needed at least as many probes.
+  EXPECT_GE(fine_result.probes.size(), coarse_result.probes.size());
+}
+
+TEST(CapacityEdgeTest, ProbesAreReproducible) {
+  SimConfig config = TinyConfig();
+  CapacitySearchOptions options;
+  options.start_guess = 24;
+  options.step = 8;
+  options.max_terminals = 150;
+  CapacityResult a = FindMaxTerminals(config, options);
+  CapacityResult b = FindMaxTerminals(config, options);
+  EXPECT_EQ(a.max_terminals, b.max_terminals);
+  ASSERT_EQ(a.probes.size(), b.probes.size());
+  for (std::size_t i = 0; i < a.probes.size(); ++i) {
+    EXPECT_EQ(a.probes[i], b.probes[i]);
+  }
+}
+
+}  // namespace
+}  // namespace spiffi::vod

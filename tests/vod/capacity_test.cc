@@ -1,0 +1,101 @@
+#include "vod/capacity.h"
+
+#include "gtest/gtest.h"
+
+namespace spiffi::vod {
+namespace {
+
+// Tiny configuration so capacity searches run in well under a second per
+// probe: 1 node, 2 disks, 2-minute videos, short windows.
+SimConfig TinyConfig() {
+  SimConfig config;
+  config.num_nodes = 1;
+  config.disks_per_node = 2;
+  config.video_seconds = 120.0;
+  config.videos_per_disk = 4;
+  config.server_memory_bytes = 128LL * 1024 * 1024;
+  config.start_window_sec = 10.0;
+  config.warmup_seconds = 15.0;
+  config.measure_seconds = 20.0;
+  return config;
+}
+
+TEST(CapacityTest, GlitchesAtMonotoneAtExtremes) {
+  SimConfig config = TinyConfig();
+  EXPECT_EQ(GlitchesAt(config, 5, 1), 0u);
+  EXPECT_GT(GlitchesAt(config, 80, 1), 0u);
+}
+
+TEST(CapacityTest, FindMaxTerminalsBracketsTheBoundary) {
+  SimConfig config = TinyConfig();
+  CapacitySearchOptions options;
+  options.min_terminals = 2;
+  options.max_terminals = 120;
+  options.start_guess = 16;
+  options.step = 4;
+  CapacityResult result = FindMaxTerminals(config, options);
+  // The boundary for 2 disks is somewhere in the tens of terminals.
+  EXPECT_GT(result.max_terminals, 10);
+  EXPECT_LT(result.max_terminals, 80);
+  // The reported capacity was actually probed glitch-free...
+  bool found = false;
+  for (const auto& [terminals, glitches] : result.probes) {
+    if (terminals == result.max_terminals) {
+      EXPECT_EQ(glitches, 0u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // ...and something above it glitched.
+  bool failure_seen = false;
+  for (const auto& [terminals, glitches] : result.probes) {
+    if (terminals > result.max_terminals && glitches > 0) {
+      failure_seen = true;
+    }
+  }
+  EXPECT_TRUE(failure_seen);
+}
+
+TEST(CapacityTest, ResultCarriesMetricsAtCapacity) {
+  SimConfig config = TinyConfig();
+  CapacitySearchOptions options;
+  options.min_terminals = 2;
+  options.max_terminals = 120;
+  options.start_guess = 16;
+  options.step = 8;
+  CapacityResult result = FindMaxTerminals(config, options);
+  EXPECT_EQ(result.at_capacity.glitches, 0u);
+  EXPECT_GT(result.at_capacity.frames_displayed, 0u);
+}
+
+TEST(CapacityTest, SearchRespectsMaxBound) {
+  SimConfig config = TinyConfig();
+  config.terminals = 1;
+  CapacitySearchOptions options;
+  options.min_terminals = 2;
+  options.max_terminals = 8;  // far below true capacity
+  options.start_guess = 4;
+  options.step = 2;
+  CapacityResult result = FindMaxTerminals(config, options);
+  EXPECT_EQ(result.max_terminals, 8);
+}
+
+TEST(CapacityTest, ReplicationsSumGlitches) {
+  SimConfig config = TinyConfig();
+  std::uint64_t one = GlitchesAt(config, 80, 1);
+  std::uint64_t three = GlitchesAt(config, 80, 3);
+  EXPECT_GE(three, one);  // more seeds, at least as many glitches
+}
+
+TEST(CapacityTest, GlitchCurveMatchesDirectProbes) {
+  SimConfig config = TinyConfig();
+  auto curve = GlitchCurve(config, {10, 90});
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_EQ(curve[0].first, 10);
+  EXPECT_EQ(curve[0].second, 0u);
+  EXPECT_GT(curve[1].second, 0u);
+  EXPECT_EQ(curve[1].second, GlitchesAt(config, 90, 1));
+}
+
+}  // namespace
+}  // namespace spiffi::vod

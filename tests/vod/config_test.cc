@@ -1,0 +1,97 @@
+#include "vod/config.h"
+
+#include "gtest/gtest.h"
+
+namespace spiffi::vod {
+namespace {
+
+TEST(SimConfigTest, DefaultsMatchPaperBaseConfiguration) {
+  SimConfig config;
+  EXPECT_EQ(config.num_nodes, 4);
+  EXPECT_EQ(config.disks_per_node, 4);
+  EXPECT_EQ(config.total_disks(), 16);
+  EXPECT_EQ(config.num_videos(), 64);
+  EXPECT_EQ(config.stripe_bytes, 512 * 1024);
+  EXPECT_EQ(config.server_memory_bytes, 4LL * 1024 * 1024 * 1024);
+  EXPECT_EQ(config.terminal_memory_bytes, 2 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(config.video_seconds, 3600.0);
+  EXPECT_DOUBLE_EQ(config.zipf_z, 1.0);
+  EXPECT_DOUBLE_EQ(config.cpu_mips, 40.0);
+  EXPECT_TRUE(config.Validate().empty());
+}
+
+TEST(SimConfigTest, PoolPagesPerNode) {
+  SimConfig config;
+  // 4 GB / 4 nodes / 512 KB = 2048 pages per node.
+  EXPECT_EQ(config.pool_pages_per_node(), 2048);
+}
+
+TEST(SimConfigTest, RejectsBadValues) {
+  {
+    SimConfig c;
+    c.num_nodes = 0;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.terminal_memory_bytes = c.stripe_bytes - 1;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.server_memory_bytes = c.stripe_bytes;  // < 2 pages per node
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.warmup_seconds = c.start_window_sec - 1.0;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.videos_per_disk = 0;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+}
+
+TEST(SimConfigTest, PrefetchWorkerDefaultsPerScheduler) {
+  SimConfig config;
+  config.disk_sched = server::DiskSchedPolicy::kElevator;
+  EXPECT_EQ(config.effective_prefetch_workers(), 1);
+  config.disk_sched = server::DiskSchedPolicy::kRealTime;
+  EXPECT_EQ(config.effective_prefetch_workers(), 64);
+  config.prefetch_workers = 2;  // explicit override wins
+  EXPECT_EQ(config.effective_prefetch_workers(), 2);
+}
+
+TEST(SimConfigTest, PrefetchTriggerDefaultsPerScheduler) {
+  SimConfig config;
+  config.disk_sched = server::DiskSchedPolicy::kElevator;
+  EXPECT_EQ(config.effective_prefetch_trigger(),
+            server::PrefetchTrigger::kOnMiss);
+  config.disk_sched = server::DiskSchedPolicy::kRealTime;
+  EXPECT_EQ(config.effective_prefetch_trigger(),
+            server::PrefetchTrigger::kOnReference);
+  config.prefetch_trigger = SimConfig::TriggerMode::kOnMiss;
+  EXPECT_EQ(config.effective_prefetch_trigger(),
+            server::PrefetchTrigger::kOnMiss);
+}
+
+TEST(SimConfigTest, DescribeMentionsKeyChoices) {
+  SimConfig config;
+  std::string description = config.Describe();
+  EXPECT_NE(description.find("16 disks"), std::string::npos);
+  EXPECT_NE(description.find("elevator"), std::string::npos);
+  EXPECT_NE(description.find("striped"), std::string::npos);
+  EXPECT_NE(description.find("z=1"), std::string::npos);
+}
+
+TEST(SimConfigTest, ScaleupPreservesVideosPerDisk) {
+  SimConfig config;
+  config.disks_per_node = 16;  // x4 scaleup keeps 4 CPUs
+  EXPECT_EQ(config.total_disks(), 64);
+  EXPECT_EQ(config.num_videos(), 256);
+}
+
+}  // namespace
+}  // namespace spiffi::vod

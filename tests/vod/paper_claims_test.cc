@@ -1,0 +1,141 @@
+// Targeted regression tests for the paper's headline claims, at fixed
+// terminal counts (no capacity searches, so they stay fast enough for
+// the unit-test suite). Each test pins one qualitative result from §7-§8
+// so a regression in any algorithm is caught immediately.
+
+#include "gtest/gtest.h"
+#include "vod/simulation.h"
+
+namespace spiffi::vod {
+namespace {
+
+SimConfig PaperBase() {
+  SimConfig config;  // 4 nodes x 4 disks, 64 videos, 512 KB stripe
+  config.start_window_sec = 40.0;
+  config.warmup_seconds = 60.0;
+  config.measure_seconds = 60.0;
+  return config;
+}
+
+// §7.4 / Fig 13: at a load the striped layout handles easily, the
+// non-striped layout glitches heavily under Zipfian access.
+TEST(PaperClaimsTest, StripingBeatsNonStriped) {
+  SimConfig config = PaperBase();
+  config.replacement = server::ReplacementPolicy::kLovePrefetch;
+  config.terminals = 120;
+  SimMetrics striped = RunSimulation(config);
+  config.placement = VideoPlacement::kNonStriped;
+  SimMetrics nonstriped = RunSimulation(config);
+  EXPECT_EQ(striped.glitches, 0u);
+  EXPECT_GT(nonstriped.glitches, 100u);
+  // And the non-striped disks are unevenly loaded (Fig 14).
+  EXPECT_GT(nonstriped.max_disk_utilization -
+                nonstriped.min_disk_utilization,
+            0.4);
+  EXPECT_LT(striped.max_disk_utilization - striped.min_disk_utilization,
+            0.2);
+}
+
+// §7.2 / Fig 10: at a 128 KB stripe, round-robin cannot carry a load the
+// elevator carries comfortably (seek optimization matters when the
+// transfer is short).
+TEST(PaperClaimsTest, RoundRobinWorseThanElevatorAtSmallStripes) {
+  SimConfig config = PaperBase();
+  config.stripe_bytes = 128 * hw::kKiB;
+  config.terminals = 185;
+  SimMetrics elevator = RunSimulation(config);
+  config.disk_sched = server::DiskSchedPolicy::kRoundRobin;
+  SimMetrics round_robin = RunSimulation(config);
+  EXPECT_EQ(elevator.glitches, 0u);
+  EXPECT_GT(round_robin.glitches, 50u);
+}
+
+// §7.3 / Fig 12: with unconstrained real-time prefetching and only
+// 512 MB of server memory, global LRU melts down in a wasted-prefetch
+// storm; love prefetch + delayed prefetching (8 s) runs glitch-free.
+TEST(PaperClaimsTest, DelayedPrefetchingRescuesSmallMemory) {
+  SimConfig config = PaperBase();
+  config.disk_sched = server::DiskSchedPolicy::kRealTime;
+  config.server_memory_bytes = 512 * hw::kMiB;
+  config.terminals = 180;
+  config.prefetch = server::PrefetchPolicy::kRealTime;
+  config.replacement = server::ReplacementPolicy::kGlobalLru;
+  SimMetrics lru = RunSimulation(config);
+  config.replacement = server::ReplacementPolicy::kLovePrefetch;
+  config.prefetch = server::PrefetchPolicy::kDelayed;
+  config.max_advance_prefetch_sec = 8.0;
+  SimMetrics delayed = RunSimulation(config);
+  EXPECT_GT(lru.glitches, 500u);
+  EXPECT_GT(lru.wasted_prefetches, 1000u);
+  EXPECT_EQ(delayed.glitches, 0u);
+  EXPECT_LT(delayed.wasted_prefetches, 100u);
+}
+
+// §7.2: elevator and real-time scheduling perform nearly identically in
+// the 16-disk base configuration (both glitch-free at the same load).
+TEST(PaperClaimsTest, RealTimeMatchesElevatorAtBaseScale) {
+  SimConfig config = PaperBase();
+  config.terminals = 200;
+  SimMetrics elevator = RunSimulation(config);
+  config.disk_sched = server::DiskSchedPolicy::kRealTime;
+  config.prefetch = server::PrefetchPolicy::kRealTime;
+  SimMetrics realtime = RunSimulation(config);
+  EXPECT_EQ(elevator.glitches, 0u);
+  EXPECT_EQ(realtime.glitches, 0u);
+}
+
+// §7.6 / Fig 17: the server is I/O bound — CPUs stay cold even at a load
+// that saturates the disks.
+TEST(PaperClaimsTest, CpuIsNeverTheBottleneck) {
+  SimConfig config = PaperBase();
+  config.terminals = 220;
+  SimMetrics m = RunSimulation(config);
+  EXPECT_GT(m.avg_disk_utilization, 0.8);
+  EXPECT_LT(m.avg_cpu_utilization, 0.15);
+}
+
+// §7.6 / Fig 18: network demand is about one compressed bit rate
+// (4 Mbit/s = 0.5 MB/s) per active terminal.
+TEST(PaperClaimsTest, NetworkDemandTracksBitRate) {
+  SimConfig config = PaperBase();
+  config.terminals = 150;
+  SimMetrics m = RunSimulation(config);
+  double per_terminal = m.avg_network_bytes_per_sec / 150.0;
+  EXPECT_NEAR(per_terminal, config.mpeg.bytes_per_second(),
+              config.mpeg.bytes_per_second() * 0.2);
+}
+
+// §8.1 / Fig 19: pausing subscribers do not cost capacity.
+TEST(PaperClaimsTest, PausingIsCapacityNeutral) {
+  SimConfig config = PaperBase();
+  config.replacement = server::ReplacementPolicy::kLovePrefetch;
+  config.server_memory_bytes = 512 * hw::kMiB;
+  config.terminals = 190;
+  SimMetrics plain = RunSimulation(config);
+  config.pause_enabled = true;
+  SimMetrics paused = RunSimulation(config);
+  EXPECT_EQ(plain.glitches, 0u);
+  EXPECT_EQ(paused.glitches, 0u);
+}
+
+// §2/§6.1: a Zipfian workload's most popular video really dominates what
+// the server streams (sanity of the workload generator end to end).
+TEST(PaperClaimsTest, PopularVideosDominateReferences) {
+  SimConfig config = PaperBase();
+  config.terminals = 100;
+  config.zipf_z = 1.5;
+  Simulation sim(config);
+  sim.Run();
+  int watching_top8 = 0;
+  for (int t = 0; t < sim.num_terminals(); ++t) {
+    if (sim.terminal(t).current_video() >= 0 &&
+        sim.terminal(t).current_video() < 8) {
+      ++watching_top8;
+    }
+  }
+  // z=1.5 over 64 videos puts ~82% of starts in the top 8.
+  EXPECT_GT(watching_top8, 55);
+}
+
+}  // namespace
+}  // namespace spiffi::vod

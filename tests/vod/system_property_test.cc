@@ -1,0 +1,179 @@
+// Whole-system property sweeps, parameterized over the algorithm grid:
+// every combination of disk scheduler and page-replacement policy must
+// satisfy the same basic invariants.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "vod/simulation.h"
+
+namespace spiffi::vod {
+namespace {
+
+struct GridCase {
+  server::DiskSchedPolicy sched;
+  server::ReplacementPolicy replacement;
+  server::PrefetchPolicy prefetch;
+  const char* name;
+};
+
+class SystemPropertyTest : public ::testing::TestWithParam<GridCase> {
+ protected:
+  SimConfig Config(int terminals) const {
+    SimConfig config;
+    config.num_nodes = 2;
+    config.disks_per_node = 2;
+    config.video_seconds = 120.0;
+    config.server_memory_bytes = 128LL * 1024 * 1024;
+    config.terminals = terminals;
+    config.start_window_sec = 10.0;
+    config.warmup_seconds = 15.0;
+    config.measure_seconds = 30.0;
+    config.disk_sched = GetParam().sched;
+    config.replacement = GetParam().replacement;
+    config.prefetch = GetParam().prefetch;
+    config.gss_groups = 4;
+    return config;
+  }
+};
+
+// Light load is glitch-free under every algorithm combination.
+TEST_P(SystemPropertyTest, LightLoadGlitchFree) {
+  SimMetrics m = RunSimulation(Config(12));
+  EXPECT_EQ(m.glitches, 0u) << GetParam().name;
+}
+
+// Frame conservation: active terminals display at the nominal frame rate
+// (30 fps) whenever the run is glitch-free.
+TEST_P(SystemPropertyTest, FrameRateConservation) {
+  SimConfig config = Config(12);
+  SimMetrics m = RunSimulation(config);
+  ASSERT_EQ(m.glitches, 0u);
+  double expected = 12 * config.mpeg.frames_per_second *
+                    config.measure_seconds;
+  // Brief priming gaps at video changes cost a few percent.
+  EXPECT_GT(static_cast<double>(m.frames_displayed), expected * 0.90);
+  EXPECT_LE(static_cast<double>(m.frames_displayed), expected * 1.001);
+}
+
+// Determinism: identical configurations produce identical runs.
+TEST_P(SystemPropertyTest, Deterministic) {
+  SimMetrics a = RunSimulation(Config(25));
+  SimMetrics b = RunSimulation(Config(25));
+  EXPECT_EQ(a.events_simulated, b.events_simulated) << GetParam().name;
+  EXPECT_EQ(a.glitches, b.glitches);
+  EXPECT_EQ(a.buffer_references, b.buffer_references);
+  EXPECT_EQ(a.disk_reads, b.disk_reads);
+}
+
+// The buffer pool never reports more hits+attaches+misses than
+// references, and reference counts match terminal request counts.
+TEST_P(SystemPropertyTest, BufferPoolAccountingConsistent) {
+  SimMetrics m = RunSimulation(Config(25));
+  EXPECT_EQ(m.buffer_hits + m.buffer_attaches + m.buffer_misses,
+            m.buffer_references);
+}
+
+// Overload produces glitches but never deadlocks (the run completes and
+// terminals keep displaying something).
+TEST_P(SystemPropertyTest, OverloadDegradesGracefully) {
+  SimMetrics m = RunSimulation(Config(150));
+  EXPECT_GT(m.glitches, 0u) << GetParam().name;
+  EXPECT_GT(m.frames_displayed, 0u);
+  EXPECT_GT(m.avg_disk_utilization, 0.9);
+}
+
+// Utilizations are sane fractions.
+TEST_P(SystemPropertyTest, UtilizationsWithinBounds) {
+  SimMetrics m = RunSimulation(Config(40));
+  EXPECT_GE(m.avg_disk_utilization, 0.0);
+  EXPECT_LE(m.avg_disk_utilization, 1.0 + 1e-9);
+  EXPECT_GE(m.min_disk_utilization, 0.0);
+  EXPECT_LE(m.max_disk_utilization, 1.0 + 1e-9);
+  EXPECT_LE(m.min_disk_utilization, m.max_disk_utilization + 1e-12);
+  EXPECT_GE(m.avg_cpu_utilization, 0.0);
+  EXPECT_LE(m.avg_cpu_utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmGrid, SystemPropertyTest,
+    ::testing::Values(
+        GridCase{server::DiskSchedPolicy::kFcfs,
+                 server::ReplacementPolicy::kGlobalLru,
+                 server::PrefetchPolicy::kNone, "fcfs_lru_none"},
+        GridCase{server::DiskSchedPolicy::kElevator,
+                 server::ReplacementPolicy::kGlobalLru,
+                 server::PrefetchPolicy::kFifo, "elevator_lru_fifo"},
+        GridCase{server::DiskSchedPolicy::kElevator,
+                 server::ReplacementPolicy::kLovePrefetch,
+                 server::PrefetchPolicy::kFifo, "elevator_love_fifo"},
+        GridCase{server::DiskSchedPolicy::kRoundRobin,
+                 server::ReplacementPolicy::kLovePrefetch,
+                 server::PrefetchPolicy::kFifo, "rr_love_fifo"},
+        GridCase{server::DiskSchedPolicy::kGss,
+                 server::ReplacementPolicy::kLovePrefetch,
+                 server::PrefetchPolicy::kFifo, "gss_love_fifo"},
+        GridCase{server::DiskSchedPolicy::kRealTime,
+                 server::ReplacementPolicy::kGlobalLru,
+                 server::PrefetchPolicy::kRealTime, "rt_lru_rt"},
+        GridCase{server::DiskSchedPolicy::kRealTime,
+                 server::ReplacementPolicy::kLovePrefetch,
+                 server::PrefetchPolicy::kRealTime, "rt_love_rt"},
+        GridCase{server::DiskSchedPolicy::kRealTime,
+                 server::ReplacementPolicy::kLovePrefetch,
+                 server::PrefetchPolicy::kDelayed, "rt_love_delayed"}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      return info.param.name;
+    });
+
+// Stripe-size sweep: the system stays correct (glitch-free at light
+// load, deterministic) at every stripe size the paper tests.
+class StripePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StripePropertyTest, LightLoadGlitchFreeAtEveryStripeSize) {
+  SimConfig config;
+  config.num_nodes = 2;
+  config.disks_per_node = 2;
+  config.video_seconds = 120.0;
+  config.server_memory_bytes = 256LL * 1024 * 1024;
+  config.terminals = 10;
+  config.stripe_bytes = static_cast<std::int64_t>(GetParam()) * 1024;
+  config.start_window_sec = 10.0;
+  config.warmup_seconds = 15.0;
+  config.measure_seconds = 30.0;
+  ASSERT_EQ(config.Validate(), "");
+  SimMetrics m = RunSimulation(config);
+  EXPECT_EQ(m.glitches, 0u);
+  EXPECT_GT(m.frames_displayed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(StripeSizes, StripePropertyTest,
+                         ::testing::Values(128, 256, 512, 1024),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "KB";
+                         });
+
+// Seed sweep: different seeds all satisfy the light-load invariant and
+// produce distinct event streams.
+class SeedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedPropertyTest, LightLoadInvariantAcrossSeeds) {
+  SimConfig config;
+  config.num_nodes = 2;
+  config.disks_per_node = 2;
+  config.video_seconds = 120.0;
+  config.server_memory_bytes = 256LL * 1024 * 1024;
+  config.terminals = 15;
+  config.seed = static_cast<std::uint64_t>(GetParam());
+  config.start_window_sec = 10.0;
+  config.warmup_seconds = 15.0;
+  config.measure_seconds = 30.0;
+  SimMetrics m = RunSimulation(config);
+  EXPECT_EQ(m.glitches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace spiffi::vod

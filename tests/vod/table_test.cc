@@ -1,0 +1,50 @@
+#include "vod/table.h"
+
+#include "gtest/gtest.h"
+
+namespace spiffi::vod {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::string out = table.ToString();
+  // Every line has the same position for the second column.
+  auto first_line_end = out.find('\n');
+  std::string header = out.substr(0, first_line_end);
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, HeaderUnderlineSpansColumns) {
+  TextTable table({"a", "b"});
+  table.AddRow({"xxxx", "yyyy"});
+  std::string out = table.ToString();
+  // underline length = widths (4 + 4) + separator 2 = 10
+  EXPECT_NE(out.find(std::string(10, '-')), std::string::npos);
+}
+
+TEST(FmtTest, FmtInt) { EXPECT_EQ(FmtInt(1234), "1234"); }
+
+TEST(FmtTest, FmtDoublePrecision) {
+  EXPECT_EQ(FmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FmtDouble(3.0, 0), "3");
+}
+
+TEST(FmtTest, FmtPercent) {
+  EXPECT_EQ(FmtPercent(0.953, 1), "95.3%");
+  EXPECT_EQ(FmtPercent(1.0, 0), "100%");
+}
+
+TEST(FmtTest, FmtBytesPerSec) {
+  EXPECT_EQ(FmtBytesPerSec(10.0 * 1024 * 1024), "10.0 MB/s");
+}
+
+TEST(FmtTest, FmtMiB) {
+  EXPECT_EQ(FmtMiB(512LL * 1024 * 1024), "512 MB");
+}
+
+}  // namespace
+}  // namespace spiffi::vod

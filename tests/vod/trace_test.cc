@@ -1,0 +1,95 @@
+#include "vod/trace.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::vod {
+namespace {
+
+SimConfig TraceConfig(int terminals) {
+  SimConfig config;
+  config.num_nodes = 2;
+  config.disks_per_node = 2;
+  config.video_seconds = 120.0;
+  config.server_memory_bytes = 256LL * 1024 * 1024;
+  config.terminals = terminals;
+  config.start_window_sec = 10.0;
+  config.warmup_seconds = 15.0;
+  config.measure_seconds = 30.0;
+  return config;
+}
+
+TEST(TraceTest, SamplesAtRequestedInterval) {
+  Simulation sim(TraceConfig(10));
+  TraceRecorder trace(&sim, 1.0);
+  sim.Run();
+  // 45 simulated seconds at 1 s intervals.
+  ASSERT_GE(trace.samples().size(), 44u);
+  ASSERT_LE(trace.samples().size(), 46u);
+  EXPECT_NEAR(trace.samples()[0].time, 1.0, 1e-9);
+  EXPECT_NEAR(trace.samples()[1].time - trace.samples()[0].time, 1.0,
+              1e-9);
+}
+
+TEST(TraceTest, CapturesSteadyStatePlayback) {
+  Simulation sim(TraceConfig(10));
+  TraceRecorder trace(&sim, 1.0);
+  sim.Run();
+  const TraceSample& late = trace.samples().back();
+  EXPECT_EQ(late.terminals_playing, 10);
+  EXPECT_EQ(late.terminals_priming, 0);
+  EXPECT_EQ(late.glitches, 0u);
+  EXPECT_EQ(late.total_disks, 4);
+  EXPECT_GT(late.pool_pages_in_use, 0);
+}
+
+TEST(TraceTest, NetworkBytesAreDeltas) {
+  Simulation sim(TraceConfig(10));
+  TraceRecorder trace(&sim, 1.0);
+  sim.Run();
+  // Steady state: ~10 terminals x 0.5 MB/s per one-second bucket.
+  const auto& samples = trace.samples();
+  double sum = 0.0;
+  int counted = 0;
+  for (std::size_t i = 20; i < samples.size(); ++i) {
+    sum += static_cast<double>(samples[i].network_bytes);
+    ++counted;
+  }
+  double avg = sum / counted;
+  EXPECT_NEAR(avg, 10 * 512.0 * 1024.0, 10 * 512.0 * 1024.0 * 0.3);
+}
+
+TEST(TraceTest, GlitchesAppearInOverloadTrace) {
+  Simulation sim(TraceConfig(140));
+  TraceRecorder trace(&sim, 1.0);
+  sim.Run();
+  EXPECT_GT(trace.samples().back().glitches, 0u);
+  // Glitch counters are cumulative within the measurement phase (they
+  // reset once when the warmup window closes at t=15).
+  std::uint64_t prev = 0;
+  for (const TraceSample& s : trace.samples()) {
+    if (s.time <= 16.0) continue;
+    EXPECT_GE(s.glitches, prev);
+    prev = s.glitches;
+  }
+}
+
+TEST(TraceTest, CsvHasHeaderAndRows) {
+  Simulation sim(TraceConfig(5));
+  TraceRecorder trace(&sim, 5.0);
+  sim.Run();
+  std::ostringstream out;
+  trace.WriteCsv(out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("time,disks_busy"), std::string::npos);
+  // header + one line per sample
+  std::size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, trace.samples().size() + 1);
+}
+
+}  // namespace
+}  // namespace spiffi::vod
