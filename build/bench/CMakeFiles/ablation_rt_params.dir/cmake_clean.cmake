@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rt_params.dir/ablation_rt_params.cc.o"
+  "CMakeFiles/ablation_rt_params.dir/ablation_rt_params.cc.o.d"
+  "ablation_rt_params"
+  "ablation_rt_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rt_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

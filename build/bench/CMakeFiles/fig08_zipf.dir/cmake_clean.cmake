@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_zipf.dir/fig08_zipf.cc.o"
+  "CMakeFiles/fig08_zipf.dir/fig08_zipf.cc.o.d"
+  "fig08_zipf"
+  "fig08_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

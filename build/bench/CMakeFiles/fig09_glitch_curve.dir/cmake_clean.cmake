@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_glitch_curve.dir/fig09_glitch_curve.cc.o"
+  "CMakeFiles/fig09_glitch_curve.dir/fig09_glitch_curve.cc.o.d"
+  "fig09_glitch_curve"
+  "fig09_glitch_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_glitch_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sched_stripe.dir/fig10_sched_stripe.cc.o"
+  "CMakeFiles/fig10_sched_stripe.dir/fig10_sched_stripe.cc.o.d"
+  "fig10_sched_stripe"
+  "fig10_sched_stripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sched_stripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

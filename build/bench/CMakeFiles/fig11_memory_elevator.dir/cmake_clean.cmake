@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_memory_elevator.dir/fig11_memory_elevator.cc.o"
+  "CMakeFiles/fig11_memory_elevator.dir/fig11_memory_elevator.cc.o.d"
+  "fig11_memory_elevator"
+  "fig11_memory_elevator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memory_elevator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_memory_realtime.dir/fig12_memory_realtime.cc.o"
+  "CMakeFiles/fig12_memory_realtime.dir/fig12_memory_realtime.cc.o.d"
+  "fig12_memory_realtime"
+  "fig12_memory_realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memory_realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

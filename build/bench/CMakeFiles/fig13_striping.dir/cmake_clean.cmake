@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_striping.dir/fig13_striping.cc.o"
+  "CMakeFiles/fig13_striping.dir/fig13_striping.cc.o.d"
+  "fig13_striping"
+  "fig13_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

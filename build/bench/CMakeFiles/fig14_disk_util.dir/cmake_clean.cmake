@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_disk_util.dir/fig14_disk_util.cc.o"
+  "CMakeFiles/fig14_disk_util.dir/fig14_disk_util.cc.o.d"
+  "fig14_disk_util"
+  "fig14_disk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_disk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_access_freq.dir/fig15_access_freq.cc.o"
+  "CMakeFiles/fig15_access_freq.dir/fig15_access_freq.cc.o.d"
+  "fig15_access_freq"
+  "fig15_access_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_access_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_shared_refs.dir/fig16_shared_refs.cc.o"
+  "CMakeFiles/fig16_shared_refs.dir/fig16_shared_refs.cc.o.d"
+  "fig16_shared_refs"
+  "fig16_shared_refs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_shared_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cpu_util.dir/fig17_cpu_util.cc.o"
+  "CMakeFiles/fig17_cpu_util.dir/fig17_cpu_util.cc.o.d"
+  "fig17_cpu_util"
+  "fig17_cpu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_network_bw.dir/fig18_network_bw.cc.o"
+  "CMakeFiles/fig18_network_bw.dir/fig18_network_bw.cc.o.d"
+  "fig18_network_bw"
+  "fig18_network_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_network_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_pause.dir/fig19_pause.cc.o"
+  "CMakeFiles/fig19_pause.dir/fig19_pause.cc.o.d"
+  "fig19_pause"
+  "fig19_pause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_pause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_server.dir/micro_server.cc.o"
+  "CMakeFiles/micro_server.dir/micro_server.cc.o.d"
+  "micro_server"
+  "micro_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec81_search.dir/sec81_search.cc.o"
+  "CMakeFiles/sec81_search.dir/sec81_search.cc.o.d"
+  "sec81_search"
+  "sec81_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec81_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec82_piggyback.dir/sec82_piggyback.cc.o"
+  "CMakeFiles/sec82_piggyback.dir/sec82_piggyback.cc.o.d"
+  "sec82_piggyback"
+  "sec82_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec82_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_scaleup.dir/table2_scaleup.cc.o"
+  "CMakeFiles/table2_scaleup.dir/table2_scaleup.cc.o.d"
+  "table2_scaleup"
+  "table2_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

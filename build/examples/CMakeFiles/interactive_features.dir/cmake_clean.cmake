@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_features.dir/interactive_features.cpp.o"
+  "CMakeFiles/interactive_features.dir/interactive_features.cpp.o.d"
+  "interactive_features"
+  "interactive_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

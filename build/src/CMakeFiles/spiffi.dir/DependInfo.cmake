@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/piggyback.cc" "src/CMakeFiles/spiffi.dir/client/piggyback.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/client/piggyback.cc.o.d"
+  "/root/repo/src/client/terminal.cc" "src/CMakeFiles/spiffi.dir/client/terminal.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/client/terminal.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/CMakeFiles/spiffi.dir/hw/cpu.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/hw/cpu.cc.o.d"
+  "/root/repo/src/hw/disk.cc" "src/CMakeFiles/spiffi.dir/hw/disk.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/hw/disk.cc.o.d"
+  "/root/repo/src/hw/network.cc" "src/CMakeFiles/spiffi.dir/hw/network.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/hw/network.cc.o.d"
+  "/root/repo/src/layout/nonstriped.cc" "src/CMakeFiles/spiffi.dir/layout/nonstriped.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/layout/nonstriped.cc.o.d"
+  "/root/repo/src/layout/striping.cc" "src/CMakeFiles/spiffi.dir/layout/striping.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/layout/striping.cc.o.d"
+  "/root/repo/src/mpeg/frame_model.cc" "src/CMakeFiles/spiffi.dir/mpeg/frame_model.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/mpeg/frame_model.cc.o.d"
+  "/root/repo/src/mpeg/video.cc" "src/CMakeFiles/spiffi.dir/mpeg/video.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/mpeg/video.cc.o.d"
+  "/root/repo/src/mpeg/zipf.cc" "src/CMakeFiles/spiffi.dir/mpeg/zipf.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/mpeg/zipf.cc.o.d"
+  "/root/repo/src/server/buffer_pool.cc" "src/CMakeFiles/spiffi.dir/server/buffer_pool.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/server/buffer_pool.cc.o.d"
+  "/root/repo/src/server/disk_sched.cc" "src/CMakeFiles/spiffi.dir/server/disk_sched.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/server/disk_sched.cc.o.d"
+  "/root/repo/src/server/message.cc" "src/CMakeFiles/spiffi.dir/server/message.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/server/message.cc.o.d"
+  "/root/repo/src/server/node.cc" "src/CMakeFiles/spiffi.dir/server/node.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/server/node.cc.o.d"
+  "/root/repo/src/server/prefetch.cc" "src/CMakeFiles/spiffi.dir/server/prefetch.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/server/prefetch.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/CMakeFiles/spiffi.dir/server/server.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/server/server.cc.o.d"
+  "/root/repo/src/sim/calendar.cc" "src/CMakeFiles/spiffi.dir/sim/calendar.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/sim/calendar.cc.o.d"
+  "/root/repo/src/sim/environment.cc" "src/CMakeFiles/spiffi.dir/sim/environment.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/sim/environment.cc.o.d"
+  "/root/repo/src/sim/histogram.cc" "src/CMakeFiles/spiffi.dir/sim/histogram.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/sim/histogram.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/spiffi.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/CMakeFiles/spiffi.dir/sim/resource.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/sim/resource.cc.o.d"
+  "/root/repo/src/sim/semaphore.cc" "src/CMakeFiles/spiffi.dir/sim/semaphore.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/sim/semaphore.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/spiffi.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/sim/stats.cc.o.d"
+  "/root/repo/src/vod/capacity.cc" "src/CMakeFiles/spiffi.dir/vod/capacity.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/vod/capacity.cc.o.d"
+  "/root/repo/src/vod/config.cc" "src/CMakeFiles/spiffi.dir/vod/config.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/vod/config.cc.o.d"
+  "/root/repo/src/vod/simulation.cc" "src/CMakeFiles/spiffi.dir/vod/simulation.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/vod/simulation.cc.o.d"
+  "/root/repo/src/vod/table.cc" "src/CMakeFiles/spiffi.dir/vod/table.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/vod/table.cc.o.d"
+  "/root/repo/src/vod/trace.cc" "src/CMakeFiles/spiffi.dir/vod/trace.cc.o" "gcc" "src/CMakeFiles/spiffi.dir/vod/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg_test.dir/mpeg/frame_model_test.cc.o"
+  "CMakeFiles/mpeg_test.dir/mpeg/frame_model_test.cc.o.d"
+  "CMakeFiles/mpeg_test.dir/mpeg/mpeg_property_test.cc.o"
+  "CMakeFiles/mpeg_test.dir/mpeg/mpeg_property_test.cc.o.d"
+  "CMakeFiles/mpeg_test.dir/mpeg/video_test.cc.o"
+  "CMakeFiles/mpeg_test.dir/mpeg/video_test.cc.o.d"
+  "CMakeFiles/mpeg_test.dir/mpeg/zipf_test.cc.o"
+  "CMakeFiles/mpeg_test.dir/mpeg/zipf_test.cc.o.d"
+  "mpeg_test"
+  "mpeg_test.pdb"
+  "mpeg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

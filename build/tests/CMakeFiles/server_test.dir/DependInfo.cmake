@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/server/buffer_pool_test.cc" "tests/CMakeFiles/server_test.dir/server/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/server/disk_sched_test.cc" "tests/CMakeFiles/server_test.dir/server/disk_sched_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server/disk_sched_test.cc.o.d"
+  "/root/repo/tests/server/gss_equivalence_test.cc" "tests/CMakeFiles/server_test.dir/server/gss_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server/gss_equivalence_test.cc.o.d"
+  "/root/repo/tests/server/memory_pressure_test.cc" "tests/CMakeFiles/server_test.dir/server/memory_pressure_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server/memory_pressure_test.cc.o.d"
+  "/root/repo/tests/server/message_test.cc" "tests/CMakeFiles/server_test.dir/server/message_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server/message_test.cc.o.d"
+  "/root/repo/tests/server/node_test.cc" "tests/CMakeFiles/server_test.dir/server/node_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server/node_test.cc.o.d"
+  "/root/repo/tests/server/prefetch_test.cc" "tests/CMakeFiles/server_test.dir/server/prefetch_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server/prefetch_test.cc.o.d"
+  "/root/repo/tests/server/realtime_e2e_test.cc" "tests/CMakeFiles/server_test.dir/server/realtime_e2e_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server/realtime_e2e_test.cc.o.d"
+  "/root/repo/tests/server/sched_property_test.cc" "tests/CMakeFiles/server_test.dir/server/sched_property_test.cc.o" "gcc" "tests/CMakeFiles/server_test.dir/server/sched_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spiffi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

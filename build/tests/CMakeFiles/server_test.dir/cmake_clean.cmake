@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_test.dir/server/buffer_pool_test.cc.o"
+  "CMakeFiles/server_test.dir/server/buffer_pool_test.cc.o.d"
+  "CMakeFiles/server_test.dir/server/disk_sched_test.cc.o"
+  "CMakeFiles/server_test.dir/server/disk_sched_test.cc.o.d"
+  "CMakeFiles/server_test.dir/server/gss_equivalence_test.cc.o"
+  "CMakeFiles/server_test.dir/server/gss_equivalence_test.cc.o.d"
+  "CMakeFiles/server_test.dir/server/memory_pressure_test.cc.o"
+  "CMakeFiles/server_test.dir/server/memory_pressure_test.cc.o.d"
+  "CMakeFiles/server_test.dir/server/message_test.cc.o"
+  "CMakeFiles/server_test.dir/server/message_test.cc.o.d"
+  "CMakeFiles/server_test.dir/server/node_test.cc.o"
+  "CMakeFiles/server_test.dir/server/node_test.cc.o.d"
+  "CMakeFiles/server_test.dir/server/prefetch_test.cc.o"
+  "CMakeFiles/server_test.dir/server/prefetch_test.cc.o.d"
+  "CMakeFiles/server_test.dir/server/realtime_e2e_test.cc.o"
+  "CMakeFiles/server_test.dir/server/realtime_e2e_test.cc.o.d"
+  "CMakeFiles/server_test.dir/server/sched_property_test.cc.o"
+  "CMakeFiles/server_test.dir/server/sched_property_test.cc.o.d"
+  "server_test"
+  "server_test.pdb"
+  "server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/calendar_test.cc" "tests/CMakeFiles/sim_test.dir/sim/calendar_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/calendar_test.cc.o.d"
+  "/root/repo/tests/sim/composition_test.cc" "tests/CMakeFiles/sim_test.dir/sim/composition_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/composition_test.cc.o.d"
+  "/root/repo/tests/sim/environment_test.cc" "tests/CMakeFiles/sim_test.dir/sim/environment_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/environment_test.cc.o.d"
+  "/root/repo/tests/sim/histogram_test.cc" "tests/CMakeFiles/sim_test.dir/sim/histogram_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/histogram_test.cc.o.d"
+  "/root/repo/tests/sim/mailbox_test.cc" "tests/CMakeFiles/sim_test.dir/sim/mailbox_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/mailbox_test.cc.o.d"
+  "/root/repo/tests/sim/process_test.cc" "tests/CMakeFiles/sim_test.dir/sim/process_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/process_test.cc.o.d"
+  "/root/repo/tests/sim/random_test.cc" "tests/CMakeFiles/sim_test.dir/sim/random_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/random_test.cc.o.d"
+  "/root/repo/tests/sim/resource_test.cc" "tests/CMakeFiles/sim_test.dir/sim/resource_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/resource_test.cc.o.d"
+  "/root/repo/tests/sim/semaphore_test.cc" "tests/CMakeFiles/sim_test.dir/sim/semaphore_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/semaphore_test.cc.o.d"
+  "/root/repo/tests/sim/stats_test.cc" "tests/CMakeFiles/sim_test.dir/sim/stats_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/stats_test.cc.o.d"
+  "/root/repo/tests/sim/wait_list_test.cc" "tests/CMakeFiles/sim_test.dir/sim/wait_list_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/wait_list_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spiffi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/calendar_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/calendar_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/composition_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/composition_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/environment_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/environment_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/histogram_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/histogram_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/mailbox_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/mailbox_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/process_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/process_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/random_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/random_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/resource_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/resource_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/semaphore_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/semaphore_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/stats_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/stats_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/wait_list_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/wait_list_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

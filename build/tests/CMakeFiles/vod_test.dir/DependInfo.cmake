@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vod/capacity_edge_test.cc" "tests/CMakeFiles/vod_test.dir/vod/capacity_edge_test.cc.o" "gcc" "tests/CMakeFiles/vod_test.dir/vod/capacity_edge_test.cc.o.d"
+  "/root/repo/tests/vod/capacity_test.cc" "tests/CMakeFiles/vod_test.dir/vod/capacity_test.cc.o" "gcc" "tests/CMakeFiles/vod_test.dir/vod/capacity_test.cc.o.d"
+  "/root/repo/tests/vod/config_test.cc" "tests/CMakeFiles/vod_test.dir/vod/config_test.cc.o" "gcc" "tests/CMakeFiles/vod_test.dir/vod/config_test.cc.o.d"
+  "/root/repo/tests/vod/paper_claims_test.cc" "tests/CMakeFiles/vod_test.dir/vod/paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/vod_test.dir/vod/paper_claims_test.cc.o.d"
+  "/root/repo/tests/vod/simulation_test.cc" "tests/CMakeFiles/vod_test.dir/vod/simulation_test.cc.o" "gcc" "tests/CMakeFiles/vod_test.dir/vod/simulation_test.cc.o.d"
+  "/root/repo/tests/vod/system_property_test.cc" "tests/CMakeFiles/vod_test.dir/vod/system_property_test.cc.o" "gcc" "tests/CMakeFiles/vod_test.dir/vod/system_property_test.cc.o.d"
+  "/root/repo/tests/vod/table_test.cc" "tests/CMakeFiles/vod_test.dir/vod/table_test.cc.o" "gcc" "tests/CMakeFiles/vod_test.dir/vod/table_test.cc.o.d"
+  "/root/repo/tests/vod/trace_test.cc" "tests/CMakeFiles/vod_test.dir/vod/trace_test.cc.o" "gcc" "tests/CMakeFiles/vod_test.dir/vod/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spiffi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_test.dir/vod/capacity_edge_test.cc.o"
+  "CMakeFiles/vod_test.dir/vod/capacity_edge_test.cc.o.d"
+  "CMakeFiles/vod_test.dir/vod/capacity_test.cc.o"
+  "CMakeFiles/vod_test.dir/vod/capacity_test.cc.o.d"
+  "CMakeFiles/vod_test.dir/vod/config_test.cc.o"
+  "CMakeFiles/vod_test.dir/vod/config_test.cc.o.d"
+  "CMakeFiles/vod_test.dir/vod/paper_claims_test.cc.o"
+  "CMakeFiles/vod_test.dir/vod/paper_claims_test.cc.o.d"
+  "CMakeFiles/vod_test.dir/vod/simulation_test.cc.o"
+  "CMakeFiles/vod_test.dir/vod/simulation_test.cc.o.d"
+  "CMakeFiles/vod_test.dir/vod/system_property_test.cc.o"
+  "CMakeFiles/vod_test.dir/vod/system_property_test.cc.o.d"
+  "CMakeFiles/vod_test.dir/vod/table_test.cc.o"
+  "CMakeFiles/vod_test.dir/vod/table_test.cc.o.d"
+  "CMakeFiles/vod_test.dir/vod/trace_test.cc.o"
+  "CMakeFiles/vod_test.dir/vod/trace_test.cc.o.d"
+  "vod_test"
+  "vod_test.pdb"
+  "vod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
