@@ -14,7 +14,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  spiffi::bench::MaybeEnableProfile(argc, argv);
   using namespace spiffi;
   bench::Preset preset = bench::ActivePreset();
   bench::PrintHeader("disk read-ahead cache and terminal memory",

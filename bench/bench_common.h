@@ -14,8 +14,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "obs/kernel_profile.h"
 #include "vod/capacity.h"
 #include "vod/config.h"
 #include "vod/metrics.h"
@@ -100,6 +103,97 @@ inline void PrintHeader(const char* experiment, const char* paper_ref,
 inline const std::int64_t kMemorySweepMiB[] = {128, 256, 512,
                                                1024, 2048, 4096};
 inline constexpr int kMemorySweepPoints = 6;
+
+// --- Kernel self-profiling (--profile mode) ---
+//
+// With profiling enabled, every Simulation::Run() executed by the
+// harness reports its kernel self-profile through the vod run observer;
+// at process exit the collected profiles — per run and in total — are
+// written as JSON to bench_profile.json (or the --profile=PATH target).
+
+struct ProfileCollector {
+  bool enabled = false;
+  std::string harness = "bench";
+  std::string path = "bench_profile.json";
+  std::vector<vod::RunProfile> runs;
+};
+
+inline ProfileCollector& Profiler() {
+  static ProfileCollector collector;
+  return collector;
+}
+
+inline void WriteProfileReport() {
+  ProfileCollector& collector = Profiler();
+  if (!collector.enabled) return;
+  std::ofstream out(collector.path);
+  if (!out) {
+    std::fprintf(stderr, "profile: cannot write %s\n",
+                 collector.path.c_str());
+    return;
+  }
+  double wall = 0.0;
+  std::uint64_t events = 0;
+  for (const vod::RunProfile& run : collector.runs) {
+    wall += run.wall_seconds;
+    events += run.kernel.events_fired;
+  }
+  out << "{\n  \"harness\": \"" << collector.harness << "\",\n"
+      << "  \"runs\": " << collector.runs.size() << ",\n"
+      << "  \"total_wall_seconds\": " << wall << ",\n"
+      << "  \"total_events\": " << events << ",\n"
+      << "  \"events_per_sec\": " << (wall > 0.0 ? events / wall : 0.0)
+      << ",\n  \"per_run\": [";
+  for (std::size_t i = 0; i < collector.runs.size(); ++i) {
+    const vod::RunProfile& run = collector.runs[i];
+    if (i > 0) out << ",";
+    out << "\n    ";
+    obs::WriteKernelProfileJson(
+        out, collector.harness + "/run" + std::to_string(i), run.kernel,
+        run.wall_seconds);
+  }
+  out << "\n  ]\n}\n";
+  std::printf("profile: wrote %s (%zu runs, %.2fs wall, %.0f events/s)\n",
+              collector.path.c_str(), collector.runs.size(), wall,
+              wall > 0.0 ? events / wall : 0.0);
+}
+
+inline void EnableProfile(const std::string& harness,
+                          const std::string& path) {
+  ProfileCollector& collector = Profiler();
+  collector.enabled = true;
+  collector.harness = harness;
+  if (!path.empty()) collector.path = path;
+  vod::SetRunObserver([](const vod::RunProfile& profile) {
+    Profiler().runs.push_back(profile);
+  });
+  std::atexit(WriteProfileReport);
+}
+
+// Call first thing in main: consumes a --profile[=PATH] argument (also
+// honours SPIFFI_BENCH_PROFILE=1) and turns on run profiling. The
+// harness name is taken from the binary name.
+inline void MaybeEnableProfile(int argc, char** argv) {
+  std::string harness = "bench";
+  if (argc > 0 && argv[0] != nullptr) {
+    harness = argv[0];
+    std::size_t slash = harness.find_last_of('/');
+    if (slash != std::string::npos) harness = harness.substr(slash + 1);
+  }
+  std::string path;
+  bool enabled = false;
+  const char* env = std::getenv("SPIFFI_BENCH_PROFILE");
+  if (env != nullptr && env[0] == '1') enabled = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      enabled = true;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      enabled = true;
+      path = argv[i] + 10;
+    }
+  }
+  if (enabled) EnableProfile(harness, path);
+}
 
 }  // namespace spiffi::bench
 

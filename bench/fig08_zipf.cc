@@ -6,7 +6,8 @@
 #include "bench_common.h"
 #include "mpeg/zipf.h"
 
-int main() {
+int main(int argc, char** argv) {
+  spiffi::bench::MaybeEnableProfile(argc, argv);
   using spiffi::mpeg::ZipfDistribution;
   using spiffi::vod::FmtDouble;
   using spiffi::vod::TextTable;

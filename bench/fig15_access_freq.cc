@@ -12,7 +12,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  spiffi::bench::MaybeEnableProfile(argc, argv);
   using namespace spiffi;
   bench::Preset preset = bench::ActivePreset();
   bench::PrintHeader("movie access frequencies", "Figures 15 and 16",

@@ -6,7 +6,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  spiffi::bench::MaybeEnableProfile(argc, argv);
   using namespace spiffi;
   bench::Preset preset = bench::ActivePreset();
   bench::PrintHeader("peak aggregate network bandwidth", "Figure 18",

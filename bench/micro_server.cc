@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.h"
+
 #include <memory>
 #include <vector>
 
@@ -117,3 +119,13 @@ void BM_SimulatedSecond(benchmark::State& state) {
 BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  int profile_rc = spiffi::bench::MaybeRunProfileMode(argc, argv);
+  if (profile_rc >= 0) return profile_rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

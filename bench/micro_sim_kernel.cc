@@ -2,6 +2,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.h"
 #include "sim/environment.h"
 #include "sim/process.h"
 #include "sim/random.h"
@@ -98,3 +99,13 @@ void BM_CounterModeFrameDraw(benchmark::State& state) {
 BENCHMARK(BM_CounterModeFrameDraw);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  int profile_rc = spiffi::bench::MaybeRunProfileMode(argc, argv);
+  if (profile_rc >= 0) return profile_rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

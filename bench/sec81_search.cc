@@ -10,7 +10,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  spiffi::bench::MaybeEnableProfile(argc, argv);
   using namespace spiffi;
   bench::Preset preset = bench::ActivePreset();
   bench::PrintHeader("visual search load", "Section 8.1", preset);

@@ -1,34 +1,119 @@
-// Trace a simulation: sample the system every simulated second and dump
-// a CSV time series (disk queues, glitches, priming terminals, buffer
-// pool occupancy, network traffic) — useful for watching the saturation
-// transition that defines the capacity boundary.
+// Trace a simulation run.
 //
-//   ./trace_run [terminals] > trace.csv
+// Three independent outputs, any combination:
+//   * stdout          — 1 Hz CSV time series of system state (disk
+//                       queues, glitches, priming terminals, pool
+//                       occupancy, network traffic), as before
+//   * --trace-out     — Chrome trace_event JSON of the full block-request
+//                       lifecycle (terminal -> network -> server -> disk
+//                       -> back), loadable in Perfetto / chrome://tracing
+//   * --metrics-out   — metrics-registry JSON (every counter, tally and
+//                       histogram, including deadline slack and glitch
+//                       attribution)
+//
+//   ./trace_run [--terminals=N] [--trace-out=FILE.json]
+//               [--metrics-out=FILE.json] [--interval=SEC]
+//               [--trace-capacity=N] > trace.csv
+//
+//   --terminals=N        terminals to simulate (default 250)
+//   --interval=SEC       CSV sampling interval (default 1.0)
+//   --trace-capacity=N   trace ring capacity in events (default 256k;
+//                        the ring keeps the most recent N events)
+//
+// A bare positional number is still accepted as the terminal count.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "vod/trace.h"
 
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   spiffi::vod::SimConfig config;
-  config.terminals = argc > 1 ? std::atoi(argv[1]) : 250;
+  config.terminals = 250;
   config.server_memory_bytes = 512LL * 1024 * 1024;
   config.replacement = spiffi::server::ReplacementPolicy::kLovePrefetch;
+
+  std::string trace_out;
+  std::string metrics_out;
+  double interval = 1.0;
+  std::size_t trace_capacity = 256 * 1024;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--terminals", &value)) {
+      config.terminals = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace-out", &value)) {
+      trace_out = value;
+    } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
+      metrics_out = value;
+    } else if (ParseFlag(argv[i], "--interval", &value)) {
+      interval = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace-capacity", &value)) {
+      trace_capacity = static_cast<std::size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (argv[i][0] != '-') {
+      config.terminals = std::atoi(argv[i]);  // legacy positional form
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 1;
+    }
+  }
 
   std::string error = config.Validate();
   if (!error.empty()) {
     std::fprintf(stderr, "bad configuration: %s\n", error.c_str());
     return 1;
   }
+  if (interval <= 0.0) {
+    std::fprintf(stderr, "bad --interval: must be > 0\n");
+    return 1;
+  }
   std::fprintf(stderr, "tracing %d terminals: %s\n", config.terminals,
                config.Describe().c_str());
 
   spiffi::vod::Simulation simulation(config);
-  spiffi::vod::TraceRecorder trace(&simulation, 1.0);
+  if (!trace_out.empty()) simulation.EnableTracing(trace_capacity);
+  spiffi::vod::TraceRecorder trace(&simulation, interval);
   spiffi::vod::SimMetrics metrics = simulation.Run();
   trace.WriteCsv(std::cout);
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    simulation.env().tracer()->WriteChromeJson(out);
+    std::fprintf(stderr, "wrote Chrome trace to %s (%zu events, %llu "
+                 "dropped)\n",
+                 trace_out.c_str(), simulation.env().tracer()->size(),
+                 static_cast<unsigned long long>(
+                     simulation.env().tracer()->dropped()));
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    simulation.metrics().WriteJson(out);
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+  }
 
   std::fprintf(stderr,
                "done: %llu glitches, %.0f%% disk utilization, %zu "

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "obs/trace.h"
 #include "sim/check.h"
 
 namespace spiffi::client {
@@ -190,6 +191,11 @@ void Terminal::StartVideo(int video, std::int64_t start_frame) {
 
   state_ = State::kPriming;
   ++stats_.primes;
+  prime_start_ = env_->now();
+  obs::TraceInstant(env_, obs::TraceCategory::kTerminal, "video_start",
+                    obs::Tracer::kTerminalsPid, id_,
+                    {{"video", static_cast<double>(video)},
+                     {"start_frame", static_cast<double>(start_frame)}});
   IssueRequests();
 }
 
@@ -215,11 +221,17 @@ void Terminal::IssueRequests() {
     request.deadline = DeadlineForBlock(next_request_block_);
     request.reply_to = this;
     request.cookie = epoch_;
+    std::uint64_t trace_id = obs::TraceAsyncBegin(
+        env_, obs::TraceCategory::kTerminal, "block_request",
+        obs::Tracer::kTerminalsPid,
+        {{"terminal", static_cast<double>(id_)},
+         {"block", static_cast<double>(next_request_block_)}});
     server::PostMessage(env_, network_, server::kControlMessageBytes,
                         server_->node_sink(loc.node), request);
 
     inflight_bytes_ += bytes;
-    issue_time_[next_request_block_] = env_->now();
+    issue_time_[next_request_block_] =
+        PendingRequest{env_->now(), request.deadline, trace_id};
     ++stats_.requests_sent;
     ++next_request_block_;
   }
@@ -245,12 +257,7 @@ void Terminal::OnMessage(const Message& message) {
     occupied_bytes_ -= start_byte_ - first_block_ * params_.block_bytes;
   }
   ++stats_.blocks_received;
-  auto it = issue_time_.find(message.block);
-  if (it != issue_time_.end()) {
-    stats_.response_time.Add(env_->now() - it->second);
-    stats_.response_histogram.Add(env_->now() - it->second);
-    issue_time_.erase(it);
-  }
+  RecordArrival(message);
 
   if (message.block == first_block_ + contiguous_blocks_) {
     ++contiguous_blocks_;
@@ -267,6 +274,45 @@ void Terminal::OnMessage(const Message& message) {
   if (state_ == State::kPriming) CheckPrimeComplete();
 }
 
+void Terminal::RecordArrival(const Message& message) {
+  auto it = issue_time_.find(message.block);
+  if (it == issue_time_.end()) return;
+  const PendingRequest& pending = it->second;
+  double response = env_->now() - pending.issue_time;
+  stats_.response_time.Add(response);
+  stats_.response_histogram.Add(response);
+  double slack = pending.deadline - env_->now();
+  stats_.deadline_slack.Add(slack);
+  stats_.slack_histogram.Add(slack);
+  if (slack < 0.0) AttributeLateBlock(message, response);
+  obs::TraceAsyncEnd(env_, obs::TraceCategory::kTerminal, "block_request",
+                     obs::Tracer::kTerminalsPid, pending.trace_id,
+                     {{"response_ms", response * 1e3},
+                      {"slack_ms", slack * 1e3}});
+  issue_time_.erase(it);
+}
+
+void Terminal::AttributeLateBlock(const Message& message, double response) {
+  ++stats_.late_blocks;
+  const server::ReadTiming& timing = message.timing;
+  // Stage shares of the response time: wire transit (both directions),
+  // server CPU + pool stalls, disk queueing, disk mechanism. The stage
+  // with the largest share takes the blame for the missed deadline.
+  double network = response - timing.ServerSeconds();
+  double stages[] = {network, timing.ServerOverheadSeconds(),
+                     timing.disk_queue_sec, timing.disk_service_sec};
+  int worst = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (stages[i] > stages[worst]) worst = i;
+  }
+  switch (worst) {
+    case 0: ++stats_.late_attrib_network; break;
+    case 1: ++stats_.late_attrib_server_cpu; break;
+    case 2: ++stats_.late_attrib_disk_queue; break;
+    case 3: ++stats_.late_attrib_disk_service; break;
+  }
+}
+
 void Terminal::CheckPrimeComplete() {
   if (inflight_bytes_ != 0) return;
   bool exhausted = next_request_block_ >= num_blocks_;
@@ -278,6 +324,9 @@ void Terminal::CheckPrimeComplete() {
 
 void Terminal::BeginDisplay() {
   SPIFFI_DCHECK(state_ == State::kPriming);
+  obs::TraceSpan(env_, obs::TraceCategory::kTerminal, "prime",
+                 obs::Tracer::kTerminalsPid, id_, prime_start_,
+                 {{"video", static_cast<double>(video_)}});
   state_ = State::kPlaying;
   anchor_ = env_->now() - ConsumedPlaybackTime();
   env_->Schedule(env_->now(), this, kFrameToken);
@@ -324,9 +373,14 @@ void Terminal::DisplayFrame() {
 
 void Terminal::HandleGlitch() {
   ++stats_.glitches;
+  obs::TraceInstant(env_, obs::TraceCategory::kTerminal, "glitch",
+                    obs::Tracer::kTerminalsPid, id_,
+                    {{"video", static_cast<double>(video_)},
+                     {"position_sec", ConsumedPlaybackTime()}});
   // Stop the display and fully re-prime before restarting (§5.1).
   state_ = State::kPriming;
   ++stats_.primes;
+  prime_start_ = env_->now();
   IssueRequests();
   // A full, fully-arrived buffer whose next frame still does not fit can
   // never make progress (the terminal memory is smaller than one frame) —
@@ -355,6 +409,7 @@ void Terminal::JumpTo(double playback_seconds) {
   frame = std::clamp<std::int64_t>(frame, 0, vid_->frame_count() - 1);
   state_ = State::kPriming;
   ++stats_.primes;
+  prime_start_ = env_->now();
   ResetStreamAt(frame);
   IssueRequests();
 }
@@ -460,12 +515,16 @@ void Terminal::EndVisualSearch() {
       search_segment_start_, 0, vid_->frame_count() - 1);
   state_ = State::kPriming;
   ++stats_.primes;
+  prime_start_ = env_->now();
   ResetStreamAt(resume);
   IssueRequests();
 }
 
 void Terminal::FinishVideo() {
   ++stats_.videos_completed;
+  obs::TraceInstant(env_, obs::TraceCategory::kTerminal, "video_complete",
+                    obs::Tracer::kTerminalsPid, id_,
+                    {{"video", static_cast<double>(video_)}});
   SPIFFI_DCHECK(occupied_bytes_ == 0);
   state_ = State::kIdle;
   video_ = -1;

@@ -87,6 +87,19 @@ class Terminal final : public server::MessageSink,
     std::uint64_t stale_replies = 0;        // replies to abandoned streams
     sim::Tally response_time;  // request -> block arrival (seconds)
     sim::Histogram response_histogram;  // same data, for percentiles
+
+    // Deadline accounting, measured at block arrival. Slack is
+    // deadline - arrival time: positive means the block came early.
+    sim::Tally deadline_slack;          // seconds
+    sim::Histogram slack_histogram;     // late arrivals land in bucket 0
+    // Late blocks (slack < 0), attributed to the pipeline stage that
+    // consumed the largest share of the response time — the terminal's
+    // answer to "who caused this glitch risk".
+    std::uint64_t late_blocks = 0;
+    std::uint64_t late_attrib_network = 0;
+    std::uint64_t late_attrib_server_cpu = 0;   // CPU queue + pool stalls
+    std::uint64_t late_attrib_disk_queue = 0;
+    std::uint64_t late_attrib_disk_service = 0;
   };
 
   // The terminal schedules its own first start at `start_time`.
@@ -161,6 +174,12 @@ class Terminal final : public server::MessageSink,
   void DisplaySearchFrame();
   void OnSearchBlock(const server::Message& message);
 
+  // Accounts an arrived block against its pending-request record:
+  // response time, deadline slack, lateness attribution, trace span end.
+  void RecordArrival(const server::Message& message);
+  // Attributes a late block to its dominant pipeline stage.
+  void AttributeLateBlock(const server::Message& message, double response);
+
   // Absolute time by which `block`'s first byte will be consumed.
   sim::SimTime DeadlineForBlock(std::int64_t block) const;
   // Bytes [0, boundary) have arrived contiguously.
@@ -196,7 +215,14 @@ class Terminal final : public server::MessageSink,
   std::int64_t start_byte_ = 0;  // first byte actually consumed
   std::int64_t next_request_block_ = 0;
   std::int64_t inflight_bytes_ = 0;
-  std::unordered_map<std::int64_t, sim::SimTime> issue_time_;
+  // In-flight request bookkeeping, keyed by block: when it was issued,
+  // the deadline it carried, and the open trace span.
+  struct PendingRequest {
+    sim::SimTime issue_time = 0.0;
+    sim::SimTime deadline = sim::kSimTimeMax;
+    std::uint64_t trace_id = 0;
+  };
+  std::unordered_map<std::int64_t, PendingRequest> issue_time_;
   std::int64_t contiguous_blocks_ = 0;
   std::set<std::int64_t> arrived_out_of_order_;
   std::int64_t occupied_bytes_ = 0;
@@ -205,6 +231,7 @@ class Terminal final : public server::MessageSink,
   std::int64_t consumed_bytes_ = 0;
   std::int64_t next_frame_ = 0;
   sim::SimTime anchor_ = 0.0;  // sim time of playback time 0 while playing
+  sim::SimTime prime_start_ = 0.0;  // when the current prime began (trace)
 
   // Pauses: upcoming pause positions (playback seconds), descending.
   std::vector<double> pause_at_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "sim/check.h"
 
 namespace spiffi::hw {
@@ -19,6 +20,7 @@ Disk::Disk(sim::Environment* env, const DiskParams& params,
   SPIFFI_CHECK(env != nullptr);
   SPIFFI_CHECK(scheduler_ != nullptr);
   SPIFFI_CHECK(listener != nullptr);
+  trace_tid_ = obs::Tracer::kDiskTidBase + id;
   env_->Spawn(ServiceLoop());
 }
 
@@ -27,7 +29,15 @@ void Disk::Submit(DiskRequest* request) {
   SPIFFI_DCHECK(request->bytes > 0);
   SPIFFI_DCHECK(request->disk_offset >= 0);
   request->seq = next_seq_++;
+  request->submit_time = env_->now();
+  request->trace_id = obs::TraceAsyncBegin(
+      env_, obs::TraceCategory::kDisk, "disk_queue", trace_pid_,
+      {{"block", static_cast<double>(request->block)},
+       {"prefetch", request->is_prefetch ? 1.0 : 0.0}});
   scheduler_->Push(request);
+  obs::TraceCounter(env_, obs::TraceCategory::kDisk, "disk_queue_len",
+                    trace_pid_, trace_tid_,
+                    static_cast<double>(scheduler_->size()));
   pending_.Release();
 }
 
@@ -93,19 +103,37 @@ sim::Process Disk::ServiceLoop() {
     sim::SimTime now = env_->now();
     DiskRequest* request = scheduler_->Pop(head_cylinder_, now);
     SPIFFI_CHECK(request != nullptr);
+    request->queue_wait_sec = now - request->submit_time;
+    queue_wait_tally_.Add(request->queue_wait_sec);
+    obs::TraceAsyncEnd(env_, obs::TraceCategory::kDisk, "disk_queue",
+                       trace_pid_, request->trace_id);
+    obs::TraceCounter(env_, obs::TraceCategory::kDisk, "disk_queue_len",
+                      trace_pid_, trace_tid_,
+                      static_cast<double>(scheduler_->size()));
 
     std::int64_t cached = ReadAheadBytes(*request, now);
     double service =
         ServiceTimeFrom(head_cylinder_, now, request->disk_offset,
                         request->bytes, cached);
+    request->service_sec = service;
 
     std::int64_t target_cylinder =
         (request->disk_offset + cached) / params_.cylinder_bytes;
-    seek_tally_.Add(static_cast<double>(
-        std::llabs(target_cylinder - head_cylinder_)));
+    double seek_cylinders =
+        static_cast<double>(std::llabs(target_cylinder - head_cylinder_));
+    seek_tally_.Add(seek_cylinders);
 
     busy_.SetBusy(1, now);
-    co_await env_->Hold(service);
+    {
+      obs::ScopedSpan span(env_, obs::TraceCategory::kDisk, "disk_read",
+                           trace_pid_, trace_tid_);
+      co_await env_->Hold(service);
+    }
+    obs::TraceInstant(env_, obs::TraceCategory::kDisk, "read_done",
+                      trace_pid_, trace_tid_,
+                      {{"seek_cylinders", seek_cylinders},
+                       {"cached_bytes", static_cast<double>(cached)},
+                       {"queue_wait_ms", request->queue_wait_sec * 1e3}});
 
     // Mechanism state after the read.
     head_cylinder_ = (request->disk_offset + request->bytes - 1) /
@@ -127,6 +155,7 @@ void Disk::ResetStats(sim::SimTime now) {
   busy_.Reset(now);
   service_tally_.Reset();
   seek_tally_.Reset();
+  queue_wait_tally_.Reset();
   served_ = 0;
   cache_hit_bytes_ = 0;
 }

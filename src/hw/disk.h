@@ -64,6 +64,15 @@ struct DiskRequest {
   // for FIFO tie-breaking.
   std::uint64_t seq = 0;
 
+  // Filled in by the disk for observability: when the request entered
+  // the queue, how long it waited for the head, and how long the
+  // mechanical service took. Read back by the issuer after completion
+  // (server nodes forward them to the terminal for glitch attribution).
+  sim::SimTime submit_time = 0.0;
+  double queue_wait_sec = 0.0;
+  double service_sec = 0.0;
+  std::uint64_t trace_id = 0;  // async-span id for the queue-wait span
+
   // Opaque issuer context (the server stores the buffer-pool page being
   // filled here); passed back untouched at completion.
   void* context = nullptr;
@@ -135,6 +144,15 @@ class Disk {
   }
   const sim::Tally& service_tally() const { return service_tally_; }
   const sim::Tally& seek_distance_tally() const { return seek_tally_; }
+  // Queue wait: Submit -> scheduler pick, per request (seconds).
+  const sim::Tally& queue_wait_tally() const { return queue_wait_tally_; }
+
+  // Perfetto track this disk's events render on (set by the owning
+  // node; defaults keep stand-alone disks on their own track).
+  void SetTraceTrack(std::int32_t pid, std::int32_t tid) {
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
 
  private:
   sim::Process ServiceLoop();
@@ -164,6 +182,9 @@ class Disk {
   sim::Utilization busy_{1};
   sim::Tally service_tally_;
   sim::Tally seek_tally_;
+  sim::Tally queue_wait_tally_;
+  std::int32_t trace_pid_ = 0;
+  std::int32_t trace_tid_ = 0;
   std::uint64_t served_ = 0;
   std::uint64_t cache_hit_bytes_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -1,5 +1,6 @@
 #include "server/buffer_pool.h"
 
+#include "obs/trace.h"
 #include "sim/check.h"
 
 namespace spiffi::server {
@@ -31,14 +32,24 @@ void BufferPool::RecordReference(Page* page, int terminal) {
   }
   if (page->io_in_flight) {
     ++stats_.attaches;
+    obs::TraceInstant(env_, obs::TraceCategory::kBuffer, "pool_attach",
+                      trace_pid_, obs::Tracer::kPoolTid,
+                      {{"terminal", static_cast<double>(terminal)},
+                       {"block", static_cast<double>(page->key.block)}});
   } else {
     ++stats_.hits;
+    obs::TraceInstant(env_, obs::TraceCategory::kBuffer, "pool_hit",
+                      trace_pid_, obs::Tracer::kPoolTid,
+                      {{"terminal", static_cast<double>(terminal)},
+                       {"block", static_cast<double>(page->key.block)}});
   }
 }
 
 void BufferPool::RecordMiss() {
   ++stats_.references;
   ++stats_.misses;
+  obs::TraceInstant(env_, obs::TraceCategory::kBuffer, "pool_miss",
+                    trace_pid_, obs::Tracer::kPoolTid);
 }
 
 void BufferPool::RemoveFromChain(Page* page) {
@@ -71,9 +82,12 @@ BufferPool::Page* BufferPool::EvictFrom(int chain) {
       RemoveFromChain(page);
       table_.erase(page->key);
       ++stats_.evictions;
-      if (page->prefetched && !page->ever_referenced) {
-        ++stats_.wasted_prefetches;
-      }
+      bool wasted = page->prefetched && !page->ever_referenced;
+      if (wasted) ++stats_.wasted_prefetches;
+      obs::TraceInstant(env_, obs::TraceCategory::kBuffer, "pool_evict",
+                        trace_pid_, obs::Tracer::kPoolTid,
+                        {{"block", static_cast<double>(page->key.block)},
+                         {"wasted_prefetch", wasted ? 1.0 : 0.0}});
       return page;
     }
   }
@@ -107,6 +121,9 @@ BufferPool::Page* BufferPool::Allocate(const PageKey& key,
   page->inflight_request = nullptr;
   page->urgent_deadline = sim::kSimTimeMax;
   table_.emplace(key, page);
+  obs::TraceCounter(env_, obs::TraceCategory::kBuffer, "pool_pages_in_use",
+                    trace_pid_, obs::Tracer::kPoolTid,
+                    static_cast<double>(pages_in_use()));
   return page;
 }
 

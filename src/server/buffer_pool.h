@@ -129,6 +129,9 @@ class BufferPool {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
+  // Perfetto track pool events render on (set by the owning node).
+  void SetTraceTrack(std::int32_t pid) { trace_pid_ = pid; }
+
   std::int64_t num_pages() const {
     return static_cast<std::int64_t>(pages_.size());
   }
@@ -157,6 +160,7 @@ class BufferPool {
   std::list<Page*> chains_[2];
   sim::WaitList free_waiters_;
   Stats stats_;
+  std::int32_t trace_pid_ = 0;
 };
 
 }  // namespace spiffi::server

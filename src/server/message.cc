@@ -1,5 +1,6 @@
 #include "server/message.h"
 
+#include "obs/trace.h"
 #include "sim/check.h"
 
 namespace spiffi::server {
@@ -9,14 +10,21 @@ namespace {
 // One in-flight network delivery; owned by the network until it fires.
 class Delivery final : public sim::EventHandler {
  public:
-  Delivery(MessageSink* sink, const Message& message)
-      : sink_(sink), message_(message) {}
+  Delivery(sim::Environment* env, MessageSink* sink, const Message& message,
+           std::uint64_t trace_id)
+      : env_(env), sink_(sink), message_(message), trace_id_(trace_id) {}
 
-  void OnEvent(std::uint64_t) override { sink_->OnMessage(message_); }
+  void OnEvent(std::uint64_t) override {
+    obs::TraceAsyncEnd(env_, obs::TraceCategory::kNetwork, "wire",
+                       obs::Tracer::kNetworkPid, trace_id_);
+    sink_->OnMessage(message_);
+  }
 
  private:
+  sim::Environment* env_;
   MessageSink* sink_;
   Message message_;
+  std::uint64_t trace_id_;
 };
 
 }  // namespace
@@ -25,9 +33,14 @@ void PostMessage(sim::Environment* env, hw::Network* network,
                  std::int64_t wire_bytes, MessageSink* sink,
                  const Message& message) {
   SPIFFI_DCHECK(sink != nullptr);
-  (void)env;
+  std::uint64_t trace_id = obs::TraceAsyncBegin(
+      env, obs::TraceCategory::kNetwork, "wire", obs::Tracer::kNetworkPid,
+      {{"bytes", static_cast<double>(wire_bytes)},
+       {"terminal", static_cast<double>(message.terminal)},
+       {"reply", message.kind == Message::Kind::kReadReply ? 1.0 : 0.0}});
   network->SendOwned(wire_bytes,
-                     std::make_unique<Delivery>(sink, message));
+                     std::make_unique<Delivery>(env, sink, message,
+                                                trace_id));
 }
 
 }  // namespace spiffi::server

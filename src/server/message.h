@@ -17,6 +17,27 @@ namespace spiffi::server {
 
 class MessageSink;
 
+// Per-request stage timings, filled in by the server node and carried on
+// the reply. Terminals use the breakdown for deadline-slack accounting
+// and glitch attribution (which stage consumed a late block's budget).
+struct ReadTiming {
+  enum class Path : std::uint8_t { kUnknown, kHit, kAttach, kMiss };
+
+  sim::SimTime node_received = 0.0;  // reply: when the node saw the request
+  sim::SimTime reply_sent = 0.0;     // reply: when the node posted the reply
+  double disk_queue_sec = 0.0;       // miss only: wait for the disk head
+  double disk_service_sec = 0.0;     // miss only: mechanical service time
+  Path path = Path::kUnknown;
+
+  // Time spent inside the server node, wire transit excluded.
+  double ServerSeconds() const { return reply_sent - node_received; }
+  // Node time that was neither disk queueing nor disk service: CPU
+  // queueing/execution and buffer-pool stalls.
+  double ServerOverheadSeconds() const {
+    return ServerSeconds() - disk_queue_sec - disk_service_sec;
+  }
+};
+
 struct Message {
   enum class Kind { kReadRequest, kReadReply };
 
@@ -31,6 +52,8 @@ struct Message {
   // stream epoch so replies belonging to an abandoned stream (after a
   // seek or visual search) can be discarded on arrival.
   std::uint64_t cookie = 0;
+  // Stage timing breakdown (replies only).
+  ReadTiming timing;
 };
 
 class MessageSink {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/check.h"
 
 namespace spiffi::server {
@@ -20,16 +21,20 @@ Node::Node(sim::Environment* env, const NodeConfig& config,
   SPIFFI_CHECK(network != nullptr);
   SPIFFI_CHECK(library != nullptr);
   SPIFFI_CHECK(layout != nullptr);
+  const std::int32_t pid = obs::Tracer::kNodePidBase + config.id;
+  pool_.SetTraceTrack(pid);
   disks_.reserve(config.disks_per_node);
   prefetchers_.reserve(config.disks_per_node);
   for (int d = 0; d < config.disks_per_node; ++d) {
     int global = config.id * config.disks_per_node + d;
     disks_.push_back(std::make_unique<hw::Disk>(
         env, config.disk, MakeDiskScheduler(config.sched), global, this));
+    disks_.back()->SetTraceTrack(pid, obs::Tracer::kDiskTidBase + d);
     prefetchers_.push_back(std::make_unique<Prefetcher>(
         env, config.prefetch, config.prefetch_workers,
         config.max_advance_prefetch_sec, &pool_, &cpu_, disks_[d].get(),
         config.costs));
+    prefetchers_.back()->SetTraceTrack(pid, obs::Tracer::kDiskTidBase + d);
   }
 }
 
@@ -79,6 +84,14 @@ void Node::TriggerPrefetch(int video, std::int64_t block,
 }
 
 sim::Process Node::HandleRead(Message message) {
+  const std::int32_t trace_pid = obs::Tracer::kNodePidBase + config_.id;
+  ReadTiming timing;
+  timing.node_received = env_->now();
+  std::uint64_t span = obs::TraceAsyncBegin(
+      env_, obs::TraceCategory::kServer, "server_read", trace_pid,
+      {{"terminal", static_cast<double>(message.terminal)},
+       {"block", static_cast<double>(message.block)}});
+
   co_await cpu_.Execute(config_.costs.receive_message_instructions);
 
   PageKey key{message.video, message.block};
@@ -96,6 +109,7 @@ sim::Process Node::HandleRead(Message message) {
       pool_.RecordReference(page, message.terminal);
       pool_.Pin(page);
       if (page->io_in_flight) {
+        timing.path = ReadTiming::Path::kAttach;
         // Attach to the outstanding read; make sure it is scheduled at
         // least as urgently as this reference requires. The read may not
         // have reached the disk yet (its issuer is still queued on the
@@ -108,6 +122,9 @@ sim::Process Node::HandleRead(Message message) {
           page->inflight_request->deadline = message.deadline;
         }
         (void)co_await pool_.Ready(page).Wait();
+      }
+      if (timing.path == ReadTiming::Path::kUnknown) {
+        timing.path = ReadTiming::Path::kHit;
       }
       pool_.Touch(page, message.terminal);
       break;
@@ -145,6 +162,9 @@ sim::Process Node::HandleRead(Message message) {
     disks_[loc.disk_local]->Submit(&request);
 
     (void)co_await pool_.Ready(page).Wait();
+    timing.path = ReadTiming::Path::kMiss;
+    timing.disk_queue_sec = request.queue_wait_sec;
+    timing.disk_service_sec = request.service_sec;
     pool_.Touch(page, message.terminal);
     break;
   }
@@ -158,6 +178,14 @@ sim::Process Node::HandleRead(Message message) {
   reply.block = message.block;
   reply.bytes = BlockBytes(message.video, message.block);
   reply.cookie = message.cookie;
+  timing.reply_sent = env_->now();
+  reply.timing = timing;
+  obs::TraceAsyncEnd(env_, obs::TraceCategory::kServer, "server_read",
+                     trace_pid, span,
+                     {{"path", static_cast<double>(
+                                   static_cast<int>(timing.path))},
+                      {"disk_queue_ms", timing.disk_queue_sec * 1e3},
+                      {"disk_service_ms", timing.disk_service_sec * 1e3}});
   PostMessage(env_, network_, reply.bytes, message.reply_to, reply);
   pool_.Unpin(page);
 }

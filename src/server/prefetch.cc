@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/check.h"
 
 namespace spiffi::server {
@@ -38,10 +39,18 @@ void Prefetcher::Enqueue(const PrefetchTask& task) {
   if (policy_ == PrefetchPolicy::kNone) return;
   if (!pending_.insert(task.key).second) {
     ++stats_.duplicates_dropped;
+    obs::TraceInstant(env_, obs::TraceCategory::kPrefetch,
+                      "prefetch_duplicate", trace_pid_,
+                      trace_tid_,
+                      {{"block", static_cast<double>(task.key.block)}});
     return;
   }
   ++stats_.enqueued;
   queue_.push_back(task);
+  obs::TraceInstant(env_, obs::TraceCategory::kPrefetch, "prefetch_enqueue",
+                    trace_pid_, trace_tid_,
+                    {{"block", static_cast<double>(task.key.block)},
+                     {"queue_len", static_cast<double>(queue_.size())}});
   arrivals_.NotifyOne();
 }
 
@@ -88,6 +97,9 @@ sim::Process Prefetcher::Worker() {
       // A real request (or another worker) got there first.
       pending_.erase(task.key);
       ++stats_.already_cached;
+      obs::TraceInstant(env_, obs::TraceCategory::kPrefetch,
+                        "prefetch_cancel_cached", trace_pid_, trace_tid_,
+                        {{"block", static_cast<double>(task.key.block)}});
       continue;
     }
 
@@ -124,6 +136,10 @@ sim::Process Prefetcher::Worker() {
     request.context = page;
     page->inflight_request = &request;
     ++stats_.issued;
+    obs::TraceInstant(env_, obs::TraceCategory::kPrefetch, "prefetch_issue",
+                      trace_pid_, trace_tid_,
+                      {{"block", static_cast<double>(task.key.block)},
+                       {"bytes", static_cast<double>(task.bytes)}});
     disk_->Submit(&request);
 
     (void)co_await pool_->Ready(page).Wait();

@@ -86,6 +86,13 @@ class Prefetcher {
   std::size_t queue_length() const { return queue_.size(); }
   PrefetchPolicy policy() const { return policy_; }
 
+  // Perfetto track prefetch events render on — the owning node points it
+  // at the serviced disk's track.
+  void SetTraceTrack(std::int32_t pid, std::int32_t tid) {
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
+
  private:
   sim::Process Worker();
 
@@ -107,6 +114,8 @@ class Prefetcher {
   std::unordered_set<PageKey, PageKeyHash> pending_;
   sim::WaitList arrivals_;
   Stats stats_;
+  std::int32_t trace_pid_ = 0;
+  std::int32_t trace_tid_ = 0;
 };
 
 }  // namespace spiffi::server

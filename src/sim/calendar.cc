@@ -10,8 +10,10 @@ EventId Calendar::Schedule(SimTime time, EventHandler* handler,
                            std::uint64_t token) {
   SPIFFI_DCHECK(handler != nullptr);
   EventId id = next_id_++;
+  if (heap_.size() == heap_.capacity()) ++storage_grows_;
   heap_.push_back(Entry{time, next_seq_++, handler, token, id});
   std::push_heap(heap_.begin(), heap_.end(), Later);
+  if (heap_.size() > peak_size_) peak_size_ = heap_.size();
   return id;
 }
 

@@ -69,6 +69,11 @@ class Calendar {
   // Total events fired since construction.
   std::uint64_t fired_count() const { return fired_; }
 
+  // Kernel self-profiling: high-water mark of pending entries, and the
+  // number of times the heap storage had to grow to admit one.
+  std::size_t peak_size() const { return peak_size_; }
+  std::uint64_t storage_grows() const { return storage_grows_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -91,6 +96,8 @@ class Calendar {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t fired_ = 0;
+  std::size_t peak_size_ = 0;
+  std::uint64_t storage_grows_ = 0;
 };
 
 }  // namespace spiffi::sim

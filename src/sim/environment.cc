@@ -1,5 +1,6 @@
 #include "sim/environment.h"
 
+#include "obs/tracer.h"
 #include "sim/check.h"
 
 namespace spiffi::sim {
@@ -13,6 +14,8 @@ void ProcessFinished(Environment* env, std::coroutine_handle<> handle) {
 }
 
 }  // namespace internal
+
+Environment::Environment() = default;
 
 Environment::~Environment() {
   // Pending events may reference awaiters living inside coroutine frames;
@@ -37,7 +40,17 @@ void Environment::Spawn(Process process) {
   Process::Handle handle = process.Release();
   handle.promise().env = this;
   processes_.insert(handle.address());
+  if (processes_.size() > peak_processes_) {
+    peak_processes_ = processes_.size();
+  }
   ScheduleResume(handle, now_);
+}
+
+obs::Tracer& Environment::EnableTracing(std::size_t ring_capacity) {
+  if (tracer_ == nullptr) {
+    tracer_ = std::make_unique<obs::Tracer>(ring_capacity);
+  }
+  return *tracer_;
 }
 
 EventId Environment::Schedule(SimTime time, EventHandler* handler,

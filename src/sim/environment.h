@@ -18,11 +18,16 @@
 #include "sim/process.h"
 #include "sim/time.h"
 
+namespace spiffi::obs {
+class Tracer;
+}  // namespace spiffi::obs
+
 namespace spiffi::sim {
 
 class Environment {
  public:
-  Environment() = default;
+  // Out of line: members reference the forward-declared obs::Tracer.
+  Environment();
   ~Environment();
 
   Environment(const Environment&) = delete;
@@ -83,6 +88,23 @@ class Environment {
   std::uint64_t events_fired() const { return calendar_.fired_count(); }
   std::size_t live_processes() const { return processes_.size(); }
 
+  // --- Observability ---
+
+  // Installs (or returns the already-installed) event tracer. Until this
+  // is called, tracer() is null and instrumentation costs one pointer
+  // test per call site (nothing at all when SPIFFI_TRACING is off).
+  obs::Tracer& EnableTracing(std::size_t ring_capacity = 256 * 1024);
+  obs::Tracer* tracer() const { return tracer_.get(); }
+
+  // Kernel self-profiling counters (see obs/kernel_profile.h).
+  std::size_t calendar_size() const { return calendar_.size(); }
+  std::size_t peak_calendar_size() const { return calendar_.peak_size(); }
+  std::uint64_t calendar_storage_grows() const {
+    return calendar_.storage_grows();
+  }
+  std::size_t peak_processes() const { return peak_processes_; }
+  std::size_t resume_slots() const { return all_slots_.size(); }
+
  private:
   friend void internal::ProcessFinished(Environment* env,
                                         std::coroutine_handle<> handle);
@@ -101,6 +123,8 @@ class Environment {
   Calendar calendar_;
   SimTime now_ = 0.0;
   bool stopped_ = false;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::size_t peak_processes_ = 0;
   std::unordered_set<void*> processes_;  // live coroutine frame addresses
   // All slots ever created (owned here, so slots still sitting in the
   // calendar at teardown are reclaimed); free_slots_ chains the idle ones.

@@ -1,6 +1,9 @@
 #include "vod/simulation.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
 
 #include "layout/nonstriped.h"
 #include "layout/striping.h"
@@ -16,7 +19,16 @@ constexpr std::uint64_t kLibraryStream = 1;
 constexpr std::uint64_t kPlacementStream = 2;
 constexpr std::uint64_t kTerminalStreamBase = 1000;
 
+RunObserver& GlobalRunObserver() {
+  static RunObserver observer;
+  return observer;
+}
+
 }  // namespace
+
+void SetRunObserver(RunObserver observer) {
+  GlobalRunObserver() = std::move(observer);
+}
 
 Simulation::Simulation(const SimConfig& config) : config_(config) {
   std::string error = config.Validate();
@@ -105,6 +117,8 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
         env_.get(), t, terminal_params, network_.get(), server_.get(),
         library_.get(), layout_.get(), rng, start, piggyback_.get()));
   }
+
+  RegisterMetrics();
 }
 
 Simulation::~Simulation() = default;
@@ -117,6 +131,7 @@ void Simulation::ResetAllStats() {
   network_->ResetStats();
   for (auto& terminal : terminals_) terminal->ResetStats();
   if (piggyback_ != nullptr) piggyback_->ResetStats();
+  metrics_.Reset();  // owned instruments; probes read the state above
   measure_start_ = now;
 }
 
@@ -124,7 +139,7 @@ void Simulation::RunMeasurement() {
   env_->RunUntil(measure_start_ + config_.measure_seconds);
 }
 
-SimMetrics Simulation::Collect() const {
+SimMetrics Simulation::CollectDirect() const {
   SimMetrics m;
   m.terminals = config_.terminals;
   sim::SimTime now = env_->now();
@@ -202,10 +217,355 @@ SimMetrics Simulation::Collect() const {
   return m;
 }
 
+SimMetrics Simulation::Collect() const {
+  SimMetrics m;
+  m.terminals = config_.terminals;
+  m.measured_seconds = metrics_.Value("sim.measured_seconds");
+
+  m.glitches =
+      static_cast<std::uint64_t>(metrics_.Value("terminal.glitches"));
+  m.terminals_with_glitches =
+      static_cast<int>(metrics_.Value("terminal.glitched_terminals"));
+  m.frames_displayed = static_cast<std::uint64_t>(
+      metrics_.Value("terminal.frames_displayed"));
+  m.videos_completed = static_cast<std::uint64_t>(
+      metrics_.Value("terminal.videos_completed"));
+  m.avg_response_ms = metrics_.Value("terminal.response_ms.avg");
+  sim::Histogram response = metrics_.GetHistogram("terminal.response_sec");
+  m.p50_response_ms = response.Percentile(0.5) * 1e3;
+  m.p99_response_ms = response.Percentile(0.99) * 1e3;
+
+  m.buffer_references =
+      static_cast<std::uint64_t>(metrics_.Value("pool.references"));
+  m.buffer_hits = static_cast<std::uint64_t>(metrics_.Value("pool.hits"));
+  m.buffer_attaches =
+      static_cast<std::uint64_t>(metrics_.Value("pool.attaches"));
+  m.buffer_misses =
+      static_cast<std::uint64_t>(metrics_.Value("pool.misses"));
+  m.shared_references =
+      static_cast<std::uint64_t>(metrics_.Value("pool.shared_refs"));
+  m.wasted_prefetches =
+      static_cast<std::uint64_t>(metrics_.Value("pool.wasted_prefetches"));
+  m.prefetches_issued =
+      static_cast<std::uint64_t>(metrics_.Value("prefetch.issued"));
+
+  m.disk_reads = static_cast<std::uint64_t>(metrics_.Value("disk.reads"));
+  m.avg_disk_utilization = metrics_.Value("disk.utilization.avg");
+  m.min_disk_utilization = metrics_.Value("disk.utilization.min");
+  m.max_disk_utilization = metrics_.Value("disk.utilization.max");
+  m.avg_cpu_utilization = metrics_.Value("cpu.utilization.avg");
+  m.avg_disk_service_ms = metrics_.Value("disk.service_ms.avg");
+  m.avg_seek_cylinders = metrics_.Value("disk.seek_cylinders.avg");
+
+  m.peak_network_bytes_per_sec =
+      metrics_.Value("network.peak_bytes_per_sec");
+  m.avg_network_bytes_per_sec = metrics_.Value("network.avg_bytes_per_sec");
+  m.events_simulated =
+      static_cast<std::uint64_t>(metrics_.Value("kernel.events_fired"));
+  return m;
+}
+
+void Simulation::RegisterMetrics() {
+  // Every probe below replicates the corresponding CollectDirect()
+  // computation exactly — same loops, same accumulation order — so the
+  // registry path is bit-identical to the direct path (enforced by
+  // tests/vod/metrics_regression_test.cc). Change both together.
+  metrics_.AddProbe("sim.measured_seconds",
+                    [this] { return env_->now() - measure_start_; });
+
+  // --- Terminal experience ---
+  auto sum_terminals = [this](auto field) {
+    std::uint64_t sum = 0;
+    for (const auto& terminal : terminals_) {
+      sum += field(terminal->stats());
+    }
+    return static_cast<double>(sum);
+  };
+  metrics_.AddProbe("terminal.glitches", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.glitches; });
+  });
+  metrics_.AddProbe("terminal.glitched_terminals", [this] {
+    int count = 0;
+    for (const auto& terminal : terminals_) {
+      if (terminal->stats().glitches > 0) ++count;
+    }
+    return static_cast<double>(count);
+  });
+  metrics_.AddProbe("terminal.frames_displayed", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.frames_displayed; });
+  });
+  metrics_.AddProbe("terminal.videos_completed", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.videos_completed; });
+  });
+  metrics_.AddProbe("terminal.blocks_received", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.blocks_received; });
+  });
+  metrics_.AddProbe("terminal.requests_sent", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.requests_sent; });
+  });
+  metrics_.AddProbe("terminal.stale_replies", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.stale_replies; });
+  });
+  metrics_.AddProbe("terminal.response_ms.avg", [this] {
+    double sum = 0.0;
+    for (const auto& terminal : terminals_) {
+      sum += terminal->stats().response_time.sum();
+    }
+    std::uint64_t total_blocks = 0;
+    for (const auto& terminal : terminals_) {
+      total_blocks += terminal->stats().blocks_received;
+    }
+    return total_blocks == 0 ? 0.0 : sum / total_blocks * 1e3;
+  });
+  metrics_.AddHistogramProbe(
+      "terminal.response_sec", [this](sim::Histogram& h) {
+        for (const auto& terminal : terminals_) {
+          h.Merge(terminal->stats().response_histogram);
+        }
+      });
+
+  // --- Deadline slack & glitch attribution (derived; registry-only) ---
+  metrics_.AddProbe("terminal.deadline_slack_ms.avg", [this] {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (const auto& terminal : terminals_) {
+      sum += terminal->stats().deadline_slack.sum();
+      count += terminal->stats().deadline_slack.count();
+    }
+    return count == 0 ? 0.0 : sum / count * 1e3;
+  });
+  metrics_.AddHistogramProbe(
+      "terminal.deadline_slack_sec", [this](sim::Histogram& h) {
+        for (const auto& terminal : terminals_) {
+          h.Merge(terminal->stats().slack_histogram);
+        }
+      });
+  metrics_.AddProbe("terminal.late_blocks", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.late_blocks; });
+  });
+  metrics_.AddProbe("terminal.late_attrib.network", [sum_terminals] {
+    return sum_terminals(
+        [](const auto& s) { return s.late_attrib_network; });
+  });
+  metrics_.AddProbe("terminal.late_attrib.server_cpu", [sum_terminals] {
+    return sum_terminals(
+        [](const auto& s) { return s.late_attrib_server_cpu; });
+  });
+  metrics_.AddProbe("terminal.late_attrib.disk_queue", [sum_terminals] {
+    return sum_terminals(
+        [](const auto& s) { return s.late_attrib_disk_queue; });
+  });
+  metrics_.AddProbe("terminal.late_attrib.disk_service", [sum_terminals] {
+    return sum_terminals(
+        [](const auto& s) { return s.late_attrib_disk_service; });
+  });
+
+  // --- Buffer pool & prefetch (summed over nodes) ---
+  auto sum_pool = [this](auto field) {
+    std::uint64_t sum = 0;
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      sum += field(server_->node(n).pool().stats());
+    }
+    return static_cast<double>(sum);
+  };
+  metrics_.AddProbe("pool.references", [sum_pool] {
+    return sum_pool([](const auto& s) { return s.references; });
+  });
+  metrics_.AddProbe("pool.hits", [sum_pool] {
+    return sum_pool([](const auto& s) { return s.hits; });
+  });
+  metrics_.AddProbe("pool.attaches", [sum_pool] {
+    return sum_pool([](const auto& s) { return s.attaches; });
+  });
+  metrics_.AddProbe("pool.misses", [sum_pool] {
+    return sum_pool([](const auto& s) { return s.misses; });
+  });
+  metrics_.AddProbe("pool.shared_refs", [sum_pool] {
+    return sum_pool([](const auto& s) { return s.shared_refs; });
+  });
+  metrics_.AddProbe("pool.evictions", [sum_pool] {
+    return sum_pool([](const auto& s) { return s.evictions; });
+  });
+  metrics_.AddProbe("pool.wasted_prefetches", [sum_pool] {
+    return sum_pool([](const auto& s) { return s.wasted_prefetches; });
+  });
+  metrics_.AddProbe("pool.allocation_stalls", [sum_pool] {
+    return sum_pool([](const auto& s) { return s.allocation_stalls; });
+  });
+  auto sum_prefetch = [this](auto field) {
+    std::uint64_t sum = 0;
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      const server::Node& node = server_->node(n);
+      for (int d = 0; d < node.num_disks(); ++d) {
+        sum += field(node.prefetcher(d).stats());
+      }
+    }
+    return static_cast<double>(sum);
+  };
+  metrics_.AddProbe("prefetch.issued", [sum_prefetch] {
+    return sum_prefetch([](const auto& s) { return s.issued; });
+  });
+  metrics_.AddProbe("prefetch.enqueued", [sum_prefetch] {
+    return sum_prefetch([](const auto& s) { return s.enqueued; });
+  });
+  metrics_.AddProbe("prefetch.duplicates_dropped", [sum_prefetch] {
+    return sum_prefetch(
+        [](const auto& s) { return s.duplicates_dropped; });
+  });
+  metrics_.AddProbe("prefetch.already_cached", [sum_prefetch] {
+    return sum_prefetch([](const auto& s) { return s.already_cached; });
+  });
+
+  // --- Disks & CPU ---
+  metrics_.AddProbe("disk.reads", [this] {
+    std::uint64_t sum = 0;
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      const server::Node& node = server_->node(n);
+      for (int d = 0; d < node.num_disks(); ++d) {
+        sum += node.disk(d).requests_served();
+      }
+    }
+    return static_cast<double>(sum);
+  });
+  metrics_.AddProbe("disk.utilization.avg", [this] {
+    double sum = 0.0;
+    int total_disks = 0;
+    sim::SimTime now = env_->now();
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      const server::Node& node = server_->node(n);
+      for (int d = 0; d < node.num_disks(); ++d) {
+        sum += node.disk(d).AverageUtilization(now);
+        ++total_disks;
+      }
+    }
+    return sum / total_disks;
+  });
+  metrics_.AddProbe("disk.utilization.min", [this] {
+    double min = 1.0;
+    sim::SimTime now = env_->now();
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      const server::Node& node = server_->node(n);
+      for (int d = 0; d < node.num_disks(); ++d) {
+        min = std::min(min, node.disk(d).AverageUtilization(now));
+      }
+    }
+    return min;
+  });
+  metrics_.AddProbe("disk.utilization.max", [this] {
+    double max = 0.0;
+    sim::SimTime now = env_->now();
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      const server::Node& node = server_->node(n);
+      for (int d = 0; d < node.num_disks(); ++d) {
+        max = std::max(max, node.disk(d).AverageUtilization(now));
+      }
+    }
+    return max;
+  });
+  metrics_.AddProbe("cpu.utilization.avg", [this] {
+    double sum = 0.0;
+    sim::SimTime now = env_->now();
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      sum += server_->node(n).cpu().AverageUtilization(now);
+    }
+    return sum / server_->num_nodes();
+  });
+  metrics_.AddProbe("disk.service_ms.avg", [this] {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      const server::Node& node = server_->node(n);
+      for (int d = 0; d < node.num_disks(); ++d) {
+        sum += node.disk(d).service_tally().sum();
+        count += node.disk(d).service_tally().count();
+      }
+    }
+    return count == 0 ? 0.0 : sum / count * 1e3;
+  });
+  metrics_.AddProbe("disk.seek_cylinders.avg", [this] {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      const server::Node& node = server_->node(n);
+      for (int d = 0; d < node.num_disks(); ++d) {
+        sum += node.disk(d).seek_distance_tally().sum();
+        count += node.disk(d).service_tally().count();
+      }
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  });
+  // Queue-wait vs service breakdown: service_ms.avg above is the
+  // mechanical half; this is the time requests spent waiting for the
+  // head before being picked by the scheduler.
+  metrics_.AddProbe("disk.queue_wait_ms.avg", [this] {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      const server::Node& node = server_->node(n);
+      for (int d = 0; d < node.num_disks(); ++d) {
+        sum += node.disk(d).queue_wait_tally().sum();
+        count += node.disk(d).queue_wait_tally().count();
+      }
+    }
+    return count == 0 ? 0.0 : sum / count * 1e3;
+  });
+
+  // --- Network ---
+  metrics_.AddProbe("network.peak_bytes_per_sec", [this] {
+    return static_cast<double>(network_->peak_bytes_per_bucket()) /
+           config_.network.bandwidth_bucket_sec;
+  });
+  metrics_.AddProbe("network.avg_bytes_per_sec", [this] {
+    return network_->AverageBandwidth(env_->now());
+  });
+
+  // --- Kernel self-profile ---
+  metrics_.AddProbe("kernel.events_fired", [this] {
+    return static_cast<double>(env_->events_fired());
+  });
+  metrics_.AddProbe("kernel.peak_calendar_size", [this] {
+    return static_cast<double>(env_->peak_calendar_size());
+  });
+  metrics_.AddProbe("kernel.calendar_grows", [this] {
+    return static_cast<double>(env_->calendar_storage_grows());
+  });
+  metrics_.AddProbe("kernel.peak_processes", [this] {
+    return static_cast<double>(env_->peak_processes());
+  });
+}
+
+obs::Tracer& Simulation::EnableTracing(std::size_t ring_capacity) {
+  obs::Tracer& tracer = env_->EnableTracing(ring_capacity);
+  tracer.SetProcessName(obs::Tracer::kTerminalsPid, "terminals");
+  tracer.SetProcessName(obs::Tracer::kNetworkPid, "network");
+  for (int n = 0; n < server_->num_nodes(); ++n) {
+    std::int32_t pid = obs::Tracer::kNodePidBase + n;
+    tracer.SetProcessName(pid, "node " + std::to_string(n));
+    tracer.SetThreadName(pid, obs::Tracer::kCpuTid, "cpu");
+    tracer.SetThreadName(pid, obs::Tracer::kPoolTid, "buffer pool");
+    for (int d = 0; d < config_.disks_per_node; ++d) {
+      tracer.SetThreadName(pid, obs::Tracer::kDiskTidBase + d,
+                           "disk " + std::to_string(d));
+    }
+  }
+  return tracer;
+}
+
 SimMetrics Simulation::Run() {
+  auto wall_start = std::chrono::steady_clock::now();
   RunWarmup();
   ResetAllStats();
   RunMeasurement();
+  if (const RunObserver& observer = GlobalRunObserver()) {
+    RunProfile profile;
+    profile.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    profile.terminals = config_.terminals;
+    profile.kernel = obs::CaptureKernelProfile(*env_);
+    observer(profile);
+  }
   return Collect();
 }
 

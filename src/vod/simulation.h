@@ -9,6 +9,7 @@
 #ifndef SPIFFI_VOD_SIMULATION_H_
 #define SPIFFI_VOD_SIMULATION_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -17,12 +18,29 @@
 #include "hw/network.h"
 #include "layout/layout.h"
 #include "mpeg/video.h"
+#include "obs/kernel_profile.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "server/server.h"
 #include "sim/environment.h"
 #include "vod/config.h"
 #include "vod/metrics.h"
 
 namespace spiffi::vod {
+
+// Kernel self-profile of one completed Run(), delivered to the run
+// observer. Benchmark harnesses install an observer (SetRunObserver) to
+// implement their --profile mode without touching experiment code.
+struct RunProfile {
+  double wall_seconds = 0.0;  // warmup + measurement, wall clock
+  int terminals = 0;
+  obs::KernelProfile kernel;
+};
+using RunObserver = std::function<void(const RunProfile&)>;
+
+// Installs a process-wide observer called at the end of every
+// Simulation::Run(); pass nullptr to clear. Not thread-safe.
+void SetRunObserver(RunObserver observer);
 
 class Simulation {
  public:
@@ -51,9 +69,27 @@ class Simulation {
   void RunWarmup();
   void ResetAllStats();
   void RunMeasurement();
+  // Builds SimMetrics by reading the metrics registry.
   SimMetrics Collect() const;
+  // Builds SimMetrics straight from component stats, bypassing the
+  // registry — the pre-registry collection path, kept as the regression
+  // reference: Collect() must reproduce it bit-for-bit.
+  SimMetrics CollectDirect() const;
+
+  // The registry holding every metric this simulation exposes —
+  // per-component probes plus derived metrics (queue-wait vs service
+  // breakdown, deadline slack, glitch attribution). Export with
+  // metrics().WriteJson(...) / WriteCsv(...).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Turns on event tracing and labels the Perfetto tracks (terminals,
+  // network, per-node cpu/disks/pool). Returns the environment's tracer.
+  obs::Tracer& EnableTracing(std::size_t ring_capacity = 256 * 1024);
 
  private:
+  void RegisterMetrics();
+
   SimConfig config_;
   std::unique_ptr<sim::Environment> env_;
   std::unique_ptr<mpeg::VideoLibrary> library_;
@@ -62,6 +98,7 @@ class Simulation {
   std::unique_ptr<server::VideoServer> server_;
   std::unique_ptr<client::PiggybackManager> piggyback_;
   std::vector<std::unique_ptr<client::Terminal>> terminals_;
+  obs::MetricsRegistry metrics_;
   sim::SimTime measure_start_ = 0.0;
 };
 

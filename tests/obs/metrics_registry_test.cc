@@ -1,0 +1,169 @@
+// MetricsRegistry unit tests: registration, duplicate-name rejection,
+// reset-on-measurement-window semantics, and export shape. The last
+// test drives a real Simulation to check that the registry mirrors
+// ResetAllStats().
+
+#include "obs/metrics_registry.h"
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "sim/histogram.h"
+#include "vod/simulation.h"
+
+namespace spiffi::obs {
+namespace {
+
+TEST(MetricsRegistryTest, OwnedInstrumentsRoundTrip) {
+  MetricsRegistry registry;
+  auto* counter = registry.AddCounter("pool.hits");
+  auto* gauge = registry.AddGauge("sim.measured_seconds");
+  sim::Tally* tally = registry.AddTally("disk.service_ms");
+  sim::Histogram* histogram = registry.AddHistogram("terminal.response_sec");
+
+  *counter += 3;
+  *gauge = 30.0;
+  tally->Add(8.5);
+  tally->Add(11.5);
+  histogram->Add(0.25);
+
+  EXPECT_EQ(registry.size(), 4u);
+  EXPECT_TRUE(registry.Has("pool.hits"));
+  EXPECT_FALSE(registry.Has("pool.misses"));
+  EXPECT_DOUBLE_EQ(registry.Value("pool.hits"), 3.0);
+  EXPECT_DOUBLE_EQ(registry.Value("sim.measured_seconds"), 30.0);
+  EXPECT_DOUBLE_EQ(registry.GetTally("disk.service_ms").mean(), 10.0);
+  EXPECT_EQ(registry.GetHistogram("terminal.response_sec").count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ProbesReadLiveState) {
+  MetricsRegistry registry;
+  std::uint64_t backing = 0;
+  registry.AddProbe("disk.reads",
+                    [&backing] { return static_cast<double>(backing); });
+  EXPECT_DOUBLE_EQ(registry.Value("disk.reads"), 0.0);
+  backing = 42;  // probes poll at read time, no re-registration needed
+  EXPECT_DOUBLE_EQ(registry.Value("disk.reads"), 42.0);
+
+  sim::Histogram component;
+  component.Add(1.0);
+  registry.AddHistogramProbe("terminal.slack_sec",
+                             [&component](sim::Histogram& accumulator) {
+                               accumulator.Merge(component);
+                             });
+  EXPECT_EQ(registry.GetHistogram("terminal.slack_sec").count(), 1u);
+  component.Add(2.0);
+  EXPECT_EQ(registry.GetHistogram("terminal.slack_sec").count(), 2u);
+}
+
+TEST(MetricsRegistryDeathTest, DuplicateNameChecks) {
+  MetricsRegistry registry;
+  registry.AddCounter("pool.hits");
+  EXPECT_DEATH(registry.AddCounter("pool.hits"), "CHECK failed");
+  // The clash is on the name, not the kind.
+  EXPECT_DEATH(registry.AddGauge("pool.hits"), "CHECK failed");
+  EXPECT_DEATH(registry.AddProbe("pool.hits", [] { return 0.0; }),
+               "CHECK failed");
+}
+
+TEST(MetricsRegistryDeathTest, ReadsCheckKindAndExistence) {
+  MetricsRegistry registry;
+  registry.AddTally("disk.service_ms");
+  EXPECT_DEATH(registry.Value("no.such.metric"), "CHECK failed");
+  EXPECT_DEATH(registry.Value("disk.service_ms"), "CHECK failed");
+  EXPECT_DEATH(registry.GetTally("no.such.metric"), "CHECK failed");
+}
+
+// Reset() zeroes owned instruments (the measurement window opens) but
+// leaves probe-backed state to the owning component, mirroring how
+// Simulation::ResetAllStats() resets the components themselves.
+TEST(MetricsRegistryTest, ResetZeroesOwnedInstrumentsOnly) {
+  MetricsRegistry registry;
+  auto* counter = registry.AddCounter("pool.hits");
+  auto* gauge = registry.AddGauge("sim.measured_seconds");
+  sim::Tally* tally = registry.AddTally("disk.service_ms");
+  sim::Histogram* histogram = registry.AddHistogram("terminal.response_sec");
+  double probe_backing = 7.0;
+  registry.AddProbe("disk.reads", [&probe_backing] { return probe_backing; });
+
+  *counter = 5;
+  *gauge = 30.0;
+  tally->Add(1.0);
+  histogram->Add(0.5);
+
+  registry.Reset();
+
+  EXPECT_DOUBLE_EQ(registry.Value("pool.hits"), 0.0);
+  EXPECT_DOUBLE_EQ(registry.Value("sim.measured_seconds"), 0.0);
+  EXPECT_EQ(registry.GetTally("disk.service_ms").count(), 0u);
+  EXPECT_EQ(registry.GetHistogram("terminal.response_sec").count(), 0u);
+  // Probe untouched: its backing state belongs to the component.
+  EXPECT_DOUBLE_EQ(registry.Value("disk.reads"), 7.0);
+  // The returned pointers stay valid across Reset().
+  *counter += 2;
+  EXPECT_DOUBLE_EQ(registry.Value("pool.hits"), 2.0);
+}
+
+TEST(MetricsRegistryTest, ExportsJsonAndCsv) {
+  MetricsRegistry registry;
+  *registry.AddCounter("pool.hits") = 12;
+  *registry.AddGauge("sim.measured_seconds") = 30.0;
+  sim::Tally* tally = registry.AddTally("disk.service_ms");
+  tally->Add(4.0);
+  tally->Add(6.0);
+  registry.AddProbe("disk.reads", [] { return 99.0; });
+
+  std::ostringstream json;
+  registry.WriteJson(json);
+  const std::string j = json.str();
+  EXPECT_NE(j.find("\"pool.hits\""), std::string::npos);
+  EXPECT_NE(j.find("\"sim.measured_seconds\""), std::string::npos);
+  EXPECT_NE(j.find("\"disk.service_ms\""), std::string::npos);
+  EXPECT_NE(j.find("\"disk.reads\""), std::string::npos);
+
+  std::ostringstream csv;
+  registry.WriteCsv(csv);
+  const std::string c = csv.str();
+  EXPECT_NE(c.find("pool.hits,12"), std::string::npos);
+  EXPECT_NE(c.find("disk.reads,99"), std::string::npos);
+  // Tallies export per-facet scalar rows.
+  EXPECT_NE(c.find("disk.service_ms"), std::string::npos);
+}
+
+// End to end: the simulation's registry matches the ResetAllStats()
+// window. After warmup the probes show activity; opening the
+// measurement window zeroes what they read.
+TEST(MetricsRegistryTest, SimulationResetOpensMeasurementWindow) {
+  vod::SimConfig config;
+  config.num_nodes = 2;
+  config.disks_per_node = 2;
+  config.video_seconds = 120.0;
+  config.server_memory_bytes = 256LL * 1024 * 1024;
+  config.terminals = 20;
+  config.start_window_sec = 10.0;
+  config.warmup_seconds = 15.0;
+  config.measure_seconds = 30.0;
+
+  vod::Simulation simulation(config);
+  const MetricsRegistry& metrics = simulation.metrics();
+
+  simulation.RunWarmup();
+  EXPECT_GT(metrics.Value("terminal.blocks_received"), 0.0);
+  EXPECT_GT(metrics.Value("disk.reads"), 0.0);
+  EXPECT_GT(metrics.GetHistogram("terminal.response_sec").count(), 0u);
+
+  simulation.ResetAllStats();
+  EXPECT_DOUBLE_EQ(metrics.Value("terminal.blocks_received"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.Value("disk.reads"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.Value("pool.references"), 0.0);
+  EXPECT_EQ(metrics.GetHistogram("terminal.response_sec").count(), 0u);
+
+  simulation.RunMeasurement();
+  EXPECT_GT(metrics.Value("terminal.blocks_received"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.Value("sim.measured_seconds"),
+                   config.measure_seconds);
+}
+
+}  // namespace
+}  // namespace spiffi::obs

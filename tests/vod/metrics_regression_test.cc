@@ -1,0 +1,127 @@
+// Regression lock between the two SimMetrics collection paths.
+//
+// Collect() reads the metrics registry; CollectDirect() is the
+// pre-registry path reading component stats straight. The registry
+// probes replicate the direct computations loop-for-loop, so the two
+// must agree bit-for-bit — any drift means a probe and its direct
+// counterpart were edited apart. All comparisons below are exact
+// (EXPECT_EQ on doubles), not EXPECT_NEAR.
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "vod/simulation.h"
+
+namespace spiffi::vod {
+namespace {
+
+SimConfig SmallConfig() {
+  SimConfig config;
+  config.num_nodes = 2;
+  config.disks_per_node = 2;
+  config.video_seconds = 120.0;
+  config.server_memory_bytes = 256LL * 1024 * 1024;
+  config.terminals = 20;
+  config.start_window_sec = 10.0;
+  config.warmup_seconds = 15.0;
+  config.measure_seconds = 30.0;
+  return config;
+}
+
+void ExpectBitIdentical(const SimMetrics& a, const SimMetrics& b) {
+  EXPECT_EQ(a.terminals, b.terminals);
+  EXPECT_EQ(a.measured_seconds, b.measured_seconds);
+  EXPECT_EQ(a.glitches, b.glitches);
+  EXPECT_EQ(a.terminals_with_glitches, b.terminals_with_glitches);
+  EXPECT_EQ(a.avg_disk_utilization, b.avg_disk_utilization);
+  EXPECT_EQ(a.min_disk_utilization, b.min_disk_utilization);
+  EXPECT_EQ(a.max_disk_utilization, b.max_disk_utilization);
+  EXPECT_EQ(a.avg_cpu_utilization, b.avg_cpu_utilization);
+  EXPECT_EQ(a.peak_network_bytes_per_sec, b.peak_network_bytes_per_sec);
+  EXPECT_EQ(a.avg_network_bytes_per_sec, b.avg_network_bytes_per_sec);
+  EXPECT_EQ(a.buffer_references, b.buffer_references);
+  EXPECT_EQ(a.buffer_hits, b.buffer_hits);
+  EXPECT_EQ(a.buffer_attaches, b.buffer_attaches);
+  EXPECT_EQ(a.buffer_misses, b.buffer_misses);
+  EXPECT_EQ(a.shared_references, b.shared_references);
+  EXPECT_EQ(a.wasted_prefetches, b.wasted_prefetches);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+  EXPECT_EQ(a.disk_reads, b.disk_reads);
+  EXPECT_EQ(a.avg_disk_service_ms, b.avg_disk_service_ms);
+  EXPECT_EQ(a.avg_seek_cylinders, b.avg_seek_cylinders);
+  EXPECT_EQ(a.avg_response_ms, b.avg_response_ms);
+  EXPECT_EQ(a.p50_response_ms, b.p50_response_ms);
+  EXPECT_EQ(a.p99_response_ms, b.p99_response_ms);
+  EXPECT_EQ(a.frames_displayed, b.frames_displayed);
+  EXPECT_EQ(a.videos_completed, b.videos_completed);
+  EXPECT_EQ(a.events_simulated, b.events_simulated);
+}
+
+TEST(MetricsRegressionTest, RegistryCollectMatchesDirectLightLoad) {
+  Simulation simulation(SmallConfig());
+  simulation.Run();
+  ExpectBitIdentical(simulation.Collect(), simulation.CollectDirect());
+}
+
+TEST(MetricsRegressionTest, RegistryCollectMatchesDirectOverload) {
+  SimConfig config = SmallConfig();
+  config.terminals = 120;  // oversubscribed: glitches, late blocks
+  Simulation simulation(config);
+  SimMetrics metrics = simulation.Run();
+  EXPECT_GT(metrics.glitches, 0u);
+  ExpectBitIdentical(simulation.Collect(), simulation.CollectDirect());
+}
+
+// Collect() may be called repeatedly (harnesses sample mid-run); the
+// probes are pure reads, so repetition cannot perturb the result.
+TEST(MetricsRegressionTest, CollectIsIdempotent) {
+  Simulation simulation(SmallConfig());
+  simulation.Run();
+  SimMetrics first = simulation.Collect();
+  simulation.Collect();
+  ExpectBitIdentical(first, simulation.Collect());
+}
+
+// The derived observability metrics — deadline slack and per-stage
+// glitch attribution — exist only in the registry. An oversubscribed
+// run must populate them and they must appear in the JSON export.
+TEST(MetricsRegressionTest, OverloadExportsSlackAndAttribution) {
+  SimConfig config = SmallConfig();
+  config.terminals = 120;
+  Simulation simulation(config);
+  SimMetrics metrics = simulation.Run();
+  ASSERT_GT(metrics.glitches, 0u);
+
+  const obs::MetricsRegistry& registry = simulation.metrics();
+  EXPECT_GT(registry.Value("terminal.late_blocks"), 0.0);
+  EXPECT_GT(registry.GetHistogram("terminal.deadline_slack_sec").count(),
+            0u);
+  // Every late block is attributed to exactly one stage.
+  double attributed =
+      registry.Value("terminal.late_attrib.network") +
+      registry.Value("terminal.late_attrib.server_cpu") +
+      registry.Value("terminal.late_attrib.disk_queue") +
+      registry.Value("terminal.late_attrib.disk_service");
+  EXPECT_EQ(attributed, registry.Value("terminal.late_blocks"));
+  // Queue-wait vs service-time breakdown is populated.
+  EXPECT_GT(registry.Value("disk.queue_wait_ms.avg"), 0.0);
+  EXPECT_GT(registry.Value("disk.service_ms.avg"), 0.0);
+
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+  for (const char* key :
+       {"terminal.deadline_slack_sec", "terminal.deadline_slack_ms.avg",
+        "terminal.late_blocks", "terminal.late_attrib.network",
+        "terminal.late_attrib.server_cpu",
+        "terminal.late_attrib.disk_queue",
+        "terminal.late_attrib.disk_service", "disk.queue_wait_ms.avg"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""),
+              std::string::npos)
+        << "missing from JSON export: " << key;
+  }
+}
+
+}  // namespace
+}  // namespace spiffi::vod
