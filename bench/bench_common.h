@@ -11,10 +11,12 @@
 #ifndef SPIFFI_BENCH_BENCH_COMMON_H_
 #define SPIFFI_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "vod/capacity.h"
 #include "vod/config.h"
 #include "vod/metrics.h"
+#include "vod/runner.h"
 #include "vod/simulation.h"
 #include "vod/table.h"
 
@@ -71,11 +74,39 @@ inline vod::SimConfig BaseConfig(Preset preset) {
   return config;
 }
 
+// --- Parallel execution (--jobs mode) ---
+//
+// Every capacity search and glitch curve in the harnesses runs through
+// the parallel experiment runner. The job count comes from --jobs N (or
+// --jobs=N), else the SPIFFI_JOBS environment variable, else
+// hardware_concurrency; --jobs 1 forces the serial path. Results are
+// identical for every value (see docs/parallel_runs.md).
+
+// The raw setting: 0 = default (vod::DefaultJobs()), n >= 1 = exactly n.
+inline int& JobsSetting() {
+  static int jobs = 0;
+  return jobs;
+}
+
+// The resolved worker count the harness will actually use.
+inline int ActiveJobs() { return vod::ResolveJobs(JobsSetting()); }
+
+inline void ParseJobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      JobsSetting() = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      JobsSetting() = std::atoi(argv[i] + 7);
+    }
+  }
+}
+
 inline vod::CapacitySearchOptions SearchOptions(Preset preset,
                                                 int start_guess = 200) {
   vod::CapacitySearchOptions options;
   options.start_guess = start_guess;
   options.max_terminals = 2000;
+  options.jobs = JobsSetting();
   switch (preset) {
     case Preset::kSmoke:
       options.step = 20;
@@ -110,12 +141,18 @@ inline constexpr int kMemorySweepPoints = 6;
 // harness reports its kernel self-profile through the vod run observer;
 // at process exit the collected profiles — per run and in total — are
 // written as JSON to bench_profile.json (or the --profile=PATH target).
+// With --jobs > 1 runs finish on ParallelRunner worker threads, so the
+// collector is mutex-guarded, and the report distinguishes the summed
+// per-run wall time from the elapsed wall time of the whole harness —
+// their ratio is the achieved parallel speedup.
 
 struct ProfileCollector {
   bool enabled = false;
   std::string harness = "bench";
   std::string path = "bench_profile.json";
+  std::mutex mutex;  // runs arrive concurrently from worker threads
   std::vector<vod::RunProfile> runs;
+  std::chrono::steady_clock::time_point start;
 };
 
 inline ProfileCollector& Profiler() {
@@ -132,15 +169,23 @@ inline void WriteProfileReport() {
                  collector.path.c_str());
     return;
   }
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - collector.start)
+                       .count();
   double wall = 0.0;
   std::uint64_t events = 0;
   for (const vod::RunProfile& run : collector.runs) {
     wall += run.wall_seconds;
     events += run.kernel.events_fired;
   }
+  double speedup = elapsed > 0.0 ? wall / elapsed : 0.0;
   out << "{\n  \"harness\": \"" << collector.harness << "\",\n"
+      << "  \"jobs\": " << ActiveJobs() << ",\n"
       << "  \"runs\": " << collector.runs.size() << ",\n"
       << "  \"total_wall_seconds\": " << wall << ",\n"
+      << "  \"elapsed_wall_seconds\": " << elapsed << ",\n"
+      << "  \"parallel_speedup\": " << speedup << ",\n"
       << "  \"total_events\": " << events << ",\n"
       << "  \"events_per_sec\": " << (wall > 0.0 ? events / wall : 0.0)
       << ",\n  \"per_run\": [";
@@ -153,9 +198,11 @@ inline void WriteProfileReport() {
         run.wall_seconds);
   }
   out << "\n  ]\n}\n";
-  std::printf("profile: wrote %s (%zu runs, %.2fs wall, %.0f events/s)\n",
-              collector.path.c_str(), collector.runs.size(), wall,
-              wall > 0.0 ? events / wall : 0.0);
+  std::printf(
+      "profile: wrote %s (%zu runs, %.2fs run wall / %.2fs elapsed, "
+      "%.2fx parallel, %.0f events/s)\n",
+      collector.path.c_str(), collector.runs.size(), wall, elapsed,
+      speedup, wall > 0.0 ? events / wall : 0.0);
 }
 
 inline void EnableProfile(const std::string& harness,
@@ -163,9 +210,12 @@ inline void EnableProfile(const std::string& harness,
   ProfileCollector& collector = Profiler();
   collector.enabled = true;
   collector.harness = harness;
+  collector.start = std::chrono::steady_clock::now();
   if (!path.empty()) collector.path = path;
   vod::SetRunObserver([](const vod::RunProfile& profile) {
-    Profiler().runs.push_back(profile);
+    ProfileCollector& sink = Profiler();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    sink.runs.push_back(profile);
   });
   std::atexit(WriteProfileReport);
 }
@@ -193,6 +243,12 @@ inline void MaybeEnableProfile(int argc, char** argv) {
     }
   }
   if (enabled) EnableProfile(harness, path);
+}
+
+// Call first thing in main: parses --jobs and --profile.
+inline void InitHarness(int argc, char** argv) {
+  ParseJobs(argc, argv);
+  MaybeEnableProfile(argc, argv);
 }
 
 }  // namespace spiffi::bench

@@ -7,7 +7,7 @@
 #include "mpeg/zipf.h"
 
 int main(int argc, char** argv) {
-  spiffi::bench::MaybeEnableProfile(argc, argv);
+  spiffi::bench::InitHarness(argc, argv);
   using spiffi::mpeg::ZipfDistribution;
   using spiffi::vod::FmtDouble;
   using spiffi::vod::TextTable;

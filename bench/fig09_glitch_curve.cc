@@ -8,7 +8,7 @@
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
-  spiffi::bench::MaybeEnableProfile(argc, argv);
+  spiffi::bench::InitHarness(argc, argv);
   using namespace spiffi;
   bench::Preset preset = bench::ActivePreset();
   bench::PrintHeader("glitches vs. number of terminals", "Figure 9",
@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   for (int delta : {-40, -20, -10, 0, 10, 20, 40, 60}) {
     if (c + delta > 0) counts.push_back(c + delta);
   }
-  auto curve = vod::GlitchCurve(config, counts);
+  auto curve = vod::GlitchCurve(config, counts, /*replications=*/1,
+                                bench::JobsSetting());
 
   vod::TextTable table({"terminals", "glitches"});
   for (const auto& [terminals, glitches] : curve) {

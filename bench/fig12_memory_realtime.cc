@@ -10,7 +10,7 @@
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
-  spiffi::bench::MaybeEnableProfile(argc, argv);
+  spiffi::bench::InitHarness(argc, argv);
   using namespace spiffi;
   bench::Preset preset = bench::ActivePreset();
   bench::PrintHeader("server memory vs. replacement+prefetch (real-time)",

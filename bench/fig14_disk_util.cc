@@ -12,7 +12,7 @@
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
-  spiffi::bench::MaybeEnableProfile(argc, argv);
+  spiffi::bench::InitHarness(argc, argv);
   using namespace spiffi;
   bench::Preset preset = bench::ActivePreset();
   bench::PrintHeader("average disk utilization vs. load", "Figure 14",
@@ -37,8 +37,9 @@ int main(int argc, char** argv) {
   }
   vod::TextTable table(headers);
 
+  // All cells are independent runs; fan the whole grid across workers.
+  std::vector<vod::SimConfig> grid;
   for (const Case& c : cases) {
-    std::vector<std::string> row = {c.name};
     for (int n : terminals) {
       vod::SimConfig config = bench::BaseConfig(preset);
       config.disk_sched = server::DiskSchedPolicy::kElevator;
@@ -47,7 +48,17 @@ int main(int argc, char** argv) {
       config.zipf_z = c.zipf_z;
       config.server_memory_bytes = 512 * hw::kMiB;
       config.terminals = n;
-      vod::SimMetrics m = vod::RunSimulation(config);
+      grid.push_back(config);
+    }
+  }
+  vod::ParallelRunner runner(bench::JobsSetting());
+  std::vector<vod::SimMetrics> results = runner.RunAll(grid);
+
+  std::size_t cell = 0;
+  for (const Case& c : cases) {
+    std::vector<std::string> row = {c.name};
+    for (int n : terminals) {
+      const vod::SimMetrics& m = results[cell++];
       row.push_back(vod::FmtPercent(m.avg_disk_utilization, 0) +
                     (m.glitches > 0 ? "*" : ""));
       std::fprintf(stderr, "  %s @ %d terminals: util %.2f (min %.2f max "

@@ -13,7 +13,7 @@
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
-  spiffi::bench::MaybeEnableProfile(argc, argv);
+  spiffi::bench::InitHarness(argc, argv);
   using namespace spiffi;
   bench::Preset preset = bench::ActivePreset();
   bench::PrintHeader("inter-terminal sharing of buffered pages",
@@ -30,8 +30,10 @@ int main(int argc, char** argv) {
   vod::TextTable table(headers);
 
   constexpr int kTerminals = 180;  // near capacity, fixed across cells
+  // Every (distribution, memory) cell is independent; run the full grid
+  // through the parallel runner.
+  std::vector<vod::SimConfig> grid;
   for (const auto& [name, z] : distributions) {
-    std::vector<std::string> row = {name};
     for (int m = 0; m < bench::kMemorySweepPoints; ++m) {
       vod::SimConfig config = bench::BaseConfig(preset);
       config.disk_sched = server::DiskSchedPolicy::kElevator;
@@ -40,7 +42,17 @@ int main(int argc, char** argv) {
       config.terminals = kTerminals;
       config.server_memory_bytes =
           bench::kMemorySweepMiB[m] * hw::kMiB;
-      vod::SimMetrics metrics = vod::RunSimulation(config);
+      grid.push_back(config);
+    }
+  }
+  vod::ParallelRunner runner(bench::JobsSetting());
+  std::vector<vod::SimMetrics> results = runner.RunAll(grid);
+
+  std::size_t cell = 0;
+  for (const auto& [name, z] : distributions) {
+    std::vector<std::string> row = {name};
+    for (int m = 0; m < bench::kMemorySweepPoints; ++m) {
+      const vod::SimMetrics& metrics = results[cell++];
       row.push_back(vod::FmtPercent(metrics.shared_reference_ratio()));
       std::fprintf(stderr, "  %s @ %lld MB: %.1f%% shared\n", name.c_str(),
                    static_cast<long long>(bench::kMemorySweepMiB[m]),

@@ -7,7 +7,7 @@
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
-  spiffi::bench::MaybeEnableProfile(argc, argv);
+  spiffi::bench::InitHarness(argc, argv);
   using namespace spiffi;
   bench::Preset preset = bench::ActivePreset();
   bench::PrintHeader("pause and restart", "Figure 19", preset);

@@ -46,7 +46,11 @@ void Prefetcher::Enqueue(const PrefetchTask& task) {
     return;
   }
   ++stats_.enqueued;
-  queue_.push_back(task);
+  queue_.push_back(QueuedTask{task, next_seq_++});
+  std::push_heap(queue_.begin(), queue_.end(),
+                 [this](const QueuedTask& a, const QueuedTask& b) {
+                   return LaterTask(a, b);
+                 });
   obs::TraceInstant(env_, obs::TraceCategory::kPrefetch, "prefetch_enqueue",
                     trace_pid_, trace_tid_,
                     {{"block", static_cast<double>(task.key.block)},
@@ -54,26 +58,28 @@ void Prefetcher::Enqueue(const PrefetchTask& task) {
   arrivals_.NotifyOne();
 }
 
+bool Prefetcher::LaterTask(const QueuedTask& a, const QueuedTask& b) const {
+  if (policy_ != PrefetchPolicy::kFifo &&
+      a.task.est_deadline != b.task.est_deadline) {
+    return a.task.est_deadline > b.task.est_deadline;
+  }
+  return a.seq > b.seq;
+}
+
 PrefetchTask Prefetcher::PopNext() {
   SPIFFI_DCHECK(!queue_.empty());
-  auto it = queue_.begin();
-  if (policy_ != PrefetchPolicy::kFifo) {
-    it = std::min_element(queue_.begin(), queue_.end(),
-                          [](const PrefetchTask& a, const PrefetchTask& b) {
-                            return a.est_deadline < b.est_deadline;
-                          });
-  }
-  PrefetchTask task = *it;
-  queue_.erase(it);
+  std::pop_heap(queue_.begin(), queue_.end(),
+                [this](const QueuedTask& a, const QueuedTask& b) {
+                  return LaterTask(a, b);
+                });
+  PrefetchTask task = queue_.back().task;
+  queue_.pop_back();
   return task;
 }
 
 sim::SimTime Prefetcher::MinDeadline() const {
-  sim::SimTime min = sim::kSimTimeMax;
-  for (const PrefetchTask& task : queue_) {
-    min = std::min(min, task.est_deadline);
-  }
-  return min;
+  SPIFFI_DCHECK(policy_ != PrefetchPolicy::kFifo);  // heap is seq-ordered
+  return queue_.empty() ? sim::kSimTimeMax : queue_.front().task.est_deadline;
 }
 
 sim::Process Prefetcher::Worker() {

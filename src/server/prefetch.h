@@ -24,7 +24,6 @@
 #define SPIFFI_SERVER_PREFETCH_H_
 
 #include <cstdint>
-#include <deque>
 #include <unordered_set>
 #include <vector>
 
@@ -94,12 +93,26 @@ class Prefetcher {
   }
 
  private:
+  // One queued task plus its arrival sequence number. The queue is a
+  // binary min-heap ordered by (est_deadline, seq) for the deadline
+  // policies and by seq alone for kFifo; the seq tie-break keeps the heap
+  // stable, so pop order is identical to the former first-minimum linear
+  // scan while each pop costs O(log n) instead of O(n).
+  struct QueuedTask {
+    PrefetchTask task;
+    std::uint64_t seq = 0;
+  };
+
   sim::Process Worker();
 
+  // Heap ordering predicate ("a fires after b").
+  bool LaterTask(const QueuedTask& a, const QueuedTask& b) const;
+
   // Removes and returns the next task: FIFO order for kFifo, earliest
-  // estimated deadline otherwise.
+  // estimated deadline (stable on ties) otherwise. O(log n).
   PrefetchTask PopNext();
-  // Earliest estimated deadline among queued tasks.
+  // Earliest estimated deadline among queued tasks; only meaningful for
+  // the deadline-ordered policies. O(1).
   sim::SimTime MinDeadline() const;
 
   sim::Environment* env_;
@@ -110,7 +123,8 @@ class Prefetcher {
   hw::Disk* disk_;
   hw::CpuCosts costs_;
 
-  std::deque<PrefetchTask> queue_;
+  std::vector<QueuedTask> queue_;  // heap (see QueuedTask)
+  std::uint64_t next_seq_ = 0;
   std::unordered_set<PageKey, PageKeyHash> pending_;
   sim::WaitList arrivals_;
   Stats stats_;

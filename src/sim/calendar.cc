@@ -14,10 +14,16 @@ EventId Calendar::Schedule(SimTime time, EventHandler* handler,
   heap_.push_back(Entry{time, next_seq_++, handler, token, id});
   std::push_heap(heap_.begin(), heap_.end(), Later);
   if (heap_.size() > peak_size_) peak_size_ = heap_.size();
+  pending_.insert(id);
   return id;
 }
 
-void Calendar::Cancel(EventId id) { cancelled_.insert(id); }
+void Calendar::Cancel(EventId id) {
+  // Only entries still in the heap may be marked; a stale id (already
+  // fired, or never scheduled) would otherwise sit in cancelled_ forever
+  // because FireNext only purges ids it actually finds at the head.
+  if (pending_.erase(id) == 1) cancelled_.insert(id);
+}
 
 void Calendar::DropCancelledHead() {
   while (!heap_.empty()) {
@@ -35,6 +41,7 @@ SimTime Calendar::FireNext() {
   Entry entry = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), Later);
   heap_.pop_back();
+  pending_.erase(entry.id);
   ++fired_;
   entry.handler->OnEvent(entry.token);
   return entry.time;
@@ -52,6 +59,7 @@ bool Calendar::empty() {
 
 void Calendar::Clear() {
   heap_.clear();
+  pending_.clear();
   cancelled_.clear();
 }
 

@@ -46,8 +46,9 @@ class Calendar {
   EventId Schedule(SimTime time, EventHandler* handler,
                    std::uint64_t token = 0);
 
-  // Marks the entry as cancelled. Safe to call after the event fired
-  // (it is a no-op then). O(1) amortized; the entry is dropped lazily.
+  // Marks the entry as cancelled. Ids of events that already fired (or
+  // were never scheduled) are ignored outright, so stale cancels cannot
+  // accumulate state. O(1) amortized; the entry is dropped lazily.
   void Cancel(EventId id);
 
   // Fires the earliest non-cancelled entry and returns its time, or
@@ -64,10 +65,14 @@ class Calendar {
   void Clear();
 
   // Number of live (non-cancelled) entries.
-  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+  std::size_t size() const { return pending_.size(); }
 
   // Total events fired since construction.
   std::uint64_t fired_count() const { return fired_; }
+
+  // Entries marked cancelled but not yet lazily dropped from the heap.
+  // Bounded by size(); stale cancels never land here.
+  std::size_t cancelled_backlog() const { return cancelled_.size(); }
 
   // Kernel self-profiling: high-water mark of pending entries, and the
   // number of times the heap storage had to grow to admit one.
@@ -92,6 +97,10 @@ class Calendar {
   void DropCancelledHead();
 
   std::vector<Entry> heap_;
+  // Ids currently in the heap and not cancelled. Lets Cancel() reject
+  // stale ids (already fired / never scheduled) instead of leaking them
+  // into cancelled_ for the rest of the run.
+  std::unordered_set<EventId> pending_;
   std::unordered_set<EventId> cancelled_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;

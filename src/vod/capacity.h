@@ -5,6 +5,15 @@
 // counts (exponential bracketing from a starting guess), then bisects to
 // the requested granularity. Replications rerun a point with different
 // seeds; a point passes only if every replication is glitch-free.
+//
+// With jobs > 1 the search runs its probes through a ParallelRunner:
+// replications of one point fan out across workers, and the bisection is
+// speculative — both possible next probe points of the search's decision
+// tree are launched before the current probe resolves, and probes made
+// moot by a finished sibling are cancelled. Because each probe is a
+// deterministic function of (config, terminals, seed), the speculative
+// search walks exactly the serial decision path and returns identical
+// results for every job count (locked by tests/vod/runner_test.cc).
 
 #ifndef SPIFFI_VOD_CAPACITY_H_
 #define SPIFFI_VOD_CAPACITY_H_
@@ -18,6 +27,8 @@
 
 namespace spiffi::vod {
 
+class ParallelRunner;
+
 struct CapacitySearchOptions {
   int min_terminals = 10;
   int max_terminals = 2000;
@@ -25,29 +36,51 @@ struct CapacitySearchOptions {
   int start_guess = 100; // first point probed
   int replications = 1;  // seeds per point
   bool verbose = false;  // print each probe to stderr
+  // Worker threads for probes and replications: 1 = serial in the
+  // calling thread, 0 = DefaultJobs() (SPIFFI_JOBS / hardware
+  // concurrency), n > 1 = that many workers with speculative bisection.
+  // The result is identical for every value.
+  int jobs = 1;
 };
 
 struct CapacityResult {
   int max_terminals = 0;  // largest count found glitch-free
-  // Every probe made: (terminal count, total glitches over replications).
+  // Every probe on the realized search path, in probe order:
+  // (terminal count, total glitches over replications). Speculative
+  // probes whose outcome never entered the search are not recorded.
   std::vector<std::pair<int, std::uint64_t>> probes;
-  // Metrics of the final glitch-free run (at max_terminals).
+  // Replication-aggregated metrics of the final glitch-free probe (at
+  // max_terminals); see AggregateReplications().
   SimMetrics at_capacity;
 };
 
+// Aggregate of a replication set, computed in replication order (so it
+// is deterministic and independent of execution interleaving): counters
+// and durations are summed, extremes (min/max/peak utilization and
+// bandwidth) take the min/max over the set, and averaged rates are the
+// arithmetic mean over replications (all replications run the same
+// measurement window). The aggregate of a single replication is that
+// replication, bit for bit.
+SimMetrics AggregateReplications(const std::vector<SimMetrics>& reps);
+
 // Total glitches at `terminals`, summed over `replications` seeds
-// (config.seed, config.seed+1, ...). `out_last` (optional) receives the
-// metrics of the last replication.
+// (config.seed, config.seed+1, ...). `out_aggregate` (optional)
+// receives the aggregate of all replications — not just the last one.
+// `runner` (optional) fans the replications across its workers; the
+// result is identical either way.
 std::uint64_t GlitchesAt(SimConfig config, int terminals, int replications,
-                         SimMetrics* out_last = nullptr);
+                         SimMetrics* out_aggregate = nullptr,
+                         ParallelRunner* runner = nullptr);
 
 CapacityResult FindMaxTerminals(const SimConfig& base,
                                 const CapacitySearchOptions& options);
 
 // Glitch counts over a range of terminal counts (paper Fig 9's curve).
+// jobs as in CapacitySearchOptions: every (point, replication) pair runs
+// concurrently, results are assembled in point order.
 std::vector<std::pair<int, std::uint64_t>> GlitchCurve(
     const SimConfig& base, const std::vector<int>& terminal_counts,
-    int replications = 1);
+    int replications = 1, int jobs = 1);
 
 }  // namespace spiffi::vod
 

@@ -1,0 +1,175 @@
+#include "vod/runner.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "sim/check.h"
+#include "vod/simulation.h"
+
+namespace spiffi::vod {
+
+int DefaultJobs() {
+  const char* env = std::getenv("SPIFFI_JOBS");
+  if (env != nullptr) {
+    int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int ResolveJobs(int jobs) { return jobs >= 1 ? jobs : DefaultJobs(); }
+
+ParallelRunner::ParallelRunner(int jobs) : jobs_(ResolveJobs(jobs)) {
+  workers_.reserve(jobs_);
+  for (int i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    // Pending runs never start; running ones see their cancel flag at the
+    // next slice boundary.
+    for (const RunHandle& run : queue_) {
+      run->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Workers are gone: mark whatever they never picked up as cancelled so
+  // stray Wait() calls cannot block forever.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const RunHandle& run : queue_) {
+      if (run->state == Run::State::kPending) {
+        run->state = Run::State::kCancelled;
+        ++stats_.cancelled;
+      }
+    }
+    queue_.clear();
+  }
+  run_finished_.notify_all();
+}
+
+ParallelRunner::RunHandle ParallelRunner::Submit(const SimConfig& config) {
+  RunHandle run = std::make_shared<Run>();
+  run->config = config;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SPIFFI_CHECK(!shutdown_);
+    queue_.push_back(run);
+  }
+  work_available_.notify_one();
+  return run;
+}
+
+void ParallelRunner::Cancel(const RunHandle& run) {
+  SPIFFI_CHECK(run != nullptr);
+  run->cancel.store(true, std::memory_order_relaxed);
+  bool retired = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (run->state == Run::State::kPending) {
+      // Retire it right away rather than making a worker pop-and-skip it.
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == run) {
+          queue_.erase(it);
+          break;
+        }
+      }
+      run->state = Run::State::kCancelled;
+      ++stats_.cancelled;
+      retired = true;
+    }
+    // A running run stops at its next slice; its worker notifies waiters.
+  }
+  if (retired) run_finished_.notify_all();
+}
+
+bool ParallelRunner::Wait(const RunHandle& run, SimMetrics* out,
+                          double* wall_seconds) {
+  SPIFFI_CHECK(run != nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  run_finished_.wait(lock, [&] {
+    return run->state == Run::State::kDone ||
+           run->state == Run::State::kCancelled;
+  });
+  if (run->state != Run::State::kDone) return false;
+  if (out != nullptr) *out = run->metrics;
+  if (wall_seconds != nullptr) *wall_seconds = run->wall_seconds;
+  return true;
+}
+
+std::vector<SimMetrics> ParallelRunner::RunAll(
+    const std::vector<SimConfig>& configs) {
+  std::vector<RunHandle> handles;
+  handles.reserve(configs.size());
+  for (const SimConfig& config : configs) handles.push_back(Submit(config));
+  std::vector<SimMetrics> results;
+  results.reserve(handles.size());
+  for (const RunHandle& handle : handles) {
+    SimMetrics metrics;
+    bool completed = Wait(handle, &metrics);
+    SPIFFI_CHECK(completed);  // RunAll batches are never cancelled
+    results.push_back(metrics);
+  }
+  return results;
+}
+
+ParallelRunner::Stats ParallelRunner::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ParallelRunner::WorkerLoop() {
+  for (;;) {
+    RunHandle run;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      run = queue_.front();
+      queue_.pop_front();
+      if (run->cancel.load(std::memory_order_relaxed)) {
+        run->state = Run::State::kCancelled;
+        ++stats_.cancelled;
+        run_finished_.notify_all();
+        continue;
+      }
+      run->state = Run::State::kRunning;
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    // The simulation's whole world is local to this call; the only state
+    // shared with other threads is the cancel flag and, on completion,
+    // the fields written back under the lock below.
+    Simulation simulation(run->config);
+    SimMetrics metrics;
+    bool completed = simulation.Run(run->cancel, &metrics);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      run->wall_seconds = wall;
+      if (completed) {
+        run->metrics = metrics;
+        run->state = Run::State::kDone;
+        ++stats_.completed;
+        stats_.run_wall_seconds += wall;
+      } else {
+        run->state = Run::State::kCancelled;
+        ++stats_.cancelled;
+      }
+    }
+    run_finished_.notify_all();
+  }
+}
+
+}  // namespace spiffi::vod

@@ -1,0 +1,112 @@
+// Parallel experiment runner: fans independent (SimConfig, seed) runs
+// across a pool of worker threads.
+//
+// Every Simulation owns its entire world (environment, calendar, RNG
+// streams, metrics registry), so independent runs share no mutable state
+// and are embarrassingly parallel. The runner exploits that: submitted
+// runs execute on worker threads and results are collected in submission
+// order, which keeps every aggregate computed from them bit-identical to
+// a serial execution of the same configs — the job count changes only
+// wall-clock time, never results (locked by tests/vod/runner_test.cc).
+//
+// Runs are cooperatively cancellable: Cancel() flips a flag the
+// simulation checks between event slices (Simulation::Run(cancel, out)),
+// so a capacity-search probe made moot by a finished sibling stops
+// within a few percent of its runtime instead of running to completion.
+
+#ifndef SPIFFI_VOD_RUNNER_H_
+#define SPIFFI_VOD_RUNNER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "vod/config.h"
+#include "vod/metrics.h"
+
+namespace spiffi::vod {
+
+// Worker count used when a caller passes jobs <= 0: the SPIFFI_JOBS
+// environment variable when it is a positive integer, otherwise
+// std::thread::hardware_concurrency() (at least 1).
+int DefaultJobs();
+
+// Resolves a --jobs style request: n >= 1 is taken as-is, anything else
+// maps to DefaultJobs().
+int ResolveJobs(int jobs);
+
+class ParallelRunner {
+ public:
+  // State of one submitted run. Owned jointly by the runner's queue and
+  // the caller's handle; all fields are guarded by the runner's mutex
+  // except `cancel`, which the executing simulation polls.
+  struct Run {
+    enum class State { kPending, kRunning, kDone, kCancelled };
+
+    SimConfig config;
+    std::atomic<bool> cancel{false};
+    State state = State::kPending;
+    SimMetrics metrics;          // valid when state == kDone
+    double wall_seconds = 0.0;   // this run's execution wall time
+  };
+  using RunHandle = std::shared_ptr<Run>;
+
+  struct Stats {
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    // Sum of per-run wall time over completed runs. Dividing by the
+    // elapsed wall time of the batch gives the achieved parallelism.
+    double run_wall_seconds = 0.0;
+  };
+
+  // jobs >= 1 sets the worker count; jobs <= 0 uses DefaultJobs().
+  explicit ParallelRunner(int jobs = 0);
+  // Cancels everything still pending or running, then joins the workers.
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  // Enqueues one simulation run.
+  RunHandle Submit(const SimConfig& config);
+
+  // Requests cooperative cancellation: a pending run never starts, a
+  // running one stops at its next slice boundary. Waiters are released
+  // either way.
+  void Cancel(const RunHandle& run);
+
+  // Blocks until the run finished or was cancelled. Returns true and
+  // fills `out` (and optionally `wall_seconds`) on completion, false on
+  // cancellation.
+  bool Wait(const RunHandle& run, SimMetrics* out,
+            double* wall_seconds = nullptr);
+
+  // Convenience barrier: runs every config and returns the metrics in
+  // submission order. The caller must not cancel these runs.
+  std::vector<SimMetrics> RunAll(const std::vector<SimConfig>& configs);
+
+  Stats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  const int jobs_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable run_finished_;
+  std::deque<RunHandle> queue_;
+  bool shutdown_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spiffi::vod
+
+#endif  // SPIFFI_VOD_RUNNER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -19,14 +20,29 @@ constexpr std::uint64_t kLibraryStream = 1;
 constexpr std::uint64_t kPlacementStream = 2;
 constexpr std::uint64_t kTerminalStreamBase = 1000;
 
+// Process-wide observer registry. Guarded by ObserverMutex() so that
+// simulations finishing on ParallelRunner worker threads can notify
+// concurrently with (re)installation from the main thread.
+std::mutex& ObserverMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
 RunObserver& GlobalRunObserver() {
   static RunObserver observer;
   return observer;
 }
 
+// Snapshot under the lock; invoked outside it by the caller.
+RunObserver CurrentRunObserver() {
+  std::lock_guard<std::mutex> lock(ObserverMutex());
+  return GlobalRunObserver();
+}
+
 }  // namespace
 
 void SetRunObserver(RunObserver observer) {
+  std::lock_guard<std::mutex> lock(ObserverMutex());
   GlobalRunObserver() = std::move(observer);
 }
 
@@ -552,11 +568,41 @@ obs::Tracer& Simulation::EnableTracing(std::size_t ring_capacity) {
 }
 
 SimMetrics Simulation::Run() {
+  static const std::atomic<bool> never_cancelled{false};
+  SimMetrics metrics;
+  bool completed = Run(never_cancelled, &metrics);
+  SPIFFI_CHECK(completed);
+  return metrics;
+}
+
+bool Simulation::Run(const std::atomic<bool>& cancel, SimMetrics* out) {
+  SPIFFI_CHECK(out != nullptr);
+  // Slice count per phase: fine enough that a moot capacity probe stops
+  // within ~2% of its runtime, coarse enough to keep RunUntil overhead
+  // invisible. Intermediate slice boundaries fire the same events in the
+  // same order as one big RunUntil, and the final boundary is the exact
+  // phase end, so results do not depend on the slicing.
+  constexpr int kSlicesPerPhase = 50;
   auto wall_start = std::chrono::steady_clock::now();
-  RunWarmup();
+
+  for (int i = 1; i <= kSlicesPerPhase; ++i) {
+    if (cancel.load(std::memory_order_relaxed)) return false;
+    sim::SimTime end = i == kSlicesPerPhase
+                           ? config_.warmup_seconds
+                           : config_.warmup_seconds * i / kSlicesPerPhase;
+    env_->RunUntil(end);
+  }
   ResetAllStats();
-  RunMeasurement();
-  if (const RunObserver& observer = GlobalRunObserver()) {
+  for (int i = 1; i <= kSlicesPerPhase; ++i) {
+    if (cancel.load(std::memory_order_relaxed)) return false;
+    sim::SimTime end =
+        i == kSlicesPerPhase
+            ? measure_start_ + config_.measure_seconds
+            : measure_start_ + config_.measure_seconds * i / kSlicesPerPhase;
+    env_->RunUntil(end);
+  }
+
+  if (RunObserver observer = CurrentRunObserver()) {
     RunProfile profile;
     profile.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -566,7 +612,8 @@ SimMetrics Simulation::Run() {
     profile.kernel = obs::CaptureKernelProfile(*env_);
     observer(profile);
   }
-  return Collect();
+  *out = Collect();
+  return true;
 }
 
 SimMetrics RunSimulation(const SimConfig& config) {

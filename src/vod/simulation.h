@@ -9,6 +9,7 @@
 #ifndef SPIFFI_VOD_SIMULATION_H_
 #define SPIFFI_VOD_SIMULATION_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -39,7 +40,10 @@ struct RunProfile {
 using RunObserver = std::function<void(const RunProfile&)>;
 
 // Installs a process-wide observer called at the end of every
-// Simulation::Run(); pass nullptr to clear. Not thread-safe.
+// Simulation::Run(); pass nullptr to clear. The registry is
+// mutex-guarded, so installing and invoking are thread-safe — but the
+// observer itself runs on whichever thread finished the simulation
+// (ParallelRunner workers included) and must synchronize its own state.
 void SetRunObserver(RunObserver observer);
 
 class Simulation {
@@ -54,6 +58,16 @@ class Simulation {
 
   // Runs warmup + measurement and returns the collected metrics.
   SimMetrics Run();
+
+  // Cooperatively-cancellable Run() for off-thread execution: the event
+  // loop is driven in fixed time slices and `cancel` is checked between
+  // slices. Returns true and fills `out` when the run completed; returns
+  // false (leaving `out` untouched, observer not notified) when
+  // cancelled. Slicing is observationally identical to Run() — the same
+  // events fire in the same order — so a completed run's metrics are
+  // bit-identical to Run()'s (Run() itself is this method with a
+  // never-set flag).
+  bool Run(const std::atomic<bool>& cancel, SimMetrics* out);
 
   // Component access (for tests and custom experiment loops).
   sim::Environment& env() { return *env_; }

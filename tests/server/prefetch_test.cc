@@ -1,6 +1,8 @@
 #include "server/prefetch.h"
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "server/disk_sched.h"
@@ -15,10 +17,12 @@ class PoolCompleter final : public hw::DiskCompletionListener {
   void OnDiskComplete(hw::DiskRequest* request) override {
     ++completions;
     last_deadline = request->deadline;
+    order.push_back(request->block);
     pool_->Complete(static_cast<BufferPool::Page*>(request->context));
   }
   int completions = 0;
   sim::SimTime last_deadline = 0.0;
+  std::vector<std::int64_t> order;  // blocks in completion order
 
  private:
   BufferPool* pool_;
@@ -171,6 +175,46 @@ TEST_F(PrefetchTest, DelayedWakesForMoreUrgentArrival) {
   EXPECT_EQ(prefetcher_->stats().issued, 1u);
   ASSERT_NE(pool_->Lookup(PageKey{0, 2}), nullptr);  // the urgent one
   EXPECT_EQ(pool_->Lookup(PageKey{0, 1}), nullptr);
+}
+
+TEST_F(PrefetchTest, RealTimePopsInDeadlineOrderStableOnTies) {
+  // One worker + FCFS disk: completion order is exactly PopNext order.
+  Build(PrefetchPolicy::kRealTime, /*workers=*/1);
+  prefetcher_->Enqueue(Task(0, 1, /*deadline=*/50.0));
+  prefetcher_->Enqueue(Task(0, 2, /*deadline=*/10.0));
+  prefetcher_->Enqueue(Task(0, 3, /*deadline=*/50.0));
+  prefetcher_->Enqueue(Task(0, 4, /*deadline=*/10.0));
+  prefetcher_->Enqueue(Task(0, 5, /*deadline=*/30.0));
+  env_.Run();
+  // Earliest deadline first; equal deadlines keep arrival order.
+  EXPECT_EQ(completer_->order,
+            (std::vector<std::int64_t>{2, 4, 5, 1, 3}));
+}
+
+TEST_F(PrefetchTest, DeadlineHeapDrainMatchesStableSort) {
+  // Larger drain: the heap must pop the same sequence the old
+  // first-minimum linear scan produced, i.e. a stable sort by deadline.
+  Build(PrefetchPolicy::kRealTime, /*workers=*/1, 8.0,
+        /*pool_pages=*/256);
+  struct Item {
+    std::int64_t block;
+    double deadline;
+  };
+  std::vector<Item> items;
+  for (int i = 0; i < 60; ++i) {
+    items.push_back({i, static_cast<double>((i * 37) % 7 + 100)});
+  }
+  for (const Item& item : items) {
+    prefetcher_->Enqueue(Task(0, item.block, item.deadline));
+  }
+  env_.Run();
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.deadline < b.deadline;
+                   });
+  std::vector<std::int64_t> expected;
+  for (const Item& item : items) expected.push_back(item.block);
+  EXPECT_EQ(completer_->order, expected);
 }
 
 TEST_F(PrefetchTest, WorkerCountBoundsConcurrentPrefetches) {

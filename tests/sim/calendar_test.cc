@@ -108,6 +108,54 @@ TEST(CalendarTest, HandlerMayScheduleDuringFire) {
   EXPECT_EQ(log, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
 }
 
+TEST(CalendarTest, StaleCancelsDoNotAccumulate) {
+  // Regression: Cancel() used to insert the id into the cancelled set
+  // unconditionally, so cancelling an already-fired (or never-scheduled)
+  // event leaked the id for the rest of the run.
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  for (int round = 0; round < 100; ++round) {
+    EventId id = calendar.Schedule(round, &recorder, round);
+    calendar.FireNext();
+    calendar.Cancel(id);                  // already fired
+    calendar.Cancel(id + 1'000'000'000);  // never scheduled
+    EXPECT_EQ(calendar.cancelled_backlog(), 0u);
+  }
+  EXPECT_EQ(log.size(), 100u);
+  EXPECT_EQ(calendar.size(), 0u);
+}
+
+TEST(CalendarTest, CancelledBacklogDrainsWhenEntriesDrop) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  EventId a = calendar.Schedule(1.0, &recorder, 1);
+  EventId b = calendar.Schedule(2.0, &recorder, 2);
+  calendar.Schedule(3.0, &recorder, 3);
+  calendar.Cancel(a);
+  calendar.Cancel(b);
+  calendar.Cancel(b);  // double-cancel is a no-op
+  EXPECT_EQ(calendar.cancelled_backlog(), 2u);
+  EXPECT_EQ(calendar.size(), 1u);
+  while (!calendar.empty()) calendar.FireNext();
+  EXPECT_EQ(log, (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(calendar.cancelled_backlog(), 0u);
+}
+
+TEST(CalendarTest, SizeCountsOnlyLiveEntries) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  EventId id = calendar.Schedule(1.0, &recorder, 1);
+  calendar.Schedule(2.0, &recorder, 2);
+  EXPECT_EQ(calendar.size(), 2u);
+  calendar.Cancel(id);
+  EXPECT_EQ(calendar.size(), 1u);
+  calendar.FireNext();
+  EXPECT_EQ(calendar.size(), 0u);
+}
+
 TEST(CalendarTest, ClearDropsAllEntries) {
   Calendar calendar;
   std::vector<std::uint64_t> log;
