@@ -1,0 +1,113 @@
+// Degraded-mode capacity: failure rate x replication degree.
+//
+// Not a paper figure — SPIFFI (§9) defers fault tolerance to future
+// work; this harness quantifies what the deferral costs. For each
+// replication degree (plain striping, then chained-declustered x2/x3
+// copies) we re-run the Fig-9-style capacity search under a stochastic
+// FaultPlan that takes disks down at a given rate, and report the
+// maximum glitch-free terminal count plus the availability counters
+// (re-routed reads, MTTR) at the highest failure rate. Plain striping
+// collapses as soon as any disk fails inside the measurement window —
+// every stream that touches the dead disk glitches — while the
+// replicated layouts serve on through re-routed reads.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  // --smoke pins the seconds-long preset regardless of environment (the
+  // CI smoke step uses it so a stray SPIFFI_BENCH_FULL cannot stall the
+  // pipeline).
+  bool force_smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) force_smoke = true;
+  }
+  spiffi::bench::InitHarness(argc, argv);
+  using namespace spiffi;
+  bench::Preset preset =
+      force_smoke ? bench::Preset::kSmoke : bench::ActivePreset();
+  bench::PrintHeader("degraded-mode capacity",
+                     "fault injection, beyond §9", preset);
+
+  struct Layout {
+    std::string name;
+    vod::VideoPlacement placement;
+    int replicas;
+    int start_guess;
+  };
+  std::vector<Layout> layouts = {
+      {"striped (no copies)", vod::VideoPlacement::kStriped, 1, 200},
+      {"replicated x2", vod::VideoPlacement::kReplicatedStriped, 2, 200},
+      {"replicated x3", vod::VideoPlacement::kReplicatedStriped, 3, 200},
+  };
+
+  // Per-disk MTBF (0 disables fault injection). The rates are chosen so
+  // the 16-disk fleet sees roughly 0 / ~1 / ~4 failures per measurement
+  // window at the fast preset; repairs take 15 s on average, well inside
+  // the window, so MTTR and re-route counters are exercised too.
+  struct Rate {
+    std::string name;
+    double disk_mtbf_sec;
+  };
+  std::vector<Rate> rates = {
+      {"healthy", 0.0},
+      {"1 fail/window", 2000.0},
+      {"4 fails/window", 500.0},
+  };
+  if (preset == bench::Preset::kSmoke) {
+    // Shorter windows need proportionally hotter failure rates.
+    rates[1].disk_mtbf_sec = 500.0;
+    rates[2].disk_mtbf_sec = 125.0;
+    layouts.pop_back();  // x3 adds nothing qualitative to the smoke run
+  }
+
+  std::vector<std::string> headers = {"layout"};
+  for (const Rate& r : rates) headers.push_back(r.name);
+  headers.push_back("rerouted @ worst");
+  headers.push_back("mttr @ worst");
+  vod::TextTable table(headers);
+
+  for (const Layout& layout : layouts) {
+    std::vector<std::string> row = {layout.name};
+    vod::SimMetrics worst;
+    for (const Rate& rate : rates) {
+      vod::SimConfig config = bench::BaseConfig(preset);
+      config.placement = layout.placement;
+      config.replica_count = layout.replicas > 1 ? layout.replicas : 2;
+      config.fault_plan.disk_mtbf_sec = rate.disk_mtbf_sec;
+      config.fault_plan.disk_repair_mean_sec = 15.0;
+      vod::CapacitySearchOptions options =
+          bench::SearchOptions(preset, layout.start_guess);
+      vod::CapacityResult result = vod::FindMaxTerminals(config, options);
+      row.push_back(std::to_string(result.max_terminals));
+      worst = result.at_capacity;
+      // Degraded reads dodge the dead disk two ways: redirected at issue
+      // by fault-aware terminals, or re-routed node-to-node in flight.
+      std::fprintf(stderr, "  %s, %s -> %d (rerouted %llu, mttr %.1fs)\n",
+                   layout.name.c_str(), rate.name.c_str(),
+                   result.max_terminals,
+                   static_cast<unsigned long long>(
+                       worst.requests_redirected + worst.rerouted_requests),
+                   worst.mttr_sec);
+    }
+    row.push_back(std::to_string(worst.requests_redirected +
+                                 worst.rerouted_requests));
+    char mttr[32];
+    std::snprintf(mttr, sizeof(mttr), "%.1f s", worst.mttr_sec);
+    row.push_back(mttr);
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nReading: plain striping loses most of its capacity the moment "
+      "disks start\nfailing (any stream crossing a dead disk glitches "
+      "until the repair lands),\nwhile chained-declustered replication "
+      "re-routes reads to the surviving copy\nand holds capacity near "
+      "the healthy figure at the cost of %dx storage.\n",
+      2);
+  return 0;
+}

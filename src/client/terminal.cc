@@ -16,7 +16,8 @@ Terminal::Terminal(sim::Environment* env, int id,
                    server::NodeDirectory* server,
                    const mpeg::VideoLibrary* library,
                    const layout::Layout* layout, sim::Rng rng,
-                   sim::SimTime start_time, PiggybackManager* piggyback)
+                   sim::SimTime start_time, PiggybackManager* piggyback,
+                   const fault::FaultState* fault)
     : env_(env),
       id_(id),
       params_(params),
@@ -25,7 +26,8 @@ Terminal::Terminal(sim::Environment* env, int id,
       library_(library),
       layout_(layout),
       rng_(rng),
-      piggyback_(piggyback) {
+      piggyback_(piggyback),
+      fault_(fault) {
   SPIFFI_CHECK(env != nullptr);
   SPIFFI_CHECK(params.memory_bytes >= params.block_bytes);
   env_->Schedule(start_time, this, kStartToken);
@@ -209,8 +211,7 @@ void Terminal::IssueRequests() {
     if (occupied_bytes_ + inflight_bytes_ + bytes > params_.memory_bytes) {
       break;  // no room to buffer another block
     }
-    layout::BlockLocation loc =
-        layout_->Locate(video_, next_request_block_);
+    layout::BlockLocation loc = RouteForBlock(next_request_block_);
 
     Message request;
     request.kind = Message::Kind::kReadRequest;
@@ -274,10 +275,27 @@ void Terminal::OnMessage(const Message& message) {
   if (state_ == State::kPriming) CheckPrimeComplete();
 }
 
+layout::BlockLocation Terminal::RouteForBlock(std::int64_t block) {
+  layout::BlockLocation loc = layout_->Locate(video_, block);
+  if (fault_ != nullptr && !fault_->LocationUp(loc)) {
+    for (const layout::BlockLocation& copy :
+         layout_->Replicas(video_, block)) {
+      if (fault_->LocationUp(copy)) {
+        ++stats_.requests_redirected;
+        return copy;
+      }
+    }
+    // Every copy is down: send to the primary, whose node will park the
+    // request until a repair.
+  }
+  return loc;
+}
+
 void Terminal::RecordArrival(const Message& message) {
   auto it = issue_time_.find(message.block);
   if (it == issue_time_.end()) return;
   const PendingRequest& pending = it->second;
+  if (message.hops > 0) ++stats_.blocks_rerouted;
   double response = env_->now() - pending.issue_time;
   stats_.response_time.Add(response);
   stats_.response_histogram.Add(response);
@@ -296,13 +314,16 @@ void Terminal::AttributeLateBlock(const Message& message, double response) {
   ++stats_.late_blocks;
   const server::ReadTiming& timing = message.timing;
   // Stage shares of the response time: wire transit (both directions),
-  // server CPU + pool stalls, disk queueing, disk mechanism. The stage
-  // with the largest share takes the blame for the missed deadline.
+  // server CPU + pool stalls, disk queueing, disk mechanism, and
+  // degraded-mode delay (time parked on or hopping between nodes whose
+  // copy was down; always 0 on healthy runs). The stage with the
+  // largest share takes the blame for the missed deadline.
   double network = response - timing.ServerSeconds();
   double stages[] = {network, timing.ServerOverheadSeconds(),
-                     timing.disk_queue_sec, timing.disk_service_sec};
+                     timing.disk_queue_sec, timing.disk_service_sec,
+                     timing.fault_wait_sec};
   int worst = 0;
-  for (int i = 1; i < 4; ++i) {
+  for (int i = 1; i < 5; ++i) {
     if (stages[i] > stages[worst]) worst = i;
   }
   switch (worst) {
@@ -310,6 +331,7 @@ void Terminal::AttributeLateBlock(const Message& message, double response) {
     case 1: ++stats_.late_attrib_server_cpu; break;
     case 2: ++stats_.late_attrib_disk_queue; break;
     case 3: ++stats_.late_attrib_disk_service; break;
+    case 4: ++stats_.late_attrib_fault; break;
   }
 }
 
@@ -461,7 +483,7 @@ void Terminal::StartSearchSegment() {
     search_blocks_pending_.insert(b);
   }
   for (std::int64_t b = b0; b <= b1; ++b) {
-    layout::BlockLocation loc = layout_->Locate(video_, b);
+    layout::BlockLocation loc = RouteForBlock(b);
     Message request;
     request.kind = Message::Kind::kReadRequest;
     request.terminal = id_;

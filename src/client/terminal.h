@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "client/piggyback.h"
+#include "fault/state.h"
 #include "layout/layout.h"
 #include "mpeg/video.h"
 #include "server/message.h"
@@ -100,15 +101,24 @@ class Terminal final : public server::MessageSink,
     std::uint64_t late_attrib_server_cpu = 0;   // CPU queue + pool stalls
     std::uint64_t late_attrib_disk_queue = 0;
     std::uint64_t late_attrib_disk_service = 0;
+    std::uint64_t late_attrib_fault = 0;        // degraded-mode delays
+
+    // Degraded-mode accounting (zero on healthy runs). A block can be
+    // redirected at issue (the terminal saw the primary down) and/or
+    // re-routed between nodes after arriving at a dead copy.
+    std::uint64_t requests_redirected = 0;  // sent to a replica directly
+    std::uint64_t blocks_rerouted = 0;      // replies that hopped nodes
   };
 
   // The terminal schedules its own first start at `start_time`.
-  // `piggyback` may be nullptr (no batching).
+  // `piggyback` may be nullptr (no batching); `fault` may be nullptr
+  // (no failure awareness — requests always target the primary copy).
   Terminal(sim::Environment* env, int id, const TerminalParams& params,
            hw::Network* network, server::NodeDirectory* server,
            const mpeg::VideoLibrary* library, const layout::Layout* layout,
            sim::Rng rng, sim::SimTime start_time,
-           PiggybackManager* piggyback = nullptr);
+           PiggybackManager* piggyback = nullptr,
+           const fault::FaultState* fault = nullptr);
 
   Terminal(const Terminal&) = delete;
   Terminal& operator=(const Terminal&) = delete;
@@ -174,6 +184,11 @@ class Terminal final : public server::MessageSink,
   void DisplaySearchFrame();
   void OnSearchBlock(const server::Message& message);
 
+  // Where to send the request for `block`: the primary copy's node, or
+  // the first live replica when faults are active and the primary is
+  // down (client-side failover; the server re-routes stale picks).
+  layout::BlockLocation RouteForBlock(std::int64_t block);
+
   // Accounts an arrived block against its pending-request record:
   // response time, deadline slack, lateness attribution, trace span end.
   void RecordArrival(const server::Message& message);
@@ -198,6 +213,7 @@ class Terminal final : public server::MessageSink,
   const layout::Layout* layout_;
   sim::Rng rng_;
   PiggybackManager* piggyback_;
+  const fault::FaultState* fault_;
 
   State state_ = State::kIdle;
   int video_ = -1;

@@ -1,0 +1,85 @@
+// Deterministic fault injector.
+//
+// A FaultInjector interprets a FaultPlan against one simulation
+// Environment: scripted actions are scheduled at their absolute times,
+// and each component with a stochastic fault process (disk failures,
+// node crashes, limp episodes) cycles fail -> repair -> fail with
+// exponential times drawn from its own child RNG stream. Per-component
+// streams mean adding a disk or raising --jobs never perturbs another
+// component's fault times, so a FaultPlan replays bit-identically at
+// any parallelism.
+//
+// The injector only flips FaultState and emits fault-track trace
+// events; the physical consequences (pausing hw::Disk service, scaling
+// service times) are applied by the effect handler the simulation
+// installs, which keeps fault/ free of server dependencies.
+
+#ifndef SPIFFI_FAULT_INJECTOR_H_
+#define SPIFFI_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "fault/plan.h"
+#include "fault/state.h"
+#include "sim/environment.h"
+#include "sim/random.h"
+
+namespace spiffi::fault {
+
+// One applied (or attempted) transition, as seen by the effect handler.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDiskFail;
+  int target = 0;
+  double factor = 1.0;
+  double time = 0.0;
+  // False when the component was already in the requested state (e.g. a
+  // stochastic failure hitting a scripted outage); no state changed.
+  bool applied = false;
+};
+
+class FaultInjector final : public sim::EventHandler {
+ public:
+  using EffectHandler = std::function<void(const FaultEvent&)>;
+
+  // `rng` should be a dedicated child stream of the run's master seed.
+  FaultInjector(sim::Environment* env, const FaultPlan& plan,
+                FaultState* state, sim::Rng rng);
+
+  // Invoked after every transition attempt (applied or not), with the
+  // FaultState already updated.
+  void set_effect_handler(EffectHandler handler) {
+    effect_handler_ = std::move(handler);
+  }
+
+  // Schedules the scripted actions and the first stochastic episodes.
+  // Call exactly once, before the environment runs.
+  void Start();
+
+  void OnEvent(std::uint64_t token) override;
+
+  std::uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  void Fire(FaultKind kind, int target, double factor);
+  void TraceEventMark(FaultKind kind, int target, double factor,
+                      bool applied, double since);
+
+  sim::Environment* env_;
+  FaultPlan plan_;
+  FaultState* state_;
+  sim::Rng rng_;
+  EffectHandler effect_handler_;
+  std::uint64_t events_fired_ = 0;
+
+  // One independent stream per component and process.
+  std::vector<sim::Rng> disk_rng_;
+  std::vector<sim::Rng> node_rng_;
+  std::vector<sim::Rng> limp_rng_;
+  // Limp episode start times, for the trace span at episode end.
+  std::vector<double> limp_since_;
+};
+
+}  // namespace spiffi::fault
+
+#endif  // SPIFFI_FAULT_INJECTOR_H_

@@ -1,0 +1,104 @@
+#include "fault/plan.h"
+
+#include <sstream>
+
+namespace spiffi::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDiskFail: return "disk_fail";
+    case FaultKind::kDiskRecover: return "disk_recover";
+    case FaultKind::kNodeFail: return "node_fail";
+    case FaultKind::kNodeRecover: return "node_recover";
+    case FaultKind::kDiskLimpBegin: return "disk_limp_begin";
+    case FaultKind::kDiskLimpEnd: return "disk_limp_end";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool TargetsDisk(FaultKind kind) {
+  return kind == FaultKind::kDiskFail || kind == FaultKind::kDiskRecover ||
+         kind == FaultKind::kDiskLimpBegin ||
+         kind == FaultKind::kDiskLimpEnd;
+}
+
+}  // namespace
+
+std::string FaultPlan::Validate(int num_nodes, int total_disks) const {
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const FaultAction& action = script[i];
+    std::ostringstream where;
+    where << "fault_plan.script[" << i << "]: ";
+    if (action.time < 0.0) {
+      return where.str() + "time must be >= 0";
+    }
+    int limit = TargetsDisk(action.kind) ? total_disks : num_nodes;
+    if (action.target < 0 || action.target >= limit) {
+      std::ostringstream out;
+      out << where.str() << "target " << action.target << " out of range [0, "
+          << limit << ")";
+      return out.str();
+    }
+    if (action.kind == FaultKind::kDiskLimpBegin && action.factor < 1.0) {
+      return where.str() + "limp factor must be >= 1";
+    }
+  }
+  if (disk_mtbf_sec < 0.0 || node_mtbf_sec < 0.0 || limp_mtbf_sec < 0.0) {
+    return "fault_plan: MTBF values must be >= 0";
+  }
+  if (disk_mtbf_sec > 0.0 && disk_repair_mean_sec <= 0.0) {
+    return "fault_plan: disk_repair_mean_sec must be > 0";
+  }
+  if (node_mtbf_sec > 0.0 && node_repair_mean_sec <= 0.0) {
+    return "fault_plan: node_repair_mean_sec must be > 0";
+  }
+  if (limp_mtbf_sec > 0.0) {
+    if (limp_duration_mean_sec <= 0.0) {
+      return "fault_plan: limp_duration_mean_sec must be > 0";
+    }
+    if (limp_factor < 1.0) {
+      return "fault_plan: limp_factor must be >= 1";
+    }
+  }
+  if (reroute_hop_budget < 0) {
+    return "fault_plan: reroute_hop_budget must be >= 0";
+  }
+  if (recheck_sec <= 0.0) {
+    return "fault_plan: recheck_sec must be > 0";
+  }
+  return "";
+}
+
+std::string FaultPlan::Describe() const {
+  if (!enabled()) return "none";
+  std::ostringstream out;
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) out << ", ";
+    first = false;
+  };
+  if (!script.empty()) {
+    sep();
+    out << script.size() << " scripted action"
+        << (script.size() == 1 ? "" : "s");
+  }
+  if (disk_mtbf_sec > 0.0) {
+    sep();
+    out << "disk MTBF " << disk_mtbf_sec << "s/repair "
+        << disk_repair_mean_sec << "s";
+  }
+  if (node_mtbf_sec > 0.0) {
+    sep();
+    out << "node MTBF " << node_mtbf_sec << "s/repair "
+        << node_repair_mean_sec << "s";
+  }
+  if (limp_mtbf_sec > 0.0) {
+    sep();
+    out << "limp MTBF " << limp_mtbf_sec << "s x" << limp_factor;
+  }
+  return out.str();
+}
+
+}  // namespace spiffi::fault

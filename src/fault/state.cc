@@ -1,0 +1,103 @@
+#include "fault/state.h"
+
+#include "sim/check.h"
+
+namespace spiffi::fault {
+
+FaultState::FaultState(int num_nodes, int disks_per_node)
+    : num_nodes_(num_nodes), disks_per_node_(disks_per_node) {
+  SPIFFI_CHECK(num_nodes > 0);
+  SPIFFI_CHECK(disks_per_node > 0);
+  node_up_.assign(static_cast<std::size_t>(num_nodes), 1);
+  disk_up_.assign(static_cast<std::size_t>(total_disks()), 1);
+  node_down_since_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+  disk_down_since_.assign(static_cast<std::size_t>(total_disks()), 0.0);
+  disk_slow_.assign(static_cast<std::size_t>(total_disks()), 1.0);
+}
+
+bool FaultState::FailDisk(int disk_global, double now) {
+  SPIFFI_CHECK(disk_global >= 0 && disk_global < total_disks());
+  if (disk_up_[disk_global] == 0) return false;
+  disk_up_[disk_global] = 0;
+  disk_down_since_[disk_global] = now;
+  ++stats_.faults_injected;
+  return true;
+}
+
+bool FaultState::RecoverDisk(int disk_global, double now) {
+  SPIFFI_CHECK(disk_global >= 0 && disk_global < total_disks());
+  if (disk_up_[disk_global] != 0) return false;
+  disk_up_[disk_global] = 1;
+  double duration = now - disk_down_since_[disk_global];
+  stats_.downtime_sec += duration;
+  stats_.repair_total_sec += duration;
+  ++stats_.repairs_completed;
+  return true;
+}
+
+bool FaultState::FailNode(int node, double now) {
+  SPIFFI_CHECK(node >= 0 && node < num_nodes_);
+  if (node_up_[node] == 0) return false;
+  node_up_[node] = 0;
+  node_down_since_[node] = now;
+  ++stats_.faults_injected;
+  return true;
+}
+
+bool FaultState::RecoverNode(int node, double now) {
+  SPIFFI_CHECK(node >= 0 && node < num_nodes_);
+  if (node_up_[node] != 0) return false;
+  node_up_[node] = 1;
+  double duration = now - node_down_since_[node];
+  stats_.downtime_sec += duration;
+  stats_.repair_total_sec += duration;
+  ++stats_.repairs_completed;
+  return true;
+}
+
+bool FaultState::BeginLimp(int disk_global, double factor, double now) {
+  SPIFFI_CHECK(disk_global >= 0 && disk_global < total_disks());
+  SPIFFI_CHECK(factor >= 1.0);
+  (void)now;
+  if (disk_slow_[disk_global] != 1.0) return false;
+  disk_slow_[disk_global] = factor;
+  ++stats_.limp_episodes;
+  return true;
+}
+
+bool FaultState::EndLimp(int disk_global, double now) {
+  SPIFFI_CHECK(disk_global >= 0 && disk_global < total_disks());
+  (void)now;
+  if (disk_slow_[disk_global] == 1.0) return false;
+  disk_slow_[disk_global] = 1.0;
+  return true;
+}
+
+FaultState::Stats FaultState::StatsAt(double now) const {
+  Stats stats = stats_;
+  for (int d = 0; d < total_disks(); ++d) {
+    if (disk_up_[d] == 0) stats.downtime_sec += now - disk_down_since_[d];
+  }
+  for (int n = 0; n < num_nodes_; ++n) {
+    if (node_up_[n] == 0) stats.downtime_sec += now - node_down_since_[n];
+  }
+  return stats;
+}
+
+double FaultState::MttrSec() const {
+  if (stats_.repairs_completed == 0) return 0.0;
+  return stats_.repair_total_sec /
+         static_cast<double>(stats_.repairs_completed);
+}
+
+void FaultState::ResetStats(double now) {
+  stats_ = Stats{};
+  for (int d = 0; d < total_disks(); ++d) {
+    if (disk_up_[d] == 0) disk_down_since_[d] = now;
+  }
+  for (int n = 0; n < num_nodes_; ++n) {
+    if (node_up_[n] == 0) node_down_since_[n] = now;
+  }
+}
+
+}  // namespace spiffi::fault

@@ -1,0 +1,92 @@
+// Live fault state of the cluster, shared read-mostly by the server and
+// client layers.
+//
+// The FaultInjector writes transitions here; everything on the read
+// path (terminal routing, Node degraded reads, prefetch admission) asks
+// LocationUp() before touching a disk. The state also keeps the
+// availability accounting — outage counts, component downtime, and the
+// repair durations behind the MTTR metric — scoped to the measurement
+// window via ResetStats(), mirroring how sim::Utilization windows are
+// reset.
+
+#ifndef SPIFFI_FAULT_STATE_H_
+#define SPIFFI_FAULT_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.h"
+
+namespace spiffi::fault {
+
+class FaultState {
+ public:
+  FaultState(int num_nodes, int disks_per_node);
+
+  int num_nodes() const { return num_nodes_; }
+  int disks_per_node() const { return disks_per_node_; }
+  int total_disks() const { return num_nodes_ * disks_per_node_; }
+
+  bool node_up(int node) const { return node_up_[node] != 0; }
+  // The disk itself (a disk on a crashed node may report up here).
+  bool disk_up(int disk_global) const { return disk_up_[disk_global] != 0; }
+  // Can this location serve a read right now?
+  bool LocationUp(const layout::BlockLocation& loc) const {
+    return node_up_[loc.node] != 0 && disk_up_[loc.disk_global] != 0;
+  }
+  // Service-time multiplier for a limping disk (1.0 when healthy).
+  double disk_slow_factor(int disk_global) const {
+    return disk_slow_[disk_global];
+  }
+
+  // When the component went down (meaningless while it is up).
+  double disk_down_since(int disk_global) const {
+    return disk_down_since_[disk_global];
+  }
+  double node_down_since(int node) const { return node_down_since_[node]; }
+
+  // Transitions. Idempotent: return false (and change nothing) when the
+  // component is already in the requested state, so scripted and
+  // stochastic faults can overlap safely.
+  bool FailDisk(int disk_global, double now);
+  bool RecoverDisk(int disk_global, double now);
+  bool FailNode(int node, double now);
+  bool RecoverNode(int node, double now);
+  bool BeginLimp(int disk_global, double factor, double now);
+  bool EndLimp(int disk_global, double now);
+
+  struct Stats {
+    std::uint64_t faults_injected = 0;    // disk + node fail transitions
+    std::uint64_t repairs_completed = 0;  // disk + node recoveries
+    std::uint64_t limp_episodes = 0;
+    // Component-seconds spent down; closed outages plus, via StatsAt(),
+    // the open ones measured up to the query time.
+    double downtime_sec = 0.0;
+    // Summed duration of completed repairs; MTTR = this / repairs.
+    double repair_total_sec = 0.0;
+  };
+
+  // Counters with still-open outages charged up to `now`.
+  Stats StatsAt(double now) const;
+  // Mean time to repair over completed repairs (0 when none completed).
+  double MttrSec() const;
+
+  // Starts a fresh accounting window: zeroes the counters and re-bases
+  // the outage clocks of currently-down components to `now`, so
+  // pre-window downtime is not charged to the window.
+  void ResetStats(double now);
+
+ private:
+  int num_nodes_;
+  int disks_per_node_;
+  std::vector<char> node_up_;
+  std::vector<char> disk_up_;
+  std::vector<double> node_down_since_;
+  std::vector<double> disk_down_since_;
+  std::vector<double> disk_slow_;
+  Stats stats_;
+};
+
+}  // namespace spiffi::fault
+
+#endif  // SPIFFI_FAULT_STATE_H_

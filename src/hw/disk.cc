@@ -16,7 +16,8 @@ Disk::Disk(sim::Environment* env, const DiskParams& params,
       scheduler_(std::move(scheduler)),
       id_(id),
       listener_(listener),
-      pending_(env, 0) {
+      pending_(env, 0),
+      recovered_(env) {
   SPIFFI_CHECK(env != nullptr);
   SPIFFI_CHECK(scheduler_ != nullptr);
   SPIFFI_CHECK(listener != nullptr);
@@ -96,9 +97,23 @@ double Disk::ServiceTimeFrom(std::int64_t head_cylinder, sim::SimTime start,
   return time;
 }
 
+void Disk::SetFailed(bool failed) {
+  if (failed_ == failed) return;
+  failed_ = failed;
+  if (!failed_) recovered_.NotifyAll();
+}
+
+void Disk::SetServiceTimeScale(double scale) {
+  SPIFFI_CHECK(scale >= 1.0);
+  service_scale_ = scale;
+}
+
 sim::Process Disk::ServiceLoop() {
   for (;;) {
     co_await pending_.Acquire();
+    // A failed disk holds its queue: the request already acquired is
+    // serviced first thing after recovery.
+    while (failed_) (void)co_await recovered_.Wait();
     SPIFFI_CHECK(!scheduler_->empty());
     sim::SimTime now = env_->now();
     DiskRequest* request = scheduler_->Pop(head_cylinder_, now);
@@ -112,9 +127,12 @@ sim::Process Disk::ServiceLoop() {
                       static_cast<double>(scheduler_->size()));
 
     std::int64_t cached = ReadAheadBytes(*request, now);
+    // service_scale_ is exactly 1.0 outside limp episodes, keeping the
+    // healthy timing bit-identical.
     double service =
         ServiceTimeFrom(head_cylinder_, now, request->disk_offset,
-                        request->bytes, cached);
+                        request->bytes, cached) *
+        service_scale_;
     request->service_sec = service;
 
     std::int64_t target_cylinder =

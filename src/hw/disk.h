@@ -32,6 +32,7 @@
 #include "sim/process.h"
 #include "sim/semaphore.h"
 #include "sim/stats.h"
+#include "sim/wait_list.h"
 
 namespace spiffi::hw {
 
@@ -131,6 +132,22 @@ class Disk {
 
   void ResetStats(sim::SimTime now);
 
+  // --- Fault hooks (driven by the fault-injection effect handler) ---
+
+  // A failed disk stops picking requests: whatever is queued (and
+  // whatever is submitted while down) waits until recovery; the read in
+  // service when the failure hits still completes. Issuers are expected
+  // to consult fault::FaultState before submitting, so parking rather
+  // than erroring models the "requests never vanish" invariant the
+  // terminals rely on.
+  void SetFailed(bool failed);
+  bool failed() const { return failed_; }
+
+  // Service-time multiplier for transient "limp" degradation (>= 1;
+  // exactly 1.0 restores bit-identical healthy timing).
+  void SetServiceTimeScale(double scale);
+  double service_time_scale() const { return service_scale_; }
+
   int id() const { return id_; }
   const DiskParams& params() const { return params_; }
   const DiskScheduler& scheduler() const { return *scheduler_; }
@@ -169,6 +186,11 @@ class Disk {
   DiskCompletionListener* listener_;
 
   sim::Semaphore pending_;  // counts queued requests; service loop waits
+  sim::WaitList recovered_;  // service loop parks here while failed
+
+  // Fault state.
+  bool failed_ = false;
+  double service_scale_ = 1.0;
 
   // Mechanism state.
   std::int64_t head_cylinder_ = 0;

@@ -9,6 +9,7 @@
 #define SPIFFI_LAYOUT_LAYOUT_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace spiffi::layout {
 
@@ -32,6 +33,20 @@ class Layout {
   // the same disk" rule (§5.2.3).
   virtual std::int64_t NextBlockOnSameDisk(int video,
                                            std::int64_t block) const = 0;
+
+  // Every physical copy of the block, primary first. Locate() always
+  // returns the primary — element 0 — so non-replicated layouts keep
+  // their behaviour through the default. Replicated layouts override
+  // this to expose the surviving copies the degraded-read path can fall
+  // back on when the primary's disk or node is down.
+  virtual std::vector<BlockLocation> Replicas(int video,
+                                              std::int64_t block) const {
+    return {Locate(video, block)};
+  }
+
+  // Number of copies Replicas() reports for every block (1 unless the
+  // layout replicates).
+  virtual int replica_count() const { return 1; }
 
   virtual int num_nodes() const = 0;
   virtual int disks_per_node() const = 0;

@@ -1,0 +1,60 @@
+#include "layout/replicated.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace spiffi::layout {
+
+ReplicatedStripedLayout::ReplicatedStripedLayout(
+    int num_nodes, int disks_per_node, std::int64_t stripe_bytes,
+    std::vector<std::int64_t> video_blocks, int replicas)
+    : primary_(num_nodes, disks_per_node, stripe_bytes,
+               std::move(video_blocks)),
+      replicas_(replicas),
+      region_bytes_(primary_.MaxBytesOnAnyDisk()) {
+  SPIFFI_CHECK(replicas >= 2);
+  SPIFFI_CHECK(replicas <= num_nodes);
+}
+
+BlockLocation ReplicatedStripedLayout::Locate(int video,
+                                              std::int64_t block) const {
+  return primary_.Locate(video, block);
+}
+
+std::int64_t ReplicatedStripedLayout::NextBlockOnSameDisk(
+    int video, std::int64_t block) const {
+  // Copy c of block b lives on the same disk as copy c of block
+  // b + total_disks (chained declustering shifts whole fragments, not
+  // individual blocks), so the primary's answer is correct for every
+  // replica chain.
+  return primary_.NextBlockOnSameDisk(video, block);
+}
+
+BlockLocation ReplicatedStripedLayout::LocateCopy(int video,
+                                                  std::int64_t block,
+                                                  int copy) const {
+  SPIFFI_DCHECK(copy >= 0 && copy < replicas_);
+  BlockLocation loc = primary_.Locate(video, block);
+  if (copy == 0) return loc;
+  loc.node = (loc.node + copy) % num_nodes();
+  loc.disk_global = loc.node * disks_per_node() + loc.disk_local;
+  loc.offset += static_cast<std::int64_t>(copy) * region_bytes_;
+  return loc;
+}
+
+std::vector<BlockLocation> ReplicatedStripedLayout::Replicas(
+    int video, std::int64_t block) const {
+  std::vector<BlockLocation> copies;
+  copies.reserve(static_cast<std::size_t>(replicas_));
+  for (int c = 0; c < replicas_; ++c) {
+    copies.push_back(LocateCopy(video, block, c));
+  }
+  return copies;
+}
+
+std::int64_t ReplicatedStripedLayout::MaxBytesOnAnyDisk() const {
+  return static_cast<std::int64_t>(replicas_) * region_bytes_;
+}
+
+}  // namespace spiffi::layout

@@ -1,0 +1,62 @@
+// Chained-declustered replication over SPIFFI striping (Hsiao & DeWitt
+// style): copy c of a stripe block whose primary lives on node n is
+// stored on node (n + c) mod N, on the *same local disk index*, in a
+// per-copy region stacked above the primary fragments. Because the
+// copies of everything primary-resident on disk (n, d) land together on
+// disk ((n+c) mod N, d), the "next block on the same disk" prefetch
+// rule holds verbatim on every replica chain, and losing one node
+// spreads its read load over its chain successors instead of one
+// mirror.
+
+#ifndef SPIFFI_LAYOUT_REPLICATED_H_
+#define SPIFFI_LAYOUT_REPLICATED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/striping.h"
+
+namespace spiffi::layout {
+
+class ReplicatedStripedLayout final : public Layout {
+ public:
+  // Stores `replicas` physical copies of every block (primary + the
+  // chained copies); requires 2 <= replicas <= num_nodes so the copies
+  // of one block land on distinct nodes.
+  ReplicatedStripedLayout(int num_nodes, int disks_per_node,
+                          std::int64_t stripe_bytes,
+                          std::vector<std::int64_t> video_blocks,
+                          int replicas);
+
+  // Primary copy — identical to plain SPIFFI striping, so a replicated
+  // system under no faults issues the same request stream as a striped
+  // one (modulo on-disk offsets).
+  BlockLocation Locate(int video, std::int64_t block) const override;
+  std::int64_t NextBlockOnSameDisk(int video,
+                                   std::int64_t block) const override;
+
+  std::vector<BlockLocation> Replicas(int video,
+                                      std::int64_t block) const override;
+  int replica_count() const override { return replicas_; }
+
+  int num_nodes() const override { return primary_.num_nodes(); }
+  int disks_per_node() const override { return primary_.disks_per_node(); }
+
+  // Bytes on the fullest disk including replica regions.
+  std::int64_t MaxBytesOnAnyDisk() const;
+
+  // Location of copy `copy` (0 = primary).
+  BlockLocation LocateCopy(int video, std::int64_t block, int copy) const;
+
+ private:
+  StripedLayout primary_;
+  int replicas_;
+  // Copy c occupies byte range [c * region_bytes_, (c+1) * region_bytes_)
+  // on each disk. Uniform across disks so regions never collide: every
+  // primary offset is < region_bytes_ by construction.
+  std::int64_t region_bytes_;
+};
+
+}  // namespace spiffi::layout
+
+#endif  // SPIFFI_LAYOUT_REPLICATED_H_

@@ -18,6 +18,7 @@ const char* TraceCategoryName(TraceCategory category) {
     case TraceCategory::kBuffer: return "buffer";
     case TraceCategory::kPrefetch: return "prefetch";
     case TraceCategory::kKernel: return "kernel";
+    case TraceCategory::kFault: return "fault";
   }
   return "unknown";
 }

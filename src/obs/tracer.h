@@ -49,8 +49,9 @@ enum class TraceCategory : std::uint8_t {
   kBuffer,
   kPrefetch,
   kKernel,
+  kFault,
 };
-inline constexpr int kNumTraceCategories = 7;
+inline constexpr int kNumTraceCategories = 8;
 const char* TraceCategoryName(TraceCategory category);
 
 // One optional key/value annotation on an event. Keys must be string
@@ -79,6 +80,7 @@ class Tracer {
   // Track-id convention used by the simulation instrumentation.
   static constexpr std::int32_t kTerminalsPid = 1;
   static constexpr std::int32_t kNetworkPid = 2;
+  static constexpr std::int32_t kFaultPid = 3;
   static constexpr std::int32_t kNodePidBase = 10;
   static constexpr std::int32_t kCpuTid = 0;
   static constexpr std::int32_t kDiskTidBase = 1;

@@ -27,14 +27,22 @@ struct ReadTiming {
   sim::SimTime reply_sent = 0.0;     // reply: when the node posted the reply
   double disk_queue_sec = 0.0;       // miss only: wait for the disk head
   double disk_service_sec = 0.0;     // miss only: mechanical service time
+  // Degraded-mode delay: time the request spent parked on nodes whose
+  // copy of the block was down, plus re-route forwarding hops.
+  // Accumulated across hops; 0.0 on every healthy path.
+  double fault_wait_sec = 0.0;
   Path path = Path::kUnknown;
 
-  // Time spent inside the server node, wire transit excluded.
+  // Time spent inside the server node, wire transit excluded. For a
+  // re-routed request this covers first receive to final reply (the
+  // inter-node forwarding wire time is inside, charged to fault).
   double ServerSeconds() const { return reply_sent - node_received; }
-  // Node time that was neither disk queueing nor disk service: CPU
-  // queueing/execution and buffer-pool stalls.
+  // Node time that was neither disk queueing, disk service, nor
+  // degraded-mode waiting: CPU queueing/execution and buffer-pool
+  // stalls.
   double ServerOverheadSeconds() const {
-    return ServerSeconds() - disk_queue_sec - disk_service_sec;
+    return ServerSeconds() - disk_queue_sec - disk_service_sec -
+           fault_wait_sec;
   }
 };
 
@@ -52,7 +60,12 @@ struct Message {
   // stream epoch so replies belonging to an abandoned stream (after a
   // seek or visual search) can be discarded on arrival.
   std::uint64_t cookie = 0;
-  // Stage timing breakdown (replies only).
+  // Degraded-mode re-route count: how many times this request was
+  // forwarded to another node because the targeted copy was down.
+  // Echoed on the reply; 0 on every healthy path.
+  std::uint8_t hops = 0;
+  // Stage timing breakdown (replies only; fault_wait_sec also
+  // accumulates on re-routed requests in flight).
   ReadTiming timing;
 };
 

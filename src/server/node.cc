@@ -2,19 +2,24 @@
 
 #include <algorithm>
 
+#include "fault/state.h"
 #include "obs/trace.h"
+#include "server/server.h"
 #include "sim/check.h"
 
 namespace spiffi::server {
 
 Node::Node(sim::Environment* env, const NodeConfig& config,
            hw::Network* network, const mpeg::VideoLibrary* library,
-           const layout::Layout* layout)
+           const layout::Layout* layout, NodeDirectory* peers,
+           const fault::FaultState* fault)
     : env_(env),
       config_(config),
       network_(network),
       library_(library),
       layout_(layout),
+      peers_(peers),
+      fault_(fault),
       cpu_(env, config.cpu_mips, "cpu-" + std::to_string(config.id)),
       pool_(env, config.pool_pages, config.replacement) {
   SPIFFI_CHECK(env != nullptr);
@@ -56,6 +61,30 @@ void Node::OnDiskComplete(hw::DiskRequest* request) {
   pool_.Complete(page);
 }
 
+layout::BlockLocation Node::LocalReplica(int video,
+                                         std::int64_t block) const {
+  layout::BlockLocation loc = layout_->Locate(video, block);
+  if (loc.node == config_.id || fault_ == nullptr) return loc;
+  for (const layout::BlockLocation& copy :
+       layout_->Replicas(video, block)) {
+    if (copy.node == config_.id) return copy;
+  }
+  return loc;
+}
+
+bool Node::FindLiveReplica(int video, std::int64_t block,
+                           layout::BlockLocation* out) const {
+  SPIFFI_DCHECK(fault_ != nullptr);
+  for (const layout::BlockLocation& copy :
+       layout_->Replicas(video, block)) {
+    if (copy.node != config_.id && fault_->LocationUp(copy)) {
+      *out = copy;
+      return true;
+    }
+  }
+  return false;
+}
+
 void Node::TriggerPrefetch(int video, std::int64_t block,
                            sim::SimTime reference_deadline, int terminal) {
   if (config_.prefetch == PrefetchPolicy::kNone) return;
@@ -64,8 +93,21 @@ void Node::TriggerPrefetch(int video, std::int64_t block,
   PageKey key{video, next};
   if (pool_.Lookup(key) != nullptr) return;  // already cached / in flight
 
-  layout::BlockLocation loc = layout_->Locate(video, next);
+  // Chained declustering keeps replica chains disk-aligned, so the copy
+  // of `next` this node holds is on the same local disk as the copy of
+  // `block` just referenced — the same-disk prefetch rule survives
+  // re-routing unchanged.
+  layout::BlockLocation loc = LocalReplica(video, next);
   SPIFFI_DCHECK(loc.node == config_.id);
+  if (fault_ != nullptr && !fault_->LocationUp(loc)) {
+    ++fault_stats_.prefetches_skipped_dead;
+    obs::TraceInstant(env_, obs::TraceCategory::kPrefetch,
+                      "prefetch_skip_dead_disk",
+                      obs::Tracer::kNodePidBase + config_.id,
+                      obs::Tracer::kDiskTidBase + loc.disk_local,
+                      {{"block", static_cast<double>(next)}});
+    return;
+  }
 
   PrefetchTask task;
   task.key = key;
@@ -85,12 +127,19 @@ void Node::TriggerPrefetch(int video, std::int64_t block,
 
 sim::Process Node::HandleRead(Message message) {
   const std::int32_t trace_pid = obs::Tracer::kNodePidBase + config_.id;
+  const sim::SimTime hop_arrival = env_->now();
   ReadTiming timing;
-  timing.node_received = env_->now();
+  // A re-routed request keeps the receive time of its first hop, so
+  // ServerSeconds() covers the whole degraded journey; the residence
+  // time of earlier hops arrives pre-charged in fault_wait_sec.
+  timing.node_received =
+      message.hops > 0 ? message.timing.node_received : hop_arrival;
+  timing.fault_wait_sec = message.timing.fault_wait_sec;
   std::uint64_t span = obs::TraceAsyncBegin(
       env_, obs::TraceCategory::kServer, "server_read", trace_pid,
       {{"terminal", static_cast<double>(message.terminal)},
-       {"block", static_cast<double>(message.block)}});
+       {"block", static_cast<double>(message.block)},
+       {"hops", static_cast<double>(message.hops)}});
 
   co_await cpu_.Execute(config_.costs.receive_message_instructions);
 
@@ -130,7 +179,59 @@ sim::Process Node::HandleRead(Message message) {
       break;
     }
 
-    // Miss: claim a page and read from disk.
+    // Miss: the read must touch a disk. If our copy of the block is
+    // down, re-route to a surviving replica (within the hop budget) or
+    // park until a repair, re-checking sooner as the deadline nears.
+    if (fault_ != nullptr) {
+      layout::BlockLocation local =
+          LocalReplica(message.video, message.block);
+      if (!fault_->LocationUp(local)) {
+        sim::SimTime wait_start = env_->now();
+        bool waited = false;
+        for (;;) {
+          layout::BlockLocation alt;
+          if (message.hops < config_.fault_hop_budget &&
+              peers_ != nullptr &&
+              FindLiveReplica(message.video, message.block, &alt)) {
+            ++fault_stats_.rerouted_requests;
+            if (waited) ++fault_stats_.degraded_waits;
+            Message forward = message;
+            ++forward.hops;
+            // Charge this hop's whole residence (receive CPU + parked
+            // time) to the fault stage.
+            forward.timing.node_received = timing.node_received;
+            forward.timing.fault_wait_sec =
+                message.timing.fault_wait_sec + (env_->now() - hop_arrival);
+            obs::TraceAsyncEnd(
+                env_, obs::TraceCategory::kServer, "server_read",
+                trace_pid, span,
+                {{"rerouted_to", static_cast<double>(alt.node)}});
+            obs::TraceInstant(env_, obs::TraceCategory::kFault, "reroute",
+                              obs::Tracer::kFaultPid, local.disk_global,
+                              {{"disk", static_cast<double>(
+                                            local.disk_global)},
+                               {"to_node", static_cast<double>(alt.node)},
+                               {"block", static_cast<double>(
+                                             message.block)}});
+            PostMessage(env_, network_, kControlMessageBytes,
+                        peers_->node_sink(alt.node), forward);
+            co_return;
+          }
+          waited = true;
+          double delay = config_.fault_recheck_sec;
+          double until_deadline = message.deadline - env_->now();
+          if (until_deadline > 0.0 && until_deadline < delay) {
+            delay = std::max(until_deadline, delay * 0.125);
+          }
+          co_await env_->Hold(delay);
+          if (fault_->LocationUp(local)) break;
+        }
+        ++fault_stats_.degraded_waits;
+        timing.fault_wait_sec += env_->now() - wait_start;
+        continue;  // re-run the lookup: the block may have landed meanwhile
+      }
+    }
+
     page = pool_.Allocate(key, /*for_prefetch=*/false);
     if (page == nullptr) {
       (void)co_await pool_.free_pages().Wait();
@@ -144,8 +245,7 @@ sim::Process Node::HandleRead(Message message) {
                       message.terminal);
     }
 
-    layout::BlockLocation loc = layout_->Locate(message.video,
-                                                message.block);
+    layout::BlockLocation loc = LocalReplica(message.video, message.block);
     SPIFFI_DCHECK(loc.node == config_.id);
 
     co_await cpu_.Execute(config_.costs.start_io_instructions);
@@ -178,6 +278,7 @@ sim::Process Node::HandleRead(Message message) {
   reply.block = message.block;
   reply.bytes = BlockBytes(message.video, message.block);
   reply.cookie = message.cookie;
+  reply.hops = message.hops;
   timing.reply_sent = env_->now();
   reply.timing = timing;
   obs::TraceAsyncEnd(env_, obs::TraceCategory::kServer, "server_read",
@@ -195,6 +296,7 @@ void Node::ResetStats(sim::SimTime now) {
   pool_.ResetStats();
   for (auto& disk : disks_) disk->ResetStats(now);
   for (auto& prefetcher : prefetchers_) prefetcher->ResetStats();
+  fault_stats_ = FaultStats{};
 }
 
 }  // namespace spiffi::server

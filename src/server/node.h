@@ -32,7 +32,13 @@
 #include "sim/environment.h"
 #include "sim/process.h"
 
+namespace spiffi::fault {
+class FaultState;
+}  // namespace spiffi::fault
+
 namespace spiffi::server {
+
+class NodeDirectory;  // server.h; needed to forward degraded reads
 
 struct NodeConfig {
   int id = 0;
@@ -48,13 +54,22 @@ struct NodeConfig {
   int prefetch_workers = 1;
   double max_advance_prefetch_sec = 8.0;
   std::int64_t block_bytes = 512 * 1024;
+  // Degraded-read tuning (mirrors fault::FaultPlan; only consulted when
+  // a fault state is attached): maximum re-route forwards per request,
+  // and the recovery re-check period while no replica is alive.
+  int fault_hop_budget = 2;
+  double fault_recheck_sec = 0.25;
 };
 
 class Node final : public MessageSink, public hw::DiskCompletionListener {
  public:
+  // `peers` (usually the owning VideoServer) and `fault` are optional:
+  // without them the degraded-read machinery is compiled in but never
+  // entered, so healthy runs are untouched.
   Node(sim::Environment* env, const NodeConfig& config,
        hw::Network* network, const mpeg::VideoLibrary* library,
-       const layout::Layout* layout);
+       const layout::Layout* layout, NodeDirectory* peers = nullptr,
+       const fault::FaultState* fault = nullptr);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -77,10 +92,27 @@ class Node final : public MessageSink, public hw::DiskCompletionListener {
   }
   int num_disks() const { return static_cast<int>(disks_.size()); }
 
+  // Degraded-mode counters (all zero when no faults are injected).
+  struct FaultStats {
+    std::uint64_t rerouted_requests = 0;   // forwarded to a live replica
+    std::uint64_t degraded_waits = 0;      // parked awaiting a repair
+    std::uint64_t prefetches_skipped_dead = 0;
+  };
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
   void ResetStats(sim::SimTime now);
 
  private:
   sim::Process HandleRead(Message message);
+
+  // The copy of (video, block) this node serves: the primary if it is
+  // ours, else the local replica. Falls back to the primary location
+  // when no copy lives here (the caller must not submit it).
+  layout::BlockLocation LocalReplica(int video, std::int64_t block) const;
+
+  // First live replica of the block on another node, in chain order.
+  bool FindLiveReplica(int video, std::int64_t block,
+                       layout::BlockLocation* out) const;
 
   // Issues a prefetch for the next block of `video` on the same disk as
   // `block` (the basic SPIFFI rule), tagging it with the deadline the
@@ -96,6 +128,9 @@ class Node final : public MessageSink, public hw::DiskCompletionListener {
   hw::Network* network_;
   const mpeg::VideoLibrary* library_;
   const layout::Layout* layout_;
+  NodeDirectory* peers_;
+  const fault::FaultState* fault_;
+  FaultStats fault_stats_;
 
   hw::Cpu cpu_;
   BufferPool pool_;

@@ -99,6 +99,18 @@ sim::Process Prefetcher::Worker() {
     }
     PrefetchTask task = PopNext();
 
+    if (disk_->failed()) {
+      // The disk died after this task was enqueued. Background reads are
+      // speculative — drop rather than park a worker on a dead drive
+      // (the true request will re-route through a replica instead).
+      pending_.erase(task.key);
+      ++stats_.dropped_disk_down;
+      obs::TraceInstant(env_, obs::TraceCategory::kPrefetch,
+                        "prefetch_drop_disk_down", trace_pid_, trace_tid_,
+                        {{"block", static_cast<double>(task.key.block)}});
+      continue;
+    }
+
     if (pool_->Lookup(task.key) != nullptr) {
       // A real request (or another worker) got there first.
       pending_.erase(task.key);

@@ -68,6 +68,7 @@ class Prefetcher {
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t issued = 0;       // disk reads actually started
     std::uint64_t already_cached = 0;  // dropped at issue time
+    std::uint64_t dropped_disk_down = 0;  // disk failed after enqueue
   };
 
   Prefetcher(sim::Environment* env, PrefetchPolicy policy, int num_workers,

@@ -8,14 +8,15 @@ VideoServer::VideoServer(sim::Environment* env, int num_nodes,
                          const NodeConfig& node_config,
                          hw::Network* network,
                          const mpeg::VideoLibrary* library,
-                         const layout::Layout* layout) {
+                         const layout::Layout* layout,
+                         const fault::FaultState* fault) {
   SPIFFI_CHECK(num_nodes > 0);
   nodes_.reserve(num_nodes);
   for (int id = 0; id < num_nodes; ++id) {
     NodeConfig config = node_config;
     config.id = id;
-    nodes_.push_back(
-        std::make_unique<Node>(env, config, network, library, layout));
+    nodes_.push_back(std::make_unique<Node>(env, config, network, library,
+                                            layout, this, fault));
   }
 }
 

@@ -22,11 +22,14 @@ class NodeDirectory {
 class VideoServer final : public NodeDirectory {
  public:
   // `node_config` is cloned per node with the id filled in. The buffer
-  // pool pages in node_config are per node.
+  // pool pages in node_config are per node. `fault`, when given, arms
+  // the degraded-read path on every node (the server itself acts as the
+  // peer directory for re-routed requests).
   VideoServer(sim::Environment* env, int num_nodes,
               const NodeConfig& node_config, hw::Network* network,
               const mpeg::VideoLibrary* library,
-              const layout::Layout* layout);
+              const layout::Layout* layout,
+              const fault::FaultState* fault = nullptr);
 
   VideoServer(const VideoServer&) = delete;
   VideoServer& operator=(const VideoServer&) = delete;

@@ -241,6 +241,14 @@ SimMetrics AggregateReplications(const std::vector<SimMetrics>& reps) {
     a.frames_displayed += m.frames_displayed;
     a.videos_completed += m.videos_completed;
     a.events_simulated += m.events_simulated;
+    a.faults_injected += m.faults_injected;
+    a.repairs_completed += m.repairs_completed;
+    a.fault_downtime_sec += m.fault_downtime_sec;
+    a.rerouted_requests += m.rerouted_requests;
+    a.degraded_waits += m.degraded_waits;
+    a.prefetches_skipped_dead += m.prefetches_skipped_dead;
+    a.requests_redirected += m.requests_redirected;
+    a.blocks_rerouted += m.blocks_rerouted;
     // Averaged rates: accumulate, normalized below.
     a.avg_disk_utilization += m.avg_disk_utilization;
     a.avg_cpu_utilization += m.avg_cpu_utilization;
@@ -250,6 +258,7 @@ SimMetrics AggregateReplications(const std::vector<SimMetrics>& reps) {
     a.avg_response_ms += m.avg_response_ms;
     a.p50_response_ms += m.p50_response_ms;
     a.p99_response_ms += m.p99_response_ms;
+    a.mttr_sec += m.mttr_sec;
     // Extremes: min/max over the set.
     a.min_disk_utilization =
         std::min(a.min_disk_utilization, m.min_disk_utilization);
@@ -266,6 +275,7 @@ SimMetrics AggregateReplications(const std::vector<SimMetrics>& reps) {
   a.avg_response_ms /= n;
   a.p50_response_ms /= n;
   a.p99_response_ms /= n;
+  a.mttr_sec /= n;
   return a;
 }
 

@@ -33,10 +33,22 @@ std::string SimConfig::Validate() const {
       num_videos() % total_disks() != 0) {
     return "non-striped placement needs videos divisible by disks";
   }
+  if (placement == VideoPlacement::kReplicatedStriped) {
+    if (replica_count < 2) {
+      return "replicated placement needs replica_count >= 2";
+    }
+    if (replica_count > num_nodes) {
+      return "replica_count cannot exceed num_nodes (copies of a block "
+             "must land on distinct nodes)";
+    }
+  }
   if (warmup_seconds < start_window_sec) {
     return "warmup must cover the terminal start window";
   }
   if (measure_seconds <= 0.0) return "measure_seconds must be positive";
+  std::string fault_error =
+      fault_plan.Validate(num_nodes, total_disks());
+  if (!fault_error.empty()) return fault_error;
   return "";
 }
 
@@ -62,10 +74,16 @@ std::string SimConfig::Describe() const {
   if (prefetch == server::PrefetchPolicy::kDelayed) {
     out << "(" << max_advance_prefetch_sec << " s)";
   }
-  out << ", "
-      << (placement == VideoPlacement::kStriped ? "striped"
-                                                : "non-striped")
-      << ", z=" << zipf_z;
+  out << ", ";
+  switch (placement) {
+    case VideoPlacement::kStriped: out << "striped"; break;
+    case VideoPlacement::kNonStriped: out << "non-striped"; break;
+    case VideoPlacement::kReplicatedStriped:
+      out << "replicated(x" << replica_count << ")";
+      break;
+  }
+  out << ", z=" << zipf_z;
+  if (fault_plan.enabled()) out << ", faults: " << fault_plan.Describe();
   return out.str();
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "client/terminal.h"
+#include "fault/plan.h"
 #include "hw/cpu.h"
 #include "hw/disk_params.h"
 #include "hw/network.h"
@@ -18,7 +19,10 @@
 
 namespace spiffi::vod {
 
-enum class VideoPlacement { kStriped, kNonStriped };
+// kReplicatedStriped stores `replica_count` chained-declustered copies
+// of every stripe block (layout::ReplicatedStripedLayout); the extra
+// copies only matter when a FaultPlan takes disks or nodes down.
+enum class VideoPlacement { kStriped, kNonStriped, kReplicatedStriped };
 
 struct SimConfig {
   // --- Hardware (Table 1 defaults) ---
@@ -38,6 +42,12 @@ struct SimConfig {
   // --- Layout ---
   VideoPlacement placement = VideoPlacement::kStriped;
   std::int64_t stripe_bytes = 512 * hw::kKiB;  // also the read size
+  int replica_count = 2;  // kReplicatedStriped only; 2 <= ... <= nodes
+
+  // --- Faults ---
+  // Empty (the default) runs with the fault subsystem disabled and is
+  // bit-identical to a configuration predating it.
+  fault::FaultPlan fault_plan;
 
   // --- Server memory & algorithms ---
   std::int64_t server_memory_bytes = 4LL * hw::kGiB;  // aggregate

@@ -49,6 +49,17 @@ struct SimMetrics {
 
   std::uint64_t events_simulated = 0;
 
+  // Availability (all zero when no FaultPlan is active).
+  std::uint64_t faults_injected = 0;    // disk + node fail transitions
+  std::uint64_t repairs_completed = 0;
+  double mttr_sec = 0.0;                // mean time to repair
+  double fault_downtime_sec = 0.0;      // component-seconds down
+  std::uint64_t rerouted_requests = 0;  // node-to-node forwards
+  std::uint64_t degraded_waits = 0;     // requests parked on dead disks
+  std::uint64_t prefetches_skipped_dead = 0;
+  std::uint64_t requests_redirected = 0;  // client-side failover sends
+  std::uint64_t blocks_rerouted = 0;      // replies that hopped nodes
+
   double hit_ratio() const {
     return buffer_references == 0
                ? 0.0

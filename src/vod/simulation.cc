@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "layout/nonstriped.h"
+#include "layout/replicated.h"
 #include "layout/striping.h"
 #include "mpeg/zipf.h"
 #include "sim/check.h"
@@ -18,6 +19,7 @@ namespace {
 // Distinct child-stream tags for the master seed.
 constexpr std::uint64_t kLibraryStream = 1;
 constexpr std::uint64_t kPlacementStream = 2;
+constexpr std::uint64_t kFaultStream = 3;
 constexpr std::uint64_t kTerminalStreamBase = 1000;
 
 // Process-wide observer registry. Guarded by ObserverMutex() so that
@@ -71,6 +73,14 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
     layout_ = std::make_unique<layout::StripedLayout>(
         config.num_nodes, config.disks_per_node, config.stripe_bytes,
         std::move(blocks));
+  } else if (config.placement == VideoPlacement::kReplicatedStriped) {
+    std::vector<std::int64_t> blocks(config.num_videos());
+    for (int v = 0; v < config.num_videos(); ++v) {
+      blocks[v] = library_->NumBlocks(v, config.stripe_bytes);
+    }
+    layout_ = std::make_unique<layout::ReplicatedStripedLayout>(
+        config.num_nodes, config.disks_per_node, config.stripe_bytes,
+        std::move(blocks), config.replica_count);
   } else {
     std::vector<std::int64_t> bytes(config.num_videos());
     for (int v = 0; v < config.num_videos(); ++v) {
@@ -82,6 +92,17 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   }
 
   network_ = std::make_unique<hw::Network>(env_.get(), config.network);
+
+  // Fault subsystem: built only for an enabled FaultPlan, so the empty
+  // default leaves every fault_ pointer null and the run bit-identical
+  // to a build without the subsystem.
+  if (config.fault_plan.enabled()) {
+    fault_state_ = std::make_unique<fault::FaultState>(
+        config.num_nodes, config.disks_per_node);
+    fault_injector_ = std::make_unique<fault::FaultInjector>(
+        env_.get(), config.fault_plan, fault_state_.get(),
+        master.Child(kFaultStream));
+  }
 
   // Server nodes.
   server::NodeConfig node_config;
@@ -101,9 +122,44 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   node_config.prefetch_workers = config.effective_prefetch_workers();
   node_config.max_advance_prefetch_sec = config.max_advance_prefetch_sec;
   node_config.block_bytes = config.stripe_bytes;
+  node_config.fault_hop_budget = config.fault_plan.reroute_hop_budget;
+  node_config.fault_recheck_sec = config.fault_plan.recheck_sec;
   server_ = std::make_unique<server::VideoServer>(
       env_.get(), config.num_nodes, node_config, network_.get(),
-      library_.get(), layout_.get());
+      library_.get(), layout_.get(), fault_state_.get());
+
+  if (fault_injector_ != nullptr) {
+    // Physical consequences of fault transitions. Disk availability is
+    // recomputed as !(node up && disk up) so overlapping disk and node
+    // outages compose idempotently: a disk stays down until both its own
+    // fault and its node's crash have been repaired.
+    fault_injector_->set_effect_handler([this](
+        const fault::FaultEvent& event) {
+      auto apply_disk = [this](int disk_global) {
+        int node = disk_global / config_.disks_per_node;
+        int local = disk_global % config_.disks_per_node;
+        hw::Disk& disk = server_->node(node).disk(local);
+        disk.SetFailed(!(fault_state_->node_up(node) &&
+                         fault_state_->disk_up(disk_global)));
+        disk.SetServiceTimeScale(fault_state_->disk_slow_factor(disk_global));
+      };
+      switch (event.kind) {
+        case fault::FaultKind::kDiskFail:
+        case fault::FaultKind::kDiskRecover:
+        case fault::FaultKind::kDiskLimpBegin:
+        case fault::FaultKind::kDiskLimpEnd:
+          apply_disk(event.target);
+          break;
+        case fault::FaultKind::kNodeFail:
+        case fault::FaultKind::kNodeRecover:
+          for (int d = 0; d < config_.disks_per_node; ++d) {
+            apply_disk(event.target * config_.disks_per_node + d);
+          }
+          break;
+      }
+    });
+    fault_injector_->Start();
+  }
 
   if (config.piggyback_window_sec > 0.0) {
     piggyback_ = std::make_unique<client::PiggybackManager>(
@@ -131,7 +187,8 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
     sim::SimTime start = rng.Uniform(0.0, config.start_window_sec);
     terminals_.push_back(std::make_unique<client::Terminal>(
         env_.get(), t, terminal_params, network_.get(), server_.get(),
-        library_.get(), layout_.get(), rng, start, piggyback_.get()));
+        library_.get(), layout_.get(), rng, start, piggyback_.get(),
+        fault_state_.get()));
   }
 
   RegisterMetrics();
@@ -147,6 +204,7 @@ void Simulation::ResetAllStats() {
   network_->ResetStats();
   for (auto& terminal : terminals_) terminal->ResetStats();
   if (piggyback_ != nullptr) piggyback_->ResetStats();
+  if (fault_state_ != nullptr) fault_state_->ResetStats(now);
   metrics_.Reset();  // owned instruments; probes read the state above
   measure_start_ = now;
 }
@@ -230,6 +288,30 @@ SimMetrics Simulation::CollectDirect() const {
       config_.network.bandwidth_bucket_sec;
   m.avg_network_bytes_per_sec = network_->AverageBandwidth(now);
   m.events_simulated = env_->events_fired();
+
+  // Availability: all zero on healthy runs (no FaultState).
+  if (fault_state_ != nullptr) {
+    fault::FaultState::Stats fstats = fault_state_->StatsAt(now);
+    m.faults_injected = fstats.faults_injected;
+    m.repairs_completed = fstats.repairs_completed;
+    m.mttr_sec = fault_state_->MttrSec();
+    m.fault_downtime_sec = fstats.downtime_sec;
+  }
+  for (int n = 0; n < server_->num_nodes(); ++n) {
+    const server::Node& node = server_->node(n);
+    const auto& fstats = node.fault_stats();
+    m.rerouted_requests += fstats.rerouted_requests;
+    m.degraded_waits += fstats.degraded_waits;
+    m.prefetches_skipped_dead += fstats.prefetches_skipped_dead;
+    for (int d = 0; d < node.num_disks(); ++d) {
+      m.prefetches_skipped_dead +=
+          node.prefetcher(d).stats().dropped_disk_down;
+    }
+  }
+  for (const auto& terminal : terminals_) {
+    m.requests_redirected += terminal->stats().requests_redirected;
+    m.blocks_rerouted += terminal->stats().blocks_rerouted;
+  }
   return m;
 }
 
@@ -278,6 +360,23 @@ SimMetrics Simulation::Collect() const {
   m.avg_network_bytes_per_sec = metrics_.Value("network.avg_bytes_per_sec");
   m.events_simulated =
       static_cast<std::uint64_t>(metrics_.Value("kernel.events_fired"));
+
+  m.faults_injected =
+      static_cast<std::uint64_t>(metrics_.Value("fault.faults_injected"));
+  m.repairs_completed =
+      static_cast<std::uint64_t>(metrics_.Value("fault.repairs_completed"));
+  m.mttr_sec = metrics_.Value("fault.mttr_sec");
+  m.fault_downtime_sec = metrics_.Value("fault.downtime_sec");
+  m.rerouted_requests =
+      static_cast<std::uint64_t>(metrics_.Value("fault.rerouted_requests"));
+  m.degraded_waits =
+      static_cast<std::uint64_t>(metrics_.Value("fault.degraded_waits"));
+  m.prefetches_skipped_dead = static_cast<std::uint64_t>(
+      metrics_.Value("fault.prefetches_skipped_dead"));
+  m.requests_redirected = static_cast<std::uint64_t>(
+      metrics_.Value("fault.requests_redirected"));
+  m.blocks_rerouted =
+      static_cast<std::uint64_t>(metrics_.Value("fault.blocks_rerouted"));
   return m;
 }
 
@@ -374,6 +473,64 @@ void Simulation::RegisterMetrics() {
   metrics_.AddProbe("terminal.late_attrib.disk_service", [sum_terminals] {
     return sum_terminals(
         [](const auto& s) { return s.late_attrib_disk_service; });
+  });
+  metrics_.AddProbe("terminal.late_attrib.fault", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.late_attrib_fault; });
+  });
+
+  // --- Availability (registered unconditionally; every probe reads zero
+  // on healthy runs so exports have a stable schema) ---
+  metrics_.AddProbe("fault.faults_injected", [this] {
+    return fault_state_ == nullptr
+               ? 0.0
+               : static_cast<double>(
+                     fault_state_->StatsAt(env_->now()).faults_injected);
+  });
+  metrics_.AddProbe("fault.repairs_completed", [this] {
+    return fault_state_ == nullptr
+               ? 0.0
+               : static_cast<double>(
+                     fault_state_->StatsAt(env_->now()).repairs_completed);
+  });
+  metrics_.AddProbe("fault.mttr_sec", [this] {
+    return fault_state_ == nullptr ? 0.0 : fault_state_->MttrSec();
+  });
+  metrics_.AddProbe("fault.downtime_sec", [this] {
+    return fault_state_ == nullptr
+               ? 0.0
+               : fault_state_->StatsAt(env_->now()).downtime_sec;
+  });
+  auto sum_node_fault = [this](auto field) {
+    std::uint64_t sum = 0;
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      sum += field(server_->node(n).fault_stats());
+    }
+    return static_cast<double>(sum);
+  };
+  metrics_.AddProbe("fault.rerouted_requests", [sum_node_fault] {
+    return sum_node_fault(
+        [](const auto& s) { return s.rerouted_requests; });
+  });
+  metrics_.AddProbe("fault.degraded_waits", [sum_node_fault] {
+    return sum_node_fault([](const auto& s) { return s.degraded_waits; });
+  });
+  metrics_.AddProbe("fault.prefetches_skipped_dead", [this] {
+    std::uint64_t sum = 0;
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      const server::Node& node = server_->node(n);
+      sum += node.fault_stats().prefetches_skipped_dead;
+      for (int d = 0; d < node.num_disks(); ++d) {
+        sum += node.prefetcher(d).stats().dropped_disk_down;
+      }
+    }
+    return static_cast<double>(sum);
+  });
+  metrics_.AddProbe("fault.requests_redirected", [sum_terminals] {
+    return sum_terminals(
+        [](const auto& s) { return s.requests_redirected; });
+  });
+  metrics_.AddProbe("fault.blocks_rerouted", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.blocks_rerouted; });
   });
 
   // --- Buffer pool & prefetch (summed over nodes) ---
@@ -554,6 +711,19 @@ obs::Tracer& Simulation::EnableTracing(std::size_t ring_capacity) {
   obs::Tracer& tracer = env_->EnableTracing(ring_capacity);
   tracer.SetProcessName(obs::Tracer::kTerminalsPid, "terminals");
   tracer.SetProcessName(obs::Tracer::kNetworkPid, "network");
+  if (fault_state_ != nullptr) {
+    tracer.SetProcessName(obs::Tracer::kFaultPid, "faults");
+    int total_disks = config_.total_disks();
+    for (int g = 0; g < total_disks; ++g) {
+      tracer.SetThreadName(obs::Tracer::kFaultPid, g,
+                           "disk " + std::to_string(g / config_.disks_per_node) +
+                               "." + std::to_string(g % config_.disks_per_node));
+    }
+    for (int n = 0; n < config_.num_nodes; ++n) {
+      tracer.SetThreadName(obs::Tracer::kFaultPid, total_disks + n,
+                           "node " + std::to_string(n));
+    }
+  }
   for (int n = 0; n < server_->num_nodes(); ++n) {
     std::int32_t pid = obs::Tracer::kNodePidBase + n;
     tracer.SetProcessName(pid, "node " + std::to_string(n));

@@ -16,6 +16,8 @@
 
 #include "client/piggyback.h"
 #include "client/terminal.h"
+#include "fault/injector.h"
+#include "fault/state.h"
 #include "hw/network.h"
 #include "layout/layout.h"
 #include "mpeg/video.h"
@@ -77,6 +79,11 @@ class Simulation {
   client::Terminal& terminal(int id) { return *terminals_[id]; }
   int num_terminals() const { return static_cast<int>(terminals_.size()); }
   hw::Network& network() { return *network_; }
+  // Null unless the config carries an enabled FaultPlan.
+  const fault::FaultState* fault_state() const { return fault_state_.get(); }
+  const fault::FaultInjector* fault_injector() const {
+    return fault_injector_.get();
+  }
 
   // Manual phase control used by Run(); exposed for experiments that
   // sample mid-run (e.g. utilization traces).
@@ -109,6 +116,8 @@ class Simulation {
   std::unique_ptr<mpeg::VideoLibrary> library_;
   std::unique_ptr<layout::Layout> layout_;
   std::unique_ptr<hw::Network> network_;
+  std::unique_ptr<fault::FaultState> fault_state_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<server::VideoServer> server_;
   std::unique_ptr<client::PiggybackManager> piggyback_;
   std::vector<std::unique_ptr<client::Terminal>> terminals_;

@@ -1,0 +1,129 @@
+#include "fault/plan.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::fault {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanIsDisabledAndValid) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_TRUE(plan.Validate(4, 16).empty());
+}
+
+TEST(FaultPlanTest, ScriptOrStochasticRatesEnable) {
+  {
+    FaultPlan plan;
+    plan.script.push_back({5.0, FaultKind::kDiskFail, 0});
+    EXPECT_TRUE(plan.enabled());
+  }
+  {
+    FaultPlan plan;
+    plan.disk_mtbf_sec = 100.0;
+    EXPECT_TRUE(plan.enabled());
+  }
+  {
+    FaultPlan plan;
+    plan.node_mtbf_sec = 100.0;
+    EXPECT_TRUE(plan.enabled());
+  }
+  {
+    FaultPlan plan;
+    plan.limp_mtbf_sec = 100.0;
+    EXPECT_TRUE(plan.enabled());
+  }
+}
+
+TEST(FaultPlanTest, ValidateRejectsOutOfRangeTargets) {
+  FaultPlan plan;
+  plan.script.push_back({5.0, FaultKind::kDiskFail, 16});
+  EXPECT_FALSE(plan.Validate(4, 16).empty());
+  plan.script[0] = {5.0, FaultKind::kDiskFail, -1};
+  EXPECT_FALSE(plan.Validate(4, 16).empty());
+  plan.script[0] = {5.0, FaultKind::kNodeFail, 4};
+  EXPECT_FALSE(plan.Validate(4, 16).empty());
+  plan.script[0] = {5.0, FaultKind::kNodeFail, 3};
+  EXPECT_TRUE(plan.Validate(4, 16).empty());
+  // Node targets are checked against nodes, not disks: node 5 of 4 is
+  // invalid even though disk 5 of 16 would be fine.
+  plan.script[0] = {5.0, FaultKind::kNodeRecover, 5};
+  EXPECT_FALSE(plan.Validate(4, 16).empty());
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadTimesAndFactors) {
+  {
+    FaultPlan plan;
+    plan.script.push_back({-0.5, FaultKind::kDiskFail, 0});
+    EXPECT_FALSE(plan.Validate(4, 16).empty());
+  }
+  {
+    FaultPlan plan;
+    plan.script.push_back({5.0, FaultKind::kDiskLimpBegin, 0, 0.5});
+    EXPECT_FALSE(plan.Validate(4, 16).empty());  // limp must slow, not speed
+  }
+  {
+    FaultPlan plan;
+    plan.limp_mtbf_sec = 50.0;
+    plan.limp_factor = 0.9;
+    EXPECT_FALSE(plan.Validate(4, 16).empty());
+  }
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadStochasticParameters) {
+  {
+    FaultPlan plan;
+    plan.disk_mtbf_sec = -1.0;
+    EXPECT_FALSE(plan.Validate(4, 16).empty());
+  }
+  {
+    FaultPlan plan;
+    plan.disk_mtbf_sec = 100.0;
+    plan.disk_repair_mean_sec = 0.0;
+    EXPECT_FALSE(plan.Validate(4, 16).empty());
+  }
+  {
+    FaultPlan plan;
+    plan.node_mtbf_sec = 100.0;
+    plan.node_repair_mean_sec = -2.0;
+    EXPECT_FALSE(plan.Validate(4, 16).empty());
+  }
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadDegradedReadTuning) {
+  {
+    FaultPlan plan;
+    plan.disk_mtbf_sec = 100.0;
+    plan.reroute_hop_budget = -1;
+    EXPECT_FALSE(plan.Validate(4, 16).empty());
+  }
+  {
+    FaultPlan plan;
+    plan.disk_mtbf_sec = 100.0;
+    plan.recheck_sec = 0.0;
+    EXPECT_FALSE(plan.Validate(4, 16).empty());
+  }
+}
+
+TEST(FaultPlanTest, DescribeSummarizesTheScenario) {
+  FaultPlan plan;
+  plan.script.push_back({5.0, FaultKind::kDiskFail, 0});
+  plan.script.push_back({9.0, FaultKind::kDiskRecover, 0});
+  plan.disk_mtbf_sec = 300.0;
+  std::string description = plan.Describe();
+  EXPECT_NE(description.find("2"), std::string::npos);
+  EXPECT_NE(description.find("300"), std::string::npos);
+}
+
+TEST(FaultPlanTest, KindNamesAreDistinct) {
+  EXPECT_STRNE(FaultKindName(FaultKind::kDiskFail),
+               FaultKindName(FaultKind::kDiskRecover));
+  EXPECT_STRNE(FaultKindName(FaultKind::kNodeFail),
+               FaultKindName(FaultKind::kDiskFail));
+  EXPECT_STRNE(FaultKindName(FaultKind::kDiskLimpBegin),
+               FaultKindName(FaultKind::kDiskLimpEnd));
+}
+
+}  // namespace
+}  // namespace spiffi::fault

@@ -1,0 +1,128 @@
+#include "fault/state.h"
+
+#include "gtest/gtest.h"
+
+namespace spiffi::fault {
+namespace {
+
+layout::BlockLocation Loc(int node, int disk_local, int disks_per_node) {
+  layout::BlockLocation loc;
+  loc.node = node;
+  loc.disk_local = disk_local;
+  loc.disk_global = node * disks_per_node + disk_local;
+  return loc;
+}
+
+TEST(FaultStateTest, EverythingStartsUp) {
+  FaultState state(2, 2);
+  EXPECT_EQ(state.total_disks(), 4);
+  for (int n = 0; n < 2; ++n) EXPECT_TRUE(state.node_up(n));
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_TRUE(state.disk_up(d));
+    EXPECT_DOUBLE_EQ(state.disk_slow_factor(d), 1.0);
+  }
+  EXPECT_TRUE(state.LocationUp(Loc(1, 1, 2)));
+}
+
+TEST(FaultStateTest, DiskFailAndRecover) {
+  FaultState state(2, 2);
+  EXPECT_TRUE(state.FailDisk(3, 10.0));
+  EXPECT_FALSE(state.disk_up(3));
+  EXPECT_FALSE(state.LocationUp(Loc(1, 1, 2)));
+  EXPECT_TRUE(state.LocationUp(Loc(1, 0, 2)));  // sibling disk unaffected
+  EXPECT_DOUBLE_EQ(state.disk_down_since(3), 10.0);
+  EXPECT_TRUE(state.RecoverDisk(3, 25.0));
+  EXPECT_TRUE(state.LocationUp(Loc(1, 1, 2)));
+}
+
+TEST(FaultStateTest, TransitionsAreIdempotent) {
+  FaultState state(2, 2);
+  EXPECT_TRUE(state.FailDisk(0, 1.0));
+  EXPECT_FALSE(state.FailDisk(0, 2.0));  // already down: no-op
+  EXPECT_DOUBLE_EQ(state.disk_down_since(0), 1.0);
+  EXPECT_TRUE(state.RecoverDisk(0, 3.0));
+  EXPECT_FALSE(state.RecoverDisk(0, 4.0));
+  EXPECT_FALSE(state.FailNode(1, 5.0) && state.FailNode(1, 6.0));
+  EXPECT_TRUE(state.RecoverNode(1, 7.0));
+  EXPECT_TRUE(state.BeginLimp(2, 4.0, 8.0));
+  EXPECT_FALSE(state.BeginLimp(2, 8.0, 9.0));  // already limping
+  EXPECT_DOUBLE_EQ(state.disk_slow_factor(2), 4.0);
+  EXPECT_TRUE(state.EndLimp(2, 10.0));
+  EXPECT_FALSE(state.EndLimp(2, 11.0));
+}
+
+TEST(FaultStateTest, NodeCrashMasksItsDisks) {
+  FaultState state(2, 2);
+  state.FailNode(0, 5.0);
+  // The disks themselves still report up — they did not fail — but no
+  // location on the node can serve.
+  EXPECT_TRUE(state.disk_up(0));
+  EXPECT_FALSE(state.LocationUp(Loc(0, 0, 2)));
+  EXPECT_FALSE(state.LocationUp(Loc(0, 1, 2)));
+  EXPECT_TRUE(state.LocationUp(Loc(1, 0, 2)));
+  state.RecoverNode(0, 9.0);
+  EXPECT_TRUE(state.LocationUp(Loc(0, 0, 2)));
+}
+
+TEST(FaultStateTest, OverlappingDiskAndNodeOutages) {
+  FaultState state(2, 2);
+  state.FailDisk(0, 1.0);
+  state.FailNode(0, 2.0);
+  state.RecoverNode(0, 3.0);
+  // Node repaired, but the disk fault is still open.
+  EXPECT_FALSE(state.LocationUp(Loc(0, 0, 2)));
+  state.RecoverDisk(0, 4.0);
+  EXPECT_TRUE(state.LocationUp(Loc(0, 0, 2)));
+}
+
+TEST(FaultStateTest, StatsAccumulateDowntimeAndMttr) {
+  FaultState state(2, 2);
+  state.FailDisk(0, 10.0);
+  state.RecoverDisk(0, 16.0);  // 6 s outage
+  state.FailNode(1, 20.0);
+  state.RecoverNode(1, 22.0);  // 2 s outage
+  FaultState::Stats stats = state.StatsAt(30.0);
+  EXPECT_EQ(stats.faults_injected, 2u);
+  EXPECT_EQ(stats.repairs_completed, 2u);
+  EXPECT_DOUBLE_EQ(stats.downtime_sec, 8.0);
+  EXPECT_DOUBLE_EQ(state.MttrSec(), 4.0);
+}
+
+TEST(FaultStateTest, StatsAtChargesOpenOutages) {
+  FaultState state(1, 2);
+  state.FailDisk(1, 10.0);
+  FaultState::Stats stats = state.StatsAt(17.0);
+  EXPECT_EQ(stats.faults_injected, 1u);
+  EXPECT_EQ(stats.repairs_completed, 0u);
+  EXPECT_DOUBLE_EQ(stats.downtime_sec, 7.0);
+  EXPECT_DOUBLE_EQ(state.MttrSec(), 0.0);  // nothing completed yet
+}
+
+TEST(FaultStateTest, ResetStatsRebasesOpenOutages) {
+  FaultState state(1, 2);
+  state.FailDisk(0, 5.0);
+  state.ResetStats(20.0);  // measurement window opens mid-outage
+  FaultState::Stats stats = state.StatsAt(23.0);
+  EXPECT_EQ(stats.faults_injected, 0u);  // the fault predates the window
+  EXPECT_DOUBLE_EQ(stats.downtime_sec, 3.0);  // but its downtime accrues
+  state.RecoverDisk(0, 26.0);
+  stats = state.StatsAt(30.0);
+  EXPECT_EQ(stats.repairs_completed, 1u);
+  EXPECT_DOUBLE_EQ(stats.downtime_sec, 6.0);
+}
+
+TEST(FaultStateTest, LimpEpisodesCountSeparately) {
+  FaultState state(1, 2);
+  state.BeginLimp(0, 3.0, 1.0);
+  state.EndLimp(0, 2.0);
+  state.BeginLimp(1, 2.0, 3.0);
+  state.EndLimp(1, 4.0);
+  FaultState::Stats stats = state.StatsAt(5.0);
+  EXPECT_EQ(stats.limp_episodes, 2u);
+  // Limping is degraded, not down: no downtime, no repairs.
+  EXPECT_EQ(stats.faults_injected, 0u);
+  EXPECT_DOUBLE_EQ(stats.downtime_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace spiffi::fault

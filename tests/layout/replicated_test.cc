@@ -1,0 +1,118 @@
+#include "layout/replicated.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "layout/striping.h"
+
+namespace spiffi::layout {
+namespace {
+
+constexpr std::int64_t kStripe = 512 * 1024;
+
+std::vector<std::int64_t> Blocks(int videos, std::int64_t each) {
+  return std::vector<std::int64_t>(static_cast<std::size_t>(videos), each);
+}
+
+TEST(ReplicatedLayoutTest, PrimaryMatchesPlainStriping) {
+  StripedLayout striped(4, 2, kStripe, Blocks(8, 40));
+  ReplicatedStripedLayout replicated(4, 2, kStripe, Blocks(8, 40), 2);
+  for (int v = 0; v < 8; ++v) {
+    for (std::int64_t b = 0; b < 40; ++b) {
+      EXPECT_EQ(replicated.Locate(v, b), striped.Locate(v, b));
+      EXPECT_EQ(replicated.NextBlockOnSameDisk(v, b),
+                striped.NextBlockOnSameDisk(v, b));
+    }
+  }
+  EXPECT_EQ(replicated.replica_count(), 2);
+  EXPECT_EQ(striped.replica_count(), 1);  // base-class default
+}
+
+TEST(ReplicatedLayoutTest, CopiesChainAcrossNodesOnTheSameLocalDisk) {
+  ReplicatedStripedLayout layout(4, 2, kStripe, Blocks(8, 40), 3);
+  for (int v = 0; v < 8; ++v) {
+    for (std::int64_t b = 0; b < 40; ++b) {
+      BlockLocation primary = layout.Locate(v, b);
+      for (int c = 1; c < 3; ++c) {
+        BlockLocation copy = layout.LocateCopy(v, b, c);
+        EXPECT_EQ(copy.node, (primary.node + c) % 4);
+        EXPECT_EQ(copy.disk_local, primary.disk_local);
+        EXPECT_EQ(copy.disk_global, copy.node * 2 + copy.disk_local);
+      }
+    }
+  }
+}
+
+TEST(ReplicatedLayoutTest, ReplicasListsPrimaryFirstOnDistinctNodes) {
+  ReplicatedStripedLayout layout(4, 2, kStripe, Blocks(8, 40), 3);
+  for (int v = 0; v < 8; ++v) {
+    for (std::int64_t b = 0; b < 40; b += 7) {
+      std::vector<BlockLocation> copies = layout.Replicas(v, b);
+      ASSERT_EQ(copies.size(), 3u);
+      EXPECT_EQ(copies[0], layout.Locate(v, b));
+      std::set<int> nodes;
+      for (const BlockLocation& loc : copies) nodes.insert(loc.node);
+      EXPECT_EQ(nodes.size(), 3u);  // all copies on distinct nodes
+    }
+  }
+}
+
+TEST(ReplicatedLayoutTest, CopyRegionsNeverCollide) {
+  ReplicatedStripedLayout layout(2, 2, kStripe, Blocks(8, 40), 2);
+  // Every (disk, offset) pair across all copies of all blocks is unique:
+  // replica regions are stacked, not interleaved.
+  std::set<std::pair<int, std::int64_t>> placed;
+  for (int v = 0; v < 8; ++v) {
+    for (std::int64_t b = 0; b < 40; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        BlockLocation loc = layout.LocateCopy(v, b, c);
+        EXPECT_TRUE(
+            placed.insert({loc.disk_global, loc.offset}).second)
+            << "copy " << c << " of video " << v << " block " << b
+            << " collides";
+      }
+    }
+  }
+}
+
+TEST(ReplicatedLayoutTest, PrefetchChainHoldsOnEveryReplica) {
+  // If block b' is the next block after b on the primary disk, then on
+  // every copy chain, copy c of b' sits on the same disk as copy c of b —
+  // the prefetcher's "next block on this disk" rule survives failover.
+  ReplicatedStripedLayout layout(4, 2, kStripe, Blocks(8, 40), 2);
+  for (int v = 0; v < 8; ++v) {
+    for (std::int64_t b = 0; b < 40; ++b) {
+      std::int64_t next = layout.NextBlockOnSameDisk(v, b);
+      if (next < 0) continue;
+      for (int c = 0; c < 2; ++c) {
+        EXPECT_EQ(layout.LocateCopy(v, next, c).disk_global,
+                  layout.LocateCopy(v, b, c).disk_global);
+      }
+    }
+  }
+}
+
+TEST(ReplicatedLayoutTest, MaxBytesScalesWithReplicaCount) {
+  StripedLayout striped(4, 2, kStripe, Blocks(8, 40));
+  ReplicatedStripedLayout x2(4, 2, kStripe, Blocks(8, 40), 2);
+  ReplicatedStripedLayout x3(4, 2, kStripe, Blocks(8, 40), 3);
+  EXPECT_EQ(x2.MaxBytesOnAnyDisk(), 2 * striped.MaxBytesOnAnyDisk());
+  EXPECT_EQ(x3.MaxBytesOnAnyDisk(), 3 * striped.MaxBytesOnAnyDisk());
+}
+
+TEST(ReplicatedLayoutTest, FullChainWrapsAllNodes) {
+  // replicas == num_nodes: every node holds a copy of every block.
+  ReplicatedStripedLayout layout(3, 1, kStripe, Blocks(3, 30), 3);
+  for (std::int64_t b = 0; b < 30; ++b) {
+    std::set<int> nodes;
+    for (const BlockLocation& loc : layout.Replicas(0, b)) {
+      nodes.insert(loc.node);
+    }
+    EXPECT_EQ(nodes.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace spiffi::layout

@@ -54,6 +54,74 @@ TEST(SimConfigTest, RejectsBadValues) {
   }
 }
 
+TEST(SimConfigTest, RejectsNonPositiveCounts) {
+  for (int bad : {0, -1, -100}) {
+    {
+      SimConfig c;
+      c.num_nodes = bad;
+      EXPECT_FALSE(c.Validate().empty()) << "num_nodes=" << bad;
+    }
+    {
+      SimConfig c;
+      c.disks_per_node = bad;
+      EXPECT_FALSE(c.Validate().empty()) << "disks_per_node=" << bad;
+    }
+    {
+      SimConfig c;
+      c.terminals = bad;
+      EXPECT_FALSE(c.Validate().empty()) << "terminals=" << bad;
+    }
+  }
+}
+
+TEST(SimConfigTest, ValidatesReplicatedPlacement) {
+  SimConfig c;
+  c.placement = VideoPlacement::kReplicatedStriped;
+  c.replica_count = 2;
+  EXPECT_TRUE(c.Validate().empty());
+  c.replica_count = 1;  // "replicated" with one copy is plain striping
+  EXPECT_FALSE(c.Validate().empty());
+  c.replica_count = c.num_nodes + 1;  // copies must land on distinct nodes
+  EXPECT_FALSE(c.Validate().empty());
+  c.replica_count = c.num_nodes;
+  EXPECT_TRUE(c.Validate().empty());
+}
+
+TEST(SimConfigTest, ValidatesFaultPlan) {
+  {
+    SimConfig c;
+    c.fault_plan.script.push_back(
+        {10.0, fault::FaultKind::kDiskFail, c.total_disks()});
+    EXPECT_FALSE(c.Validate().empty());  // disk index out of range
+  }
+  {
+    SimConfig c;
+    c.fault_plan.script.push_back({-1.0, fault::FaultKind::kDiskFail, 0});
+    EXPECT_FALSE(c.Validate().empty());  // negative time
+  }
+  {
+    SimConfig c;
+    c.fault_plan.disk_mtbf_sec = 100.0;
+    c.fault_plan.disk_repair_mean_sec = 0.0;
+    EXPECT_FALSE(c.Validate().empty());  // repair mean must be positive
+  }
+  {
+    SimConfig c;
+    c.fault_plan.script.push_back({10.0, fault::FaultKind::kNodeFail, 1});
+    c.fault_plan.disk_mtbf_sec = 500.0;
+    EXPECT_TRUE(c.Validate().empty());  // scripted + stochastic is fine
+  }
+}
+
+TEST(SimConfigTest, DescribeMentionsFaultsOnlyWhenEnabled) {
+  SimConfig c;
+  EXPECT_EQ(c.Describe().find("faults"), std::string::npos);
+  c.fault_plan.disk_mtbf_sec = 500.0;
+  EXPECT_NE(c.Describe().find("faults"), std::string::npos);
+  c.placement = VideoPlacement::kReplicatedStriped;
+  EXPECT_NE(c.Describe().find("replicated(x2)"), std::string::npos);
+}
+
 TEST(SimConfigTest, PrefetchWorkerDefaultsPerScheduler) {
   SimConfig config;
   config.disk_sched = server::DiskSchedPolicy::kElevator;

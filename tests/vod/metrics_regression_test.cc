@@ -56,6 +56,15 @@ void ExpectBitIdentical(const SimMetrics& a, const SimMetrics& b) {
   EXPECT_EQ(a.frames_displayed, b.frames_displayed);
   EXPECT_EQ(a.videos_completed, b.videos_completed);
   EXPECT_EQ(a.events_simulated, b.events_simulated);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.repairs_completed, b.repairs_completed);
+  EXPECT_EQ(a.mttr_sec, b.mttr_sec);
+  EXPECT_EQ(a.fault_downtime_sec, b.fault_downtime_sec);
+  EXPECT_EQ(a.rerouted_requests, b.rerouted_requests);
+  EXPECT_EQ(a.degraded_waits, b.degraded_waits);
+  EXPECT_EQ(a.prefetches_skipped_dead, b.prefetches_skipped_dead);
+  EXPECT_EQ(a.requests_redirected, b.requests_redirected);
+  EXPECT_EQ(a.blocks_rerouted, b.blocks_rerouted);
 }
 
 TEST(MetricsRegressionTest, RegistryCollectMatchesDirectLightLoad) {
@@ -70,6 +79,22 @@ TEST(MetricsRegressionTest, RegistryCollectMatchesDirectOverload) {
   Simulation simulation(config);
   SimMetrics metrics = simulation.Run();
   EXPECT_GT(metrics.glitches, 0u);
+  ExpectBitIdentical(simulation.Collect(), simulation.CollectDirect());
+}
+
+// The availability probes must track their direct computations too, on
+// a run where they are actually non-zero.
+TEST(MetricsRegressionTest, RegistryCollectMatchesDirectUnderFaults) {
+  SimConfig config = SmallConfig();
+  config.placement = VideoPlacement::kReplicatedStriped;
+  config.replica_count = 2;
+  config.fault_plan.script.push_back(
+      {20.0, fault::FaultKind::kDiskFail, 0});
+  config.fault_plan.script.push_back(
+      {35.0, fault::FaultKind::kDiskRecover, 0});
+  Simulation simulation(config);
+  SimMetrics metrics = simulation.Run();
+  EXPECT_EQ(metrics.faults_injected, 1u);
   ExpectBitIdentical(simulation.Collect(), simulation.CollectDirect());
 }
 
@@ -102,8 +127,14 @@ TEST(MetricsRegressionTest, OverloadExportsSlackAndAttribution) {
       registry.Value("terminal.late_attrib.network") +
       registry.Value("terminal.late_attrib.server_cpu") +
       registry.Value("terminal.late_attrib.disk_queue") +
-      registry.Value("terminal.late_attrib.disk_service");
+      registry.Value("terminal.late_attrib.disk_service") +
+      registry.Value("terminal.late_attrib.fault");
   EXPECT_EQ(attributed, registry.Value("terminal.late_blocks"));
+  // No FaultPlan: the fault stage never dominates, and the availability
+  // metrics all read zero.
+  EXPECT_EQ(registry.Value("terminal.late_attrib.fault"), 0.0);
+  EXPECT_EQ(registry.Value("fault.faults_injected"), 0.0);
+  EXPECT_EQ(registry.Value("fault.rerouted_requests"), 0.0);
   // Queue-wait vs service-time breakdown is populated.
   EXPECT_GT(registry.Value("disk.queue_wait_ms.avg"), 0.0);
   EXPECT_GT(registry.Value("disk.service_ms.avg"), 0.0);
@@ -116,7 +147,9 @@ TEST(MetricsRegressionTest, OverloadExportsSlackAndAttribution) {
         "terminal.late_blocks", "terminal.late_attrib.network",
         "terminal.late_attrib.server_cpu",
         "terminal.late_attrib.disk_queue",
-        "terminal.late_attrib.disk_service", "disk.queue_wait_ms.avg"}) {
+        "terminal.late_attrib.disk_service", "terminal.late_attrib.fault",
+        "fault.faults_injected", "fault.rerouted_requests",
+        "fault.mttr_sec", "disk.queue_wait_ms.avg"}) {
     EXPECT_NE(json.find(std::string("\"") + key + "\""),
               std::string::npos)
         << "missing from JSON export: " << key;

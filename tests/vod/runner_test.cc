@@ -61,6 +61,28 @@ void ExpectBitIdentical(const SimMetrics& a, const SimMetrics& b) {
   EXPECT_EQ(a.frames_displayed, b.frames_displayed);
   EXPECT_EQ(a.videos_completed, b.videos_completed);
   EXPECT_EQ(a.events_simulated, b.events_simulated);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.repairs_completed, b.repairs_completed);
+  EXPECT_EQ(a.mttr_sec, b.mttr_sec);
+  EXPECT_EQ(a.fault_downtime_sec, b.fault_downtime_sec);
+  EXPECT_EQ(a.rerouted_requests, b.rerouted_requests);
+  EXPECT_EQ(a.degraded_waits, b.degraded_waits);
+  EXPECT_EQ(a.prefetches_skipped_dead, b.prefetches_skipped_dead);
+  EXPECT_EQ(a.requests_redirected, b.requests_redirected);
+  EXPECT_EQ(a.blocks_rerouted, b.blocks_rerouted);
+}
+
+// A tiny replicated configuration with live stochastic faults: disks
+// fail roughly once per window and repair within it.
+SimConfig TinyFaultyConfig() {
+  SimConfig config = TinyConfig();
+  config.num_nodes = 2;
+  config.disks_per_node = 1;
+  config.placement = VideoPlacement::kReplicatedStriped;
+  config.replica_count = 2;
+  config.fault_plan.disk_mtbf_sec = 60.0;
+  config.fault_plan.disk_repair_mean_sec = 5.0;
+  return config;
 }
 
 TEST(RunnerTest, ResolveJobsHonoursExplicitCount) {
@@ -166,6 +188,51 @@ TEST(RunnerTest, AggregateReplicationsOfOneIsIdentity) {
   SimMetrics single = RunSimulation(config);
   SimMetrics aggregate = AggregateReplications({single});
   ExpectBitIdentical(single, aggregate);
+}
+
+TEST(RunnerTest, FaultPlanBitIdenticalAcrossJobCounts) {
+  std::vector<SimConfig> batch;
+  for (int i = 0; i < 4; ++i) {
+    SimConfig config = TinyFaultyConfig();
+    config.seed = 300 + i;
+    config.terminals = 10 + 5 * i;
+    batch.push_back(config);
+  }
+
+  ParallelRunner serial(1);
+  ParallelRunner parallel(8);
+  std::vector<SimMetrics> at_one = serial.RunAll(batch);
+  std::vector<SimMetrics> at_eight = parallel.RunAll(batch);
+
+  ASSERT_EQ(at_one.size(), batch.size());
+  ASSERT_EQ(at_eight.size(), batch.size());
+  bool saw_faults = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ExpectBitIdentical(at_one[i], at_eight[i]);
+    saw_faults = saw_faults || at_one[i].faults_injected > 0;
+  }
+  // The plan must actually have exercised the fault machinery for the
+  // comparison to mean anything.
+  EXPECT_TRUE(saw_faults);
+}
+
+TEST(RunnerTest, CapacitySearchUnderFaultPlanIdenticalSerialVsParallel) {
+  SimConfig config = TinyFaultyConfig();
+  CapacitySearchOptions options;
+  options.min_terminals = 2;
+  options.max_terminals = 80;
+  options.start_guess = 12;
+  options.step = 8;
+  options.replications = 2;
+
+  options.jobs = 1;
+  CapacityResult serial = FindMaxTerminals(config, options);
+  options.jobs = 8;
+  CapacityResult parallel = FindMaxTerminals(config, options);
+
+  EXPECT_EQ(serial.max_terminals, parallel.max_terminals);
+  EXPECT_EQ(serial.probes, parallel.probes);
+  ExpectBitIdentical(serial.at_capacity, parallel.at_capacity);
 }
 
 TEST(RunnerTest, CapacitySearchIdenticalSerialVsParallel) {
