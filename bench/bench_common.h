@@ -32,12 +32,29 @@ namespace spiffi::bench {
 
 enum class Preset { kSmoke, kFast, kFull };
 
+// Command-line preset override (--smoke / --full); 0 = none.
+inline int& PresetOverride() {
+  static int value = 0;
+  return value;
+}
+
 inline Preset ActivePreset() {
+  if (PresetOverride() == 1) return Preset::kSmoke;
+  if (PresetOverride() == 2) return Preset::kFull;
   const char* full = std::getenv("SPIFFI_BENCH_FULL");
   if (full != nullptr && full[0] == '1') return Preset::kFull;
   const char* smoke = std::getenv("SPIFFI_BENCH_SMOKE");
   if (smoke != nullptr && smoke[0] == '1') return Preset::kSmoke;
   return Preset::kFast;
+}
+
+// --smoke / --full on any harness binary select the preset directly
+// (equivalent to SPIFFI_BENCH_SMOKE=1 / SPIFFI_BENCH_FULL=1).
+inline void ParsePreset(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) PresetOverride() = 1;
+    if (std::strcmp(argv[i], "--full") == 0) PresetOverride() = 2;
+  }
 }
 
 inline const char* PresetName(Preset preset) {
@@ -245,8 +262,9 @@ inline void MaybeEnableProfile(int argc, char** argv) {
   if (enabled) EnableProfile(harness, path);
 }
 
-// Call first thing in main: parses --jobs and --profile.
+// Call first thing in main: parses --smoke/--full, --jobs and --profile.
 inline void InitHarness(int argc, char** argv) {
+  ParsePreset(argc, argv);
   ParseJobs(argc, argv);
   MaybeEnableProfile(argc, argv);
 }

@@ -34,6 +34,25 @@ void BM_CalendarScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_CalendarScheduleFire)->Arg(64)->Arg(1024)->Arg(16384);
 
+// Cancel-heavy load: half of every batch is cancelled before it fires,
+// the way wait-list timeout timers behave. Exercises the slot table's
+// generation check and the lazy drop of cancelled heap entries.
+void BM_CalendarScheduleCancelFire(benchmark::State& state) {
+  spiffi::sim::Calendar calendar;
+  NullHandler handler;
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<spiffi::sim::EventId> ids(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      ids[i] = calendar.Schedule(static_cast<double>(i % 97), &handler, i);
+    }
+    for (int i = 0; i < batch; i += 2) calendar.Cancel(ids[i]);
+    while (!calendar.empty()) calendar.FireNext();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CalendarScheduleCancelFire)->Arg(1024)->Arg(16384);
+
 // Coroutine hold loop: events routed through process resumption.
 Process HoldLoop(Environment* env, int holds) {
   for (int i = 0; i < holds; ++i) co_await env->Hold(0.001);

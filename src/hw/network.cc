@@ -19,21 +19,6 @@ void Network::Send(std::int64_t bytes, sim::EventHandler* destination,
   env_->ScheduleAfter(WireDelay(bytes), destination, token);
 }
 
-void Network::SendOwned(std::int64_t bytes,
-                        std::unique_ptr<sim::EventHandler> handler) {
-  std::uint64_t id = next_delivery_id_++;
-  in_flight_.emplace(id, std::move(handler));
-  Send(bytes, this, id);
-}
-
-void Network::OnEvent(std::uint64_t delivery_id) {
-  auto it = in_flight_.find(delivery_id);
-  SPIFFI_DCHECK(it != in_flight_.end());
-  std::unique_ptr<sim::EventHandler> handler = std::move(it->second);
-  in_flight_.erase(it);
-  handler->OnEvent(0);
-}
-
 void Network::Account(std::int64_t bytes) {
   total_bytes_ += static_cast<std::uint64_t>(bytes);
   ++total_messages_;

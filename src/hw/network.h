@@ -15,8 +15,6 @@
 #define SPIFFI_HW_NETWORK_H_
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 
 #include "sim/calendar.h"
 #include "sim/environment.h"
@@ -29,7 +27,7 @@ struct NetworkParams {
   double bandwidth_bucket_sec = 1.0;        // peak-measurement granularity
 };
 
-class Network final : public sim::EventHandler {
+class Network final {
  public:
   Network(sim::Environment* env, const NetworkParams& params);
 
@@ -38,18 +36,11 @@ class Network final : public sim::EventHandler {
 
   // Delivers `token` to `destination->OnEvent(token)` after the wire
   // delay for a message of `bytes` bytes. The destination must outlive
-  // the delivery.
+  // the delivery; one-shot destinations come from the environment's
+  // one-shot arena (Environment::NewOneShot), whose storage outlives
+  // every pending delivery by construction.
   void Send(std::int64_t bytes, sim::EventHandler* destination,
             std::uint64_t token);
-
-  // Like Send, but the network owns the one-shot handler until it fires
-  // (handler->OnEvent(0)), so messages still on the wire when the
-  // simulation is torn down are reclaimed rather than leaked.
-  void SendOwned(std::int64_t bytes,
-                 std::unique_ptr<sim::EventHandler> handler);
-
-  // Internal dispatch for SendOwned deliveries.
-  void OnEvent(std::uint64_t delivery_id) override;
 
   double WireDelay(std::int64_t bytes) const {
     return params_.wire_delay_base_sec +
@@ -76,10 +67,6 @@ class Network final : public sim::EventHandler {
   std::uint64_t current_bucket_bytes_ = 0;
   std::uint64_t peak_bucket_bytes_ = 0;
   sim::SimTime stats_start_ = 0.0;
-  // In-flight SendOwned deliveries, keyed by delivery id.
-  std::unordered_map<std::uint64_t, std::unique_ptr<sim::EventHandler>>
-      in_flight_;
-  std::uint64_t next_delivery_id_ = 1;
 };
 
 }  // namespace spiffi::hw

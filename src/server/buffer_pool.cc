@@ -10,14 +10,11 @@ BufferPool::BufferPool(sim::Environment* env, std::int64_t num_pages,
     : env_(env), policy_(policy), free_waiters_(env) {
   SPIFFI_CHECK(env != nullptr);
   SPIFFI_CHECK(num_pages > 0);
-  pages_.reserve(static_cast<std::size_t>(num_pages));
   free_.reserve(static_cast<std::size_t>(num_pages));
   for (std::int64_t i = 0; i < num_pages; ++i) {
-    auto page = std::make_unique<Page>();
-    page->ready = std::make_unique<sim::WaitList>(env);
-    free_.push_back(page.get());
-    pages_.push_back(std::move(page));
+    free_.push_back(&pages_.emplace_back(env));
   }
+  table_.reserve(static_cast<std::size_t>(num_pages) * 2);
 }
 
 BufferPool::Page* BufferPool::Lookup(const PageKey& key) {
@@ -53,19 +50,37 @@ void BufferPool::RecordMiss() {
 }
 
 void BufferPool::RemoveFromChain(Page* page) {
-  if (page->chain >= 0) {
-    chains_[page->chain].erase(page->lru_it);
-    page->chain = -1;
+  int chain = page->chain;
+  if (chain < 0) return;
+  if (page->lru_prev != nullptr) {
+    page->lru_prev->lru_next = page->lru_next;
+  } else {
+    chain_head_[chain] = page->lru_next;
   }
+  if (page->lru_next != nullptr) {
+    page->lru_next->lru_prev = page->lru_prev;
+  } else {
+    chain_tail_[chain] = page->lru_prev;
+  }
+  page->lru_prev = page->lru_next = nullptr;
+  page->chain = -1;
+  --chain_count_[chain];
 }
 
 void BufferPool::AppendToChain(Page* page, int chain) {
   RemoveFromChain(page);
   // Under global LRU everything lives on one queue.
   if (policy_ == ReplacementPolicy::kGlobalLru) chain = kReferencedChain;
-  chains_[chain].push_back(page);
+  page->lru_prev = chain_tail_[chain];
+  page->lru_next = nullptr;
+  if (chain_tail_[chain] != nullptr) {
+    chain_tail_[chain]->lru_next = page;
+  } else {
+    chain_head_[chain] = page;
+  }
+  chain_tail_[chain] = page;
   page->chain = chain;
-  page->lru_it = std::prev(chains_[chain].end());
+  ++chain_count_[chain];
 }
 
 void BufferPool::Touch(Page* page, int terminal) {
@@ -77,7 +92,8 @@ void BufferPool::Touch(Page* page, int terminal) {
 }
 
 BufferPool::Page* BufferPool::EvictFrom(int chain) {
-  for (Page* page : chains_[chain]) {
+  for (Page* page = chain_head_[chain]; page != nullptr;
+       page = page->lru_next) {
     if (page->pin_count == 0 && !page->io_in_flight) {
       RemoveFromChain(page);
       table_.erase(page->key);
@@ -134,7 +150,7 @@ void BufferPool::Complete(Page* page) {
   page->inflight_request = nullptr;
   AppendToChain(page,
                 page->prefetched ? kPrefetchedChain : kReferencedChain);
-  page->ready->NotifyAll();
+  page->ready.NotifyAll();
 }
 
 void BufferPool::Unpin(Page* page) {

@@ -11,6 +11,11 @@
 //    referenced chain first and only then from the prefetched chain, so
 //    pages that were read ahead but not yet consumed are protected.
 //
+// The LRU chains are intrusive: the prev/next links live in the Page
+// itself, so moving a page between chains (the per-reference hot path)
+// is a handful of pointer writes with no node allocation. Each page also
+// embeds its I/O-completion WaitList directly.
+//
 // Concurrency protocol (single-threaded simulation, coroutine processes):
 //  * Lookup finds a page that is valid or still being filled by an I/O.
 //  * A process waiting for an in-flight page must Pin it before
@@ -24,8 +29,7 @@
 #define SPIFFI_SERVER_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <list>
-#include <memory>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +59,11 @@ struct PageKeyHash {
 class BufferPool {
  public:
   struct Page {
+    explicit Page(sim::Environment* env) : ready(env) {}
+
+    Page(const Page&) = delete;
+    Page& operator=(const Page&) = delete;
+
     PageKey key;
     bool valid = false;         // data present
     bool io_in_flight = false;  // a disk read is filling this page
@@ -71,9 +80,10 @@ class BufferPool {
 
     // Intrusive LRU bookkeeping (managed by the pool).
     int chain = -1;  // -1: not on any chain
-    std::list<Page*>::iterator lru_it;
+    Page* lru_prev = nullptr;
+    Page* lru_next = nullptr;
 
-    std::unique_ptr<sim::WaitList> ready;  // I/O-completion waiters
+    sim::WaitList ready;  // I/O-completion waiters
   };
 
   struct Stats {
@@ -122,7 +132,7 @@ class BufferPool {
   void Pin(Page* page) { ++page->pin_count; }
   void Unpin(Page* page);
 
-  sim::WaitList& Ready(Page* page) { return *page->ready; }
+  sim::WaitList& Ready(Page* page) { return page->ready; }
   // Notified whenever a page may have become evictable.
   sim::WaitList& free_pages() { return free_waiters_; }
 
@@ -138,7 +148,7 @@ class BufferPool {
   std::int64_t pages_in_use() const {
     return num_pages() - static_cast<std::int64_t>(free_.size());
   }
-  std::size_t chain_size(int chain) const { return chains_[chain].size(); }
+  std::size_t chain_size(int chain) const { return chain_count_[chain]; }
   ReplacementPolicy policy() const { return policy_; }
 
   // Chain indices.
@@ -146,7 +156,7 @@ class BufferPool {
   static constexpr int kPrefetchedChain = 1;
 
  private:
-  // Pops the first evictable page from `chain` (front = LRU end);
+  // Pops the first evictable page from `chain` (head = LRU end);
   // nullptr if none.
   Page* EvictFrom(int chain);
   void RemoveFromChain(Page* page);
@@ -154,10 +164,15 @@ class BufferPool {
 
   sim::Environment* env_;
   ReplacementPolicy policy_;
-  std::vector<std::unique_ptr<Page>> pages_;
+  // deque: stable addresses without per-page heap indirection (Page is
+  // pinned in place by its intrusive links and embedded WaitList).
+  std::deque<Page> pages_;
   std::vector<Page*> free_;
   std::unordered_map<PageKey, Page*, PageKeyHash> table_;
-  std::list<Page*> chains_[2];
+  // Intrusive chain endpoints: head = LRU (eviction) end, tail = MRU.
+  Page* chain_head_[2] = {nullptr, nullptr};
+  Page* chain_tail_[2] = {nullptr, nullptr};
+  std::size_t chain_count_[2] = {0, 0};
   sim::WaitList free_waiters_;
   Stats stats_;
   std::int32_t trace_pid_ = 0;

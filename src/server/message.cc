@@ -7,7 +7,12 @@ namespace spiffi::server {
 
 namespace {
 
-// One in-flight network delivery; owned by the network until it fires.
+// One in-flight network delivery. Lives in the environment's one-shot
+// arena (not the heap): PostMessage pops a slot, the wire-delay event
+// fires OnEvent, and the slot is returned to the arena before the sink
+// runs — so a steady message flow reuses the same few slots with zero
+// allocation. Trivially destructible by design: deliveries still on the
+// wire at teardown are reclaimed wholesale with the arena.
 class Delivery final : public sim::EventHandler {
  public:
   Delivery(sim::Environment* env, MessageSink* sink, const Message& message,
@@ -15,9 +20,16 @@ class Delivery final : public sim::EventHandler {
       : env_(env), sink_(sink), message_(message), trace_id_(trace_id) {}
 
   void OnEvent(std::uint64_t) override {
-    obs::TraceAsyncEnd(env_, obs::TraceCategory::kNetwork, "wire",
-                       obs::Tracer::kNetworkPid, trace_id_);
-    sink_->OnMessage(message_);
+    sim::Environment* env = env_;
+    MessageSink* sink = sink_;
+    Message message = message_;
+    std::uint64_t trace_id = trace_id_;
+    // Release the slot first: the sink may post further messages, and
+    // they should find this slot already free.
+    env->DeleteOneShot(this);
+    obs::TraceAsyncEnd(env, obs::TraceCategory::kNetwork, "wire",
+                       obs::Tracer::kNetworkPid, trace_id);
+    sink->OnMessage(message);
   }
 
  private:
@@ -38,9 +50,8 @@ void PostMessage(sim::Environment* env, hw::Network* network,
       {{"bytes", static_cast<double>(wire_bytes)},
        {"terminal", static_cast<double>(message.terminal)},
        {"reply", message.kind == Message::Kind::kReadReply ? 1.0 : 0.0}});
-  network->SendOwned(wire_bytes,
-                     std::make_unique<Delivery>(env, sink, message,
-                                                trace_id));
+  network->Send(wire_bytes,
+                env->NewOneShot<Delivery>(env, sink, message, trace_id), 0);
 }
 
 }  // namespace spiffi::server

@@ -6,50 +6,145 @@
 
 namespace spiffi::sim {
 
+void Calendar::Reserve(std::size_t expected_entries) {
+  heap_.reserve(expected_entries);
+  slots_.reserve(expected_entries);
+}
+
+std::uint32_t Calendar::TakeSlot() {
+  if (free_head_ != kNoSlot) {
+    std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].state = SlotState::kPending;
+    return slot;
+  }
+  auto slot = static_cast<std::uint32_t>(slots_.size());
+  SPIFFI_CHECK(slot <= kSlotMask);  // < 2^24 simultaneously pending
+  slots_.push_back(Slot{});
+  slots_.back().state = SlotState::kPending;
+  return slot;
+}
+
+void Calendar::FreeSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  // Bump the generation so every id handed out for this slot so far is
+  // now stale; skip 0 on wrap so EventId 0 stays forever invalid.
+  if (++s.generation == 0) s.generation = 1;
+  s.state = SlotState::kFree;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Calendar::SiftUp(std::size_t index, HeapEntry entry) {
+  while (index > 0) {
+    std::size_t parent = (index - 1) >> 2;
+    if (entry >= heap_[parent]) break;
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = entry;
+}
+
+void Calendar::SiftDown(std::size_t index, HeapEntry entry) {
+  const std::size_t size = heap_.size();
+  for (;;) {
+    std::size_t child = 4 * index + 1;
+    if (child + 3 < size) {
+      // Full node: branchless min-of-4 (ternaries compile to cmov; a
+      // scan with data-dependent branches mispredicts ~3 times per
+      // level on random keys, which dominates sift cost).
+      HeapEntry c0 = heap_[child], c1 = heap_[child + 1];
+      HeapEntry c2 = heap_[child + 2], c3 = heap_[child + 3];
+      std::size_t b01 = c1 < c0 ? child + 1 : child;
+      HeapEntry e01 = c1 < c0 ? c1 : c0;
+      std::size_t b23 = c3 < c2 ? child + 3 : child + 2;
+      HeapEntry e23 = c3 < c2 ? c3 : c2;
+      std::size_t best = e23 < e01 ? b23 : b01;
+      HeapEntry eb = e23 < e01 ? e23 : e01;
+      if (eb >= entry) break;
+      heap_[index] = eb;
+      index = best;
+    } else {
+      // Ragged last node (1-3 children).
+      if (child >= size) break;
+      const std::size_t last = std::min(child + 4, size);
+      std::size_t best = child;
+      for (std::size_t c = child + 1; c < last; ++c) {
+        if (heap_[c] < heap_[best]) best = c;
+      }
+      if (heap_[best] >= entry) break;
+      heap_[index] = heap_[best];
+      index = best;
+    }
+  }
+  heap_[index] = entry;
+}
+
+void Calendar::PopRoot() {
+  HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0, last);
+}
+
 EventId Calendar::Schedule(SimTime time, EventHandler* handler,
                            std::uint64_t token) {
   SPIFFI_DCHECK(handler != nullptr);
-  EventId id = next_id_++;
+  SPIFFI_DCHECK(next_seq_ < (1ull << (64 - kSlotBits)));
+  std::uint32_t slot = TakeSlot();
+  Slot& s = slots_[slot];
+  s.handler = handler;
+  s.token = token;
   if (heap_.size() == heap_.capacity()) ++storage_grows_;
-  heap_.push_back(Entry{time, next_seq_++, handler, token, id});
-  std::push_heap(heap_.begin(), heap_.end(), Later);
+  heap_.push_back(HeapEntry{});  // placeholder; SiftUp fills the hole
+  HeapEntry entry = (static_cast<HeapEntry>(TimeKey(time)) << 64) |
+                    ((next_seq_++ << kSlotBits) | slot);
+  SiftUp(heap_.size() - 1, entry);
   if (heap_.size() > peak_size_) peak_size_ = heap_.size();
-  pending_.insert(id);
-  return id;
+  return Pack(slot, s.generation);
 }
 
 void Calendar::Cancel(EventId id) {
-  // Only entries still in the heap may be marked; a stale id (already
-  // fired, or never scheduled) would otherwise sit in cancelled_ forever
-  // because FireNext only purges ids it actually finds at the head.
-  if (pending_.erase(id) == 1) cancelled_.insert(id);
+  auto slot = static_cast<std::uint32_t>(id >> 32);
+  auto generation = static_cast<std::uint32_t>(id);
+  // Stale ids (already fired, never scheduled, or a recycled slot) fail
+  // the generation compare; double-cancels fail the state check.
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.state != SlotState::kPending || s.generation != generation) return;
+  s.state = SlotState::kCancelled;
+  ++cancelled_;
 }
 
 void Calendar::DropCancelledHead() {
+  if (cancelled_ == 0) return;  // nothing cancelled anywhere in the heap
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later);
-    heap_.pop_back();
+    auto slot = static_cast<std::uint32_t>(heap_.front() & kSlotMask);
+    if (slots_[slot].state != SlotState::kCancelled) break;
+    FreeSlot(slot);
+    --cancelled_;
+    PopRoot();
   }
 }
 
 SimTime Calendar::FireNext() {
   DropCancelledHead();
   if (heap_.empty()) return kSimTimeMax;
-  Entry entry = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), Later);
-  heap_.pop_back();
-  pending_.erase(entry.id);
+  HeapEntry head = heap_.front();
+  PopRoot();
+  auto slot = static_cast<std::uint32_t>(head & kSlotMask);
+  Slot& s = slots_[slot];
+  EventHandler* handler = s.handler;
+  std::uint64_t token = s.token;
+  FreeSlot(slot);
   ++fired_;
-  entry.handler->OnEvent(entry.token);
-  return entry.time;
+  handler->OnEvent(token);
+  return KeyTime(static_cast<std::uint64_t>(head >> 64));
 }
 
 SimTime Calendar::PeekTime() {
   DropCancelledHead();
-  return heap_.empty() ? kSimTimeMax : heap_.front().time;
+  if (heap_.empty()) return kSimTimeMax;
+  return KeyTime(static_cast<std::uint64_t>(heap_.front() >> 64));
 }
 
 bool Calendar::empty() {
@@ -58,9 +153,11 @@ bool Calendar::empty() {
 }
 
 void Calendar::Clear() {
+  for (const HeapEntry& entry : heap_) {
+    FreeSlot(static_cast<std::uint32_t>(entry & kSlotMask));
+  }
   heap_.clear();
-  pending_.clear();
-  cancelled_.clear();
+  cancelled_ = 0;
 }
 
 }  // namespace spiffi::sim

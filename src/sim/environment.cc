@@ -73,6 +73,28 @@ void Environment::ResumeSlot::OnEvent(std::uint64_t) {
   h.resume();
 }
 
+void* Environment::AllocOneShotRaw() {
+  if (one_shot_free_ != nullptr) {
+    void* storage = one_shot_free_;
+    one_shot_free_ = *static_cast<void**>(storage);
+    return storage;
+  }
+  // Grow by a chunk and thread every new slot onto the free list.
+  constexpr std::size_t kChunkSlots = 64;
+  one_shot_chunks_.push_back(std::make_unique<OneShotSlot[]>(kChunkSlots));
+  OneShotSlot* chunk = one_shot_chunks_.back().get();
+  one_shot_slot_count_ += kChunkSlots;
+  for (std::size_t i = 1; i < kChunkSlots; ++i) {
+    FreeOneShotRaw(&chunk[i]);
+  }
+  return &chunk[0];
+}
+
+void Environment::FreeOneShotRaw(void* storage) {
+  *static_cast<void**>(storage) = one_shot_free_;
+  one_shot_free_ = storage;
+}
+
 void Environment::ScheduleResume(std::coroutine_handle<> handle,
                                  SimTime time) {
   ResumeSlot* slot = free_slots_;

@@ -9,9 +9,13 @@
 #define SPIFFI_SIM_ENVIRONMENT_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
+#include <type_traits>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/calendar.h"
@@ -35,6 +39,13 @@ class Environment {
 
   // Current simulated time in seconds.
   SimTime now() const { return now_; }
+
+  // Pre-sizes the calendar for `expected_entries` simultaneously pending
+  // events (see Calendar::Reserve). Model builders call this once from
+  // the configured load so the event heap never reallocates mid-run.
+  void ReserveCalendar(std::size_t expected_entries) {
+    calendar_.Reserve(expected_entries);
+  }
 
   // Takes ownership of a suspended process coroutine and schedules its
   // first step at the current time (after already-pending same-time
@@ -104,6 +115,35 @@ class Environment {
   }
   std::size_t peak_processes() const { return peak_processes_; }
   std::size_t resume_slots() const { return all_slots_.size(); }
+  std::size_t one_shot_slots() const { return one_shot_slot_count_; }
+
+  // --- One-shot handler arena ---
+  //
+  // Fixed-size free-list arena for short-lived EventHandlers (network
+  // deliveries and the like) that are created per message and die inside
+  // their own OnEvent. NewOneShot replaces make_unique on the hot path:
+  // after warmup every allocation is a free-list pop. The environment
+  // owns the backing chunks, so objects still in flight at teardown are
+  // reclaimed wholesale — which is why T must be trivially destructible
+  // (DeleteOneShot and teardown run no destructors).
+  static constexpr std::size_t kOneShotSlotBytes = 256;
+
+  template <typename T, typename... Args>
+  T* NewOneShot(Args&&... args) {
+    static_assert(sizeof(T) <= kOneShotSlotBytes,
+                  "one-shot handler exceeds the arena slot size");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "one-shot handlers are reclaimed without running "
+                  "destructors");
+    return ::new (AllocOneShotRaw()) T(std::forward<Args>(args)...);
+  }
+
+  template <typename T>
+  void DeleteOneShot(T* object) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    FreeOneShotRaw(object);
+  }
 
  private:
   friend void internal::ProcessFinished(Environment* env,
@@ -118,6 +158,14 @@ class Environment {
     void OnEvent(std::uint64_t) override;
   };
 
+  // Arena slot: raw storage while live, free-list node while idle.
+  struct alignas(std::max_align_t) OneShotSlot {
+    unsigned char bytes[kOneShotSlotBytes];
+  };
+
+  void* AllocOneShotRaw();
+  void FreeOneShotRaw(void* storage);
+
   void DestroyLiveProcesses();
 
   Calendar calendar_;
@@ -130,6 +178,11 @@ class Environment {
   // calendar at teardown are reclaimed); free_slots_ chains the idle ones.
   std::vector<std::unique_ptr<ResumeSlot>> all_slots_;
   ResumeSlot* free_slots_ = nullptr;
+  // One-shot arena backing store (chunked) and its free list, linked
+  // through the first pointer-sized bytes of each idle slot.
+  std::vector<std::unique_ptr<OneShotSlot[]>> one_shot_chunks_;
+  void* one_shot_free_ = nullptr;
+  std::size_t one_shot_slot_count_ = 0;
 };
 
 }  // namespace spiffi::sim

@@ -7,14 +7,17 @@
 // WaitUntil additionally resumes at `deadline` if no notification arrived
 // (await returns false). Waiters are notified FIFO, and all resumptions go
 // through the calendar for determinism.
+//
+// The wait queue is intrusive: each Awaiter lives in its coroutine frame
+// (which stays alive while suspended) and links itself into a doubly
+// linked list, so waiting, notifying, and timing out never touch the
+// heap.
 
 #ifndef SPIFFI_SIM_WAIT_LIST_H_
 #define SPIFFI_SIM_WAIT_LIST_H_
 
-#include <algorithm>
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 
 #include "sim/calendar.h"
 #include "sim/check.h"
@@ -39,7 +42,7 @@ class WaitList {
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> handle) {
       handle_ = handle;
-      list_->waiters_.push_back(this);
+      list_->PushBack(this);
       if (has_deadline_) {
         timer_ = list_->env_->Schedule(deadline_, this, kTimeoutToken);
       }
@@ -50,7 +53,7 @@ class WaitList {
     void OnEvent(std::uint64_t token) override {
       if (token == kTimeoutToken) {
         // Timed out: leave the wait list so a later notify skips us.
-        list_->Remove(this);
+        list_->Unlink(this);
         notified_ = false;
       }
       // (On the notify path we were already removed and the timer
@@ -68,6 +71,10 @@ class WaitList {
     bool notified_ = false;
     EventId timer_ = 0;
     std::coroutine_handle<> handle_;
+    // Intrusive FIFO links (managed by the owning WaitList).
+    Awaiter* prev_ = nullptr;
+    Awaiter* next_ = nullptr;
+    bool linked_ = false;
   };
 
   Awaiter Wait() { return Awaiter(this, 0.0, false); }
@@ -75,21 +82,29 @@ class WaitList {
 
   // Wakes the oldest waiter (no-op when empty).
   void NotifyOne() {
-    if (waiters_.empty()) return;
-    Dispatch(waiters_.front());
-    waiters_.pop_front();
+    Awaiter* waiter = head_;
+    if (waiter == nullptr) return;
+    Unlink(waiter);
+    Dispatch(waiter);
   }
 
   // Wakes every waiter currently in the list.
   void NotifyAll() {
-    // Waiters added by resumed coroutines belong to the next round; swap
-    // the list out first.
-    std::deque<Awaiter*> current;
-    current.swap(waiters_);
-    for (Awaiter* waiter : current) Dispatch(waiter);
+    // Waiters added by resumed coroutines belong to the next round;
+    // detach the whole chain first.
+    Awaiter* waiter = head_;
+    head_ = tail_ = nullptr;
+    count_ = 0;
+    while (waiter != nullptr) {
+      Awaiter* next = waiter->next_;
+      waiter->prev_ = waiter->next_ = nullptr;
+      waiter->linked_ = false;
+      Dispatch(waiter);
+      waiter = next;
+    }
   }
 
-  std::size_t waiter_count() const { return waiters_.size(); }
+  std::size_t waiter_count() const { return count_; }
 
  private:
   void Dispatch(Awaiter* waiter) {
@@ -98,13 +113,40 @@ class WaitList {
     env_->Schedule(env_->now(), waiter, 0);
   }
 
-  void Remove(Awaiter* waiter) {
-    auto it = std::find(waiters_.begin(), waiters_.end(), waiter);
-    if (it != waiters_.end()) waiters_.erase(it);
+  void PushBack(Awaiter* waiter) {
+    waiter->prev_ = tail_;
+    waiter->next_ = nullptr;
+    waiter->linked_ = true;
+    if (tail_ != nullptr) {
+      tail_->next_ = waiter;
+    } else {
+      head_ = waiter;
+    }
+    tail_ = waiter;
+    ++count_;
+  }
+
+  void Unlink(Awaiter* waiter) {
+    if (!waiter->linked_) return;
+    if (waiter->prev_ != nullptr) {
+      waiter->prev_->next_ = waiter->next_;
+    } else {
+      head_ = waiter->next_;
+    }
+    if (waiter->next_ != nullptr) {
+      waiter->next_->prev_ = waiter->prev_;
+    } else {
+      tail_ = waiter->prev_;
+    }
+    waiter->prev_ = waiter->next_ = nullptr;
+    waiter->linked_ = false;
+    --count_;
   }
 
   Environment* env_;
-  std::deque<Awaiter*> waiters_;
+  Awaiter* head_ = nullptr;
+  Awaiter* tail_ = nullptr;
+  std::size_t count_ = 0;
 };
 
 }  // namespace spiffi::sim

@@ -56,6 +56,9 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   SPIFFI_CHECK(error.empty());
 
   env_ = std::make_unique<sim::Environment>();
+  // Pre-size the event heap from the configured load so the calendar
+  // never reallocates mid-run (storage_grows() stays 0 in steady state).
+  env_->ReserveCalendar(config.expected_peak_events());
   sim::Rng master(config.seed);
 
   // Videos and their popularity (z = 0 degenerates to uniform).

@@ -1,0 +1,207 @@
+// Randomized differential test for the slot-indexed calendar.
+//
+// Replays a long random stream of Schedule / Cancel / FireNext / PeekTime
+// operations simultaneously against the Calendar and a naive reference
+// model (an unsorted vector scanned for its (time, seq) minimum), and
+// checks that fire order, returned times, occupancy, and stale-cancel
+// rejection agree after every step. Stale ids — already fired, doubly
+// cancelled, never scheduled, or pointing at a recycled slot — are thrown
+// at Cancel() deliberately and must all be no-ops.
+
+#include "sim/calendar.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/random.h"
+
+namespace spiffi::sim {
+namespace {
+
+class Recorder : public EventHandler {
+ public:
+  explicit Recorder(std::vector<std::uint64_t>* log) : log_(log) {}
+  void OnEvent(std::uint64_t token) override { log_->push_back(token); }
+
+ private:
+  std::vector<std::uint64_t>* log_;
+};
+
+// Reference model: linear scan for the earliest (time, seq) live entry.
+class ReferenceCalendar {
+ public:
+  // Returns a reference id (its own scheme, independent of EventId).
+  std::uint64_t Schedule(SimTime time, std::uint64_t token) {
+    entries_.push_back(Entry{time, next_seq_++, token, next_id_});
+    return next_id_++;
+  }
+
+  // True if the id was live (mirrors Calendar::Cancel accepting it).
+  bool Cancel(std::uint64_t id) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Pops the earliest entry; false when empty.
+  bool FireNext(SimTime* time, std::uint64_t* token) {
+    if (entries_.empty()) return false;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].time < entries_[best].time ||
+          (entries_[i].time == entries_[best].time &&
+           entries_[i].seq < entries_[best].seq)) {
+        best = i;
+      }
+    }
+    *time = entries_[best].time;
+    *token = entries_[best].token;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+    return true;
+  }
+
+  SimTime PeekTime() const {
+    SimTime best = kSimTimeMax;
+    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+    for (const Entry& e : entries_) {
+      if (e.time < best || (e.time == best && e.seq < best_seq)) {
+        best = e.time;
+        best_seq = e.seq;
+      }
+    }
+    return best;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t token;
+    std::uint64_t id;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+void RunDifferential(std::uint64_t seed, int ops, bool reserve) {
+  Calendar calendar;
+  if (reserve) calendar.Reserve(512);
+  ReferenceCalendar reference;
+  Rng rng(seed);
+
+  std::vector<std::uint64_t> fired;
+  Recorder recorder(&fired);
+  std::uint64_t next_token = 0;
+
+  // Live entries in both models, plus a graveyard of EventIds that fired
+  // or were cancelled — fodder for stale-cancel attempts.
+  struct Live {
+    EventId id;
+    std::uint64_t ref_id;
+    std::uint64_t token;
+  };
+  std::vector<Live> live;
+  std::vector<EventId> stale;
+
+  for (int op = 0; op < ops; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.45 || live.empty()) {
+      // Schedule. Coarse times force (time, seq) FIFO ties often.
+      auto time = static_cast<SimTime>(rng.UniformInt(40));
+      std::uint64_t token = next_token++;
+      EventId id = calendar.Schedule(time, &recorder, token);
+      std::uint64_t ref_id = reference.Schedule(time, token);
+      EXPECT_NE(id, 0u);  // 0 is the reserved "no event" sentinel
+      live.push_back(Live{id, ref_id, token});
+    } else if (dice < 0.60) {
+      // Cancel a live entry.
+      auto pick = static_cast<std::size_t>(rng.UniformInt(live.size()));
+      Live victim = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      calendar.Cancel(victim.id);
+      ASSERT_TRUE(reference.Cancel(victim.ref_id));
+      stale.push_back(victim.id);
+    } else if (dice < 0.70) {
+      // Stale cancel: an id that fired or was already cancelled, a
+      // never-issued id, and a double-cancel of the same stale id. All
+      // must leave both models untouched.
+      if (!stale.empty()) {
+        auto pick = static_cast<std::size_t>(rng.UniformInt(stale.size()));
+        calendar.Cancel(stale[pick]);
+        calendar.Cancel(stale[pick]);
+      }
+      calendar.Cancel(0);  // the sentinel id
+      calendar.Cancel((static_cast<EventId>(0x7fffffu) << 32) | 1u);
+    } else {
+      // Fire.
+      SimTime ref_time = 0.0;
+      std::uint64_t ref_token = 0;
+      bool ref_fired = reference.FireNext(&ref_time, &ref_token);
+      std::size_t fired_before = fired.size();
+      SimTime time = calendar.FireNext();
+      if (!ref_fired) {
+        EXPECT_EQ(time, kSimTimeMax);
+        EXPECT_EQ(fired.size(), fired_before);
+      } else {
+        ASSERT_EQ(fired.size(), fired_before + 1);
+        EXPECT_EQ(time, ref_time);
+        EXPECT_EQ(fired.back(), ref_token);
+        // Retire the fired entry (tokens are unique); its EventId is now
+        // stale and must be rejected by any later Cancel.
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (live[i].token == ref_token) {
+            stale.push_back(live[i].id);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      }
+    }
+    ASSERT_EQ(calendar.size(), reference.size());
+    ASSERT_EQ(calendar.PeekTime(), reference.PeekTime());
+  }
+
+  // Drain both and compare the tail in fire order.
+  while (true) {
+    SimTime ref_time = 0.0;
+    std::uint64_t ref_token = 0;
+    bool ref_fired = reference.FireNext(&ref_time, &ref_token);
+    std::size_t fired_before = fired.size();
+    SimTime time = calendar.FireNext();
+    if (!ref_fired) {
+      EXPECT_EQ(time, kSimTimeMax);
+      EXPECT_TRUE(calendar.empty());
+      break;
+    }
+    ASSERT_EQ(fired.size(), fired_before + 1);
+    EXPECT_EQ(time, ref_time);
+    EXPECT_EQ(fired.back(), ref_token);
+  }
+  EXPECT_EQ(calendar.cancelled_backlog(), 0u);
+}
+
+TEST(CalendarFuzzTest, DifferentialAgainstNaiveReference) {
+  RunDifferential(/*seed=*/1, /*ops=*/10000, /*reserve=*/false);
+}
+
+TEST(CalendarFuzzTest, DifferentialWithReservedStorage) {
+  RunDifferential(/*seed=*/2, /*ops=*/10000, /*reserve=*/true);
+}
+
+TEST(CalendarFuzzTest, DifferentialManySeeds) {
+  for (std::uint64_t seed = 10; seed < 18; ++seed) {
+    RunDifferential(seed, /*ops=*/2000, seed % 2 == 0);
+  }
+}
+
+}  // namespace
+}  // namespace spiffi::sim

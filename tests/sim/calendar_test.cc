@@ -167,6 +167,61 @@ TEST(CalendarTest, ClearDropsAllEntries) {
   EXPECT_TRUE(log.empty());
 }
 
+TEST(CalendarTest, ShrinkStartedStorageGrowTripsCounter) {
+  // A calendar that starts below its working-set size must still report
+  // the reallocation churn: every push into a full heap vector counts.
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  for (int i = 0; i < 1000; ++i) calendar.Schedule(i, &recorder, i);
+  EXPECT_GT(calendar.storage_grows(), 0u);
+  EXPECT_EQ(calendar.peak_size(), 1000u);
+}
+
+TEST(CalendarTest, ReservedStorageNeverGrows) {
+  Calendar calendar;
+  calendar.Reserve(1000);
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 1000; ++i) calendar.Schedule(i, &recorder, i);
+    while (!calendar.empty()) calendar.FireNext();
+  }
+  EXPECT_EQ(calendar.storage_grows(), 0u);
+}
+
+TEST(CalendarTest, RecycledSlotRejectsStaleCancel) {
+  // After an entry fires, its slot is recycled with a bumped generation:
+  // cancelling the old id must not touch the slot's new occupant.
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  EventId old_id = calendar.Schedule(1.0, &recorder, 1);
+  calendar.FireNext();
+  // With one slot in the table, this reuses the fired entry's slot.
+  calendar.Schedule(2.0, &recorder, 2);
+  calendar.Cancel(old_id);  // stale generation; must be rejected
+  EXPECT_EQ(calendar.size(), 1u);
+  EXPECT_EQ(calendar.cancelled_backlog(), 0u);
+  calendar.FireNext();
+  EXPECT_EQ(log, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(CalendarTest, ClearInvalidatesOutstandingIds) {
+  Calendar calendar;
+  std::vector<std::uint64_t> log;
+  Recorder recorder(&log);
+  EventId id = calendar.Schedule(1.0, &recorder, 1);
+  calendar.Clear();
+  // The slot was recycled by Clear; the stale id must not cancel the
+  // slot's next occupant.
+  calendar.Schedule(2.0, &recorder, 2);
+  calendar.Cancel(id);
+  EXPECT_EQ(calendar.size(), 1u);
+  calendar.FireNext();
+  EXPECT_EQ(log, (std::vector<std::uint64_t>{2}));
+}
+
 TEST(CalendarTest, CountsFiredEvents) {
   Calendar calendar;
   std::vector<std::uint64_t> log;

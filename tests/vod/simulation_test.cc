@@ -60,6 +60,23 @@ TEST(SimulationTest, DifferentSeedsDiffer) {
   EXPECT_NE(a.events_simulated, b.events_simulated);
 }
 
+TEST(SimulationTest, CalendarPreSizedFromConfigNeverReallocates) {
+  // The calendar heap is reserved from SimConfig::expected_peak_events()
+  // at construction, so a steady-state run — here the fig09 smoke
+  // configuration (paper defaults, smoke windows) — must never grow it.
+  SimConfig config;  // paper defaults: 4 nodes x 4 disks, 200 terminals
+  config.start_window_sec = 20.0;
+  config.warmup_seconds = 30.0;
+  config.measure_seconds = 30.0;
+  Simulation simulation(config);
+  simulation.RunWarmup();
+  EXPECT_EQ(simulation.env().calendar_storage_grows(), 0u);
+  simulation.RunMeasurement();
+  EXPECT_EQ(simulation.env().calendar_storage_grows(), 0u);
+  EXPECT_LE(simulation.env().peak_calendar_size(),
+            config.expected_peak_events());
+}
+
 TEST(SimulationTest, MeasurementWindowRespected) {
   SimConfig config = SmallConfig();
   SimMetrics m = RunSimulation(config);
