@@ -11,6 +11,7 @@
 #ifndef SPIFFI_BENCH_BENCH_COMMON_H_
 #define SPIFFI_BENCH_BENCH_COMMON_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,12 +19,14 @@
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/kernel_profile.h"
 #include "vod/capacity.h"
 #include "vod/config.h"
 #include "vod/metrics.h"
+#include "vod/report.h"
 #include "vod/runner.h"
 #include "vod/simulation.h"
 #include "vod/table.h"
@@ -164,9 +167,11 @@ inline constexpr int kMemorySweepPoints = 6;
 // their ratio is the achieved parallel speedup.
 
 struct ProfileCollector {
-  bool enabled = false;
+  bool enabled = false;         // --profile: kernel self-profile JSON
+  bool report_enabled = false;  // --report: JSONL run reports
   std::string harness = "bench";
   std::string path = "bench_profile.json";
+  std::string report_path = "bench_report.jsonl";
   std::mutex mutex;  // runs arrive concurrently from worker threads
   std::vector<vod::RunProfile> runs;
   std::chrono::steady_clock::time_point start;
@@ -175,6 +180,20 @@ struct ProfileCollector {
 inline ProfileCollector& Profiler() {
   static ProfileCollector collector;
   return collector;
+}
+
+// Both --profile and --report feed off the same run-observer stream;
+// install the collector exactly once no matter which (or both) is on.
+inline void EnsureRunCollector() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  Profiler().start = std::chrono::steady_clock::now();
+  vod::SetRunObserver([](const vod::RunProfile& profile) {
+    ProfileCollector& sink = Profiler();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    sink.runs.push_back(profile);
+  });
 }
 
 inline void WriteProfileReport() {
@@ -227,14 +246,132 @@ inline void EnableProfile(const std::string& harness,
   ProfileCollector& collector = Profiler();
   collector.enabled = true;
   collector.harness = harness;
-  collector.start = std::chrono::steady_clock::now();
   if (!path.empty()) collector.path = path;
-  vod::SetRunObserver([](const vod::RunProfile& profile) {
-    ProfileCollector& sink = Profiler();
-    std::lock_guard<std::mutex> lock(sink.mutex);
-    sink.runs.push_back(profile);
-  });
+  EnsureRunCollector();
   std::atexit(WriteProfileReport);
+}
+
+// Writes one vod::RunReport JSON object per collected run (JSONL).
+inline void WriteRunReports() {
+  ProfileCollector& collector = Profiler();
+  if (!collector.report_enabled) return;
+  std::ofstream out(collector.report_path);
+  if (!out) {
+    std::fprintf(stderr, "report: cannot write %s\n",
+                 collector.report_path.c_str());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  for (std::size_t i = 0; i < collector.runs.size(); ++i) {
+    const vod::RunProfile& run = collector.runs[i];
+    vod::RunReport report;
+    report.label = collector.harness + "/run" + std::to_string(i);
+    report.config_summary = run.config_summary;
+    report.config_digest = run.config_digest;
+    report.seed = run.seed;
+    report.terminals = run.terminals;
+    report.sim_seconds = run.sim_seconds;
+    report.wall_seconds = run.wall_seconds;
+    report.events_per_sec =
+        run.wall_seconds > 0.0
+            ? static_cast<double>(run.kernel.events_fired) / run.wall_seconds
+            : 0.0;
+    report.metrics = run.metrics;
+    vod::WriteRunReportJson(out, report);
+  }
+  std::printf("report: wrote %s (%zu runs)\n", collector.report_path.c_str(),
+              collector.runs.size());
+}
+
+inline void EnableReport(const std::string& harness,
+                         const std::string& path) {
+  ProfileCollector& collector = Profiler();
+  collector.report_enabled = true;
+  collector.harness = harness;
+  if (!path.empty()) collector.report_path = path;
+  EnsureRunCollector();
+  std::atexit(WriteRunReports);
+}
+
+// --- Live fleet progress (--progress mode) ---
+//
+// A detached printer thread samples ParallelRunner::SnapshotAllRunners()
+// every few seconds and emits a one-line fleet status to stderr:
+// completed/submitted runs, simulated-time completion fraction, event
+// throughput, and an ETA extrapolated from the sim-seconds completed per
+// wall second so far. Costs nothing when off; the runs themselves are
+// untouched either way.
+
+struct ProgressPrinter {
+  bool enabled = false;
+  double interval_sec = 2.0;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+  std::chrono::steady_clock::time_point start;
+};
+
+inline ProgressPrinter& Progress() {
+  static ProgressPrinter printer;
+  return printer;
+}
+
+inline void ProgressThreadMain() {
+  ProgressPrinter& printer = Progress();
+  std::uint64_t last_events = 0;
+  auto last_sample = printer.start;
+  auto next_print = printer.start +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(printer.interval_sec));
+  while (!printer.stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto now = std::chrono::steady_clock::now();
+    if (now < next_print) continue;
+    next_print = now + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(printer.interval_sec));
+    vod::ParallelRunner::FleetProgress fleet =
+        vod::ParallelRunner::SnapshotAllRunners();
+    double elapsed =
+        std::chrono::duration<double>(now - printer.start).count();
+    double tick = std::chrono::duration<double>(now - last_sample).count();
+    double rate = tick > 0.0 && fleet.events_fired >= last_events
+                      ? static_cast<double>(fleet.events_fired - last_events) /
+                            tick
+                      : 0.0;
+    last_events = fleet.events_fired;
+    last_sample = now;
+    double fraction = fleet.target_sim_seconds > 0.0
+                          ? fleet.done_sim_seconds / fleet.target_sim_seconds
+                          : 0.0;
+    double eta = fraction > 0.0 && fraction < 1.0
+                     ? elapsed * (1.0 - fraction) / fraction
+                     : 0.0;
+    std::fprintf(
+        stderr,
+        "[progress] %llu/%llu runs done, %llu running, %.1f%% sim-time, "
+        "%.2fM ev/s, elapsed %.0fs, ETA %.0fs\n",
+        static_cast<unsigned long long>(fleet.completed),
+        static_cast<unsigned long long>(fleet.submitted),
+        static_cast<unsigned long long>(fleet.running), fraction * 100.0,
+        rate / 1e6, elapsed, eta);
+  }
+}
+
+inline void StopProgress() {
+  ProgressPrinter& printer = Progress();
+  if (!printer.enabled) return;
+  printer.stop.store(true, std::memory_order_relaxed);
+  if (printer.thread.joinable()) printer.thread.join();
+}
+
+inline void EnableProgress(double interval_sec) {
+  ProgressPrinter& printer = Progress();
+  if (printer.enabled) return;
+  printer.enabled = true;
+  if (interval_sec > 0.0) printer.interval_sec = interval_sec;
+  printer.start = std::chrono::steady_clock::now();
+  printer.thread = std::thread(ProgressThreadMain);
+  std::atexit(StopProgress);
 }
 
 // Call first thing in main: consumes a --profile[=PATH] argument (also
@@ -262,11 +399,62 @@ inline void MaybeEnableProfile(int argc, char** argv) {
   if (enabled) EnableProfile(harness, path);
 }
 
-// Call first thing in main: parses --smoke/--full, --jobs and --profile.
+// Shared with MaybeEnableProfile: the harness label from argv[0].
+inline std::string HarnessName(int argc, char** argv) {
+  std::string harness = "bench";
+  if (argc > 0 && argv[0] != nullptr) {
+    harness = argv[0];
+    std::size_t slash = harness.find_last_of('/');
+    if (slash != std::string::npos) harness = harness.substr(slash + 1);
+  }
+  return harness;
+}
+
+// Consumes --report[=PATH] (also SPIFFI_BENCH_REPORT=1): every run the
+// harness executes leaves a machine-readable report line in the JSONL
+// file, rendered by tools/run_report.py.
+inline void MaybeEnableReport(int argc, char** argv) {
+  std::string path;
+  bool enabled = false;
+  const char* env = std::getenv("SPIFFI_BENCH_REPORT");
+  if (env != nullptr && env[0] == '1') enabled = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0) {
+      enabled = true;
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      enabled = true;
+      path = argv[i] + 9;
+    }
+  }
+  if (enabled) EnableReport(HarnessName(argc, argv), path);
+}
+
+// Consumes --progress[=SEC] (also SPIFFI_BENCH_PROGRESS=1): starts the
+// fleet status printer with the given interval (default 2s).
+inline void MaybeEnableProgress(int argc, char** argv) {
+  double interval = 0.0;
+  bool enabled = false;
+  const char* env = std::getenv("SPIFFI_BENCH_PROGRESS");
+  if (env != nullptr && env[0] == '1') enabled = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--progress") == 0) {
+      enabled = true;
+    } else if (std::strncmp(argv[i], "--progress=", 11) == 0) {
+      enabled = true;
+      interval = std::atof(argv[i] + 11);
+    }
+  }
+  if (enabled) EnableProgress(interval);
+}
+
+// Call first thing in main: parses --smoke/--full, --jobs, --profile,
+// --report and --progress.
 inline void InitHarness(int argc, char** argv) {
   ParsePreset(argc, argv);
   ParseJobs(argc, argv);
   MaybeEnableProfile(argc, argv);
+  MaybeEnableReport(argc, argv);
+  MaybeEnableProgress(argc, argv);
 }
 
 }  // namespace spiffi::bench

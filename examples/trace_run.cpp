@@ -1,34 +1,51 @@
 // Trace a simulation run.
 //
-// Three independent outputs, any combination:
-//   * stdout          — 1 Hz CSV time series of system state (disk
-//                       queues, glitches, priming terminals, pool
-//                       occupancy, network traffic), as before
+// Independent outputs, any combination:
+//   * stdout          — CSV time series of system state (disk queues,
+//                       glitches, priming terminals, pool occupancy,
+//                       network traffic), cumulative + per-interval
+//                       columns
+//   * --jsonl-out     — the same snapshots streamed as JSONL, one
+//                       object per sampling interval (full channel set)
 //   * --trace-out     — Chrome trace_event JSON of the full block-request
 //                       lifecycle (terminal -> network -> server -> disk
 //                       -> back), loadable in Perfetto / chrome://tracing
-//   * --metrics-out   — metrics-registry JSON (every counter, tally and
-//                       histogram, including deadline slack and glitch
-//                       attribution)
+//   * --metrics-out   — metrics-registry JSON (every counter, tally,
+//                       histogram and quantile sketch, including deadline
+//                       slack and glitch attribution)
+//   * --report-out    — one-line machine-readable run report (JSONL;
+//                       config digest, wall/sim time, headline metrics),
+//                       rendered by tools/run_report.py
 //
 //   ./trace_run [--terminals=N] [--trace-out=FILE.json]
-//               [--metrics-out=FILE.json] [--interval=SEC]
-//               [--trace-capacity=N] > trace.csv
+//               [--metrics-out=FILE.json] [--jsonl-out=FILE.jsonl]
+//               [--report-out=FILE.jsonl] [--interval=SEC]
+//               [--retention=N] [--trace-capacity=N] [--no-csv]
+//               > trace.csv
 //
 //   --terminals=N        terminals to simulate (default 250)
-//   --interval=SEC       CSV sampling interval (default 1.0)
+//   --interval=SEC       sampling interval (default 1.0; 0 disables
+//                        telemetry sampling entirely — used by the CI
+//                        overhead check)
+//   --retention=N        keep only the most recent N snapshots in memory
+//                        (0 = all; streaming outputs are unaffected)
 //   --trace-capacity=N   trace ring capacity in events (default 256k;
 //                        the ring keeps the most recent N events)
+//   --no-csv             suppress the stdout CSV
 //
 // A bare positional number is still accepted as the terminal count.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "vod/report.h"
+#include "vod/telemetry.h"
 #include "vod/trace.h"
 
 namespace {
@@ -50,8 +67,12 @@ int main(int argc, char** argv) {
 
   std::string trace_out;
   std::string metrics_out;
+  std::string jsonl_out;
+  std::string report_out;
   double interval = 1.0;
+  std::size_t retention = 0;
   std::size_t trace_capacity = 256 * 1024;
+  bool write_csv = true;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -61,11 +82,20 @@ int main(int argc, char** argv) {
       trace_out = value;
     } else if (ParseFlag(argv[i], "--metrics-out", &value)) {
       metrics_out = value;
+    } else if (ParseFlag(argv[i], "--jsonl-out", &value)) {
+      jsonl_out = value;
+    } else if (ParseFlag(argv[i], "--report-out", &value)) {
+      report_out = value;
     } else if (ParseFlag(argv[i], "--interval", &value)) {
       interval = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--retention", &value)) {
+      retention = static_cast<std::size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--trace-capacity", &value)) {
       trace_capacity = static_cast<std::size_t>(
           std::strtoull(value.c_str(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-csv") == 0) {
+      write_csv = false;
     } else if (argv[i][0] != '-') {
       config.terminals = std::atoi(argv[i]);  // legacy positional form
     } else {
@@ -79,8 +109,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad configuration: %s\n", error.c_str());
     return 1;
   }
-  if (interval <= 0.0) {
-    std::fprintf(stderr, "bad --interval: must be > 0\n");
+  if (interval < 0.0) {
+    std::fprintf(stderr, "bad --interval: must be >= 0\n");
     return 1;
   }
   std::fprintf(stderr, "tracing %d terminals: %s\n", config.terminals,
@@ -88,9 +118,39 @@ int main(int argc, char** argv) {
 
   spiffi::vod::Simulation simulation(config);
   if (!trace_out.empty()) simulation.EnableTracing(trace_capacity);
-  spiffi::vod::TraceRecorder trace(&simulation, interval);
+
+  std::ofstream jsonl_file;
+  if (!jsonl_out.empty()) {
+    jsonl_file.open(jsonl_out);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot write %s\n", jsonl_out.c_str());
+      return 1;
+    }
+  }
+  std::unique_ptr<spiffi::vod::TelemetryRecorder> telemetry;
+  if (interval > 0.0) {
+    spiffi::vod::TelemetryOptions options;
+    options.interval_sec = interval;
+    options.retention = retention;
+    options.jsonl = jsonl_file.is_open() ? &jsonl_file : nullptr;
+    telemetry = std::make_unique<spiffi::vod::TelemetryRecorder>(
+        &simulation, options);
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
   spiffi::vod::SimMetrics metrics = simulation.Run();
-  trace.WriteCsv(std::cout);
+  double wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  if (telemetry != nullptr && write_csv) {
+    telemetry->series().WriteCsv(std::cout);
+  }
+  if (jsonl_file.is_open()) {
+    jsonl_file.close();
+    std::fprintf(stderr, "wrote telemetry JSONL to %s\n",
+                 jsonl_out.c_str());
+  }
 
   if (!trace_out.empty()) {
     std::ofstream out(trace_out);
@@ -114,12 +174,37 @@ int main(int argc, char** argv) {
     simulation.metrics().WriteJson(out);
     std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
   }
+  if (!report_out.empty()) {
+    std::ofstream out(report_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_out.c_str());
+      return 1;
+    }
+    spiffi::vod::RunReport report;
+    report.label = "trace_run";
+    report.config_summary = config.Describe();
+    report.config_digest = spiffi::vod::ConfigDigest(config);
+    report.seed = config.seed;
+    report.terminals = config.terminals;
+    report.sim_seconds = config.warmup_seconds + config.measure_seconds;
+    report.wall_seconds = wall_seconds;
+    report.events_per_sec =
+        wall_seconds > 0.0
+            ? static_cast<double>(metrics.events_simulated) / wall_seconds
+            : 0.0;
+    report.metrics = metrics;
+    report.telemetry_path = jsonl_out;
+    spiffi::vod::WriteRunReportJson(out, report);
+    std::fprintf(stderr, "wrote run report to %s\n", report_out.c_str());
+  }
 
   std::fprintf(stderr,
                "done: %llu glitches, %.0f%% disk utilization, %zu "
-               "samples\n",
+               "samples, %.2fs wall\n",
                static_cast<unsigned long long>(metrics.glitches),
                metrics.avg_disk_utilization * 100,
-               trace.samples().size());
+               telemetry != nullptr ? telemetry->series().size()
+                                    : static_cast<std::size_t>(0),
+               wall_seconds);
   return 0;
 }

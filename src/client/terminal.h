@@ -28,6 +28,7 @@
 #include "fault/state.h"
 #include "layout/layout.h"
 #include "mpeg/video.h"
+#include "obs/quantile_sketch.h"
 #include "server/message.h"
 #include "server/server.h"
 #include "sim/environment.h"
@@ -88,11 +89,16 @@ class Terminal final : public server::MessageSink,
     std::uint64_t stale_replies = 0;        // replies to abandoned streams
     sim::Tally response_time;  // request -> block arrival (seconds)
     sim::Histogram response_histogram;  // same data, for percentiles
+    // Same data again in a mergeable <=1% relative-error sketch; the
+    // percentiles SimMetrics reports come from here, the histogram is
+    // kept as the coarse regression reference.
+    obs::QuantileSketch response_sketch;
 
     // Deadline accounting, measured at block arrival. Slack is
     // deadline - arrival time: positive means the block came early.
     sim::Tally deadline_slack;          // seconds
     sim::Histogram slack_histogram;     // late arrivals land in bucket 0
+    obs::QuantileSketch slack_sketch;   // signed: late arrivals negative
     // Late blocks (slack < 0), attributed to the pipeline stage that
     // consumed the largest share of the response time — the terminal's
     // answer to "who caused this glitch risk".

@@ -67,6 +67,12 @@ void MetricsRegistry::AddHistogramProbe(const std::string& name,
   Register(name, Kind::kHistogramProbe).histogram_probe = std::move(probe);
 }
 
+void MetricsRegistry::AddSketchProbe(const std::string& name,
+                                     SketchProbeFn probe) {
+  SPIFFI_CHECK(probe != nullptr);
+  Register(name, Kind::kSketchProbe).sketch_probe = std::move(probe);
+}
+
 bool MetricsRegistry::Has(const std::string& name) const {
   return entries_.find(name) != entries_.end();
 }
@@ -103,6 +109,14 @@ sim::Histogram MetricsRegistry::GetHistogram(
   return merged;
 }
 
+QuantileSketch MetricsRegistry::GetSketch(const std::string& name) const {
+  const Entry& entry = Find(name);
+  SPIFFI_CHECK(entry.kind == Kind::kSketchProbe);
+  QuantileSketch merged;
+  entry.sketch_probe(merged);
+  return merged;
+}
+
 void MetricsRegistry::Reset() {
   for (auto& [name, entry] : entries_) {
     switch (entry.kind) {
@@ -120,6 +134,7 @@ void MetricsRegistry::Reset() {
         break;
       case Kind::kProbe:
       case Kind::kHistogramProbe:
+      case Kind::kSketchProbe:
         break;  // views onto component state; the component resets it
     }
   }
@@ -148,6 +163,22 @@ void WriteTallyJson(std::ostream& out, const sim::Tally& tally) {
   WriteNumber(out, tally.count() == 0 ? 0.0 : tally.max());
   out << ",\"stddev\":";
   WriteNumber(out, tally.count() < 2 ? 0.0 : tally.stddev());
+  out << '}';
+}
+
+void WriteSketchJson(std::ostream& out, const QuantileSketch& s) {
+  out << "{\"count\":" << s.count() << ",\"mean\":";
+  WriteNumber(out, s.mean());
+  out << ",\"min\":";
+  WriteNumber(out, s.count() == 0 ? 0.0 : s.min());
+  out << ",\"max\":";
+  WriteNumber(out, s.count() == 0 ? 0.0 : s.max());
+  out << ",\"p50\":";
+  WriteNumber(out, s.Quantile(0.5));
+  out << ",\"p90\":";
+  WriteNumber(out, s.Quantile(0.9));
+  out << ",\"p99\":";
+  WriteNumber(out, s.Quantile(0.99));
   out << '}';
 }
 
@@ -208,6 +239,12 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
         WriteHistogramJson(out, merged);
         break;
       }
+      case Kind::kSketchProbe: {
+        QuantileSketch merged;
+        entry.sketch_probe(merged);
+        WriteSketchJson(out, merged);
+        break;
+      }
     }
   }
   out << "\n}\n";
@@ -251,6 +288,15 @@ void MetricsRegistry::WriteCsv(std::ostream& out) const {
         row(name + ".mean", h.mean());
         row(name + ".p50", h.Percentile(0.5));
         row(name + ".p99", h.Percentile(0.99));
+        break;
+      }
+      case Kind::kSketchProbe: {
+        QuantileSketch s;
+        entry.sketch_probe(s);
+        row(name + ".count", static_cast<double>(s.count()));
+        row(name + ".mean", s.mean());
+        row(name + ".p50", s.Quantile(0.5));
+        row(name + ".p99", s.Quantile(0.99));
         break;
       }
     }

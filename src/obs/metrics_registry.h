@@ -27,6 +27,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/quantile_sketch.h"
 #include "sim/histogram.h"
 #include "sim/stats.h"
 
@@ -39,6 +40,8 @@ class MetricsRegistry {
   using ProbeFn = std::function<double()>;
   // Merges the component's histogram into the accumulator passed in.
   using HistogramProbeFn = std::function<void(sim::Histogram&)>;
+  // Merges the component's quantile sketch into the accumulator.
+  using SketchProbeFn = std::function<void(QuantileSketch&)>;
 
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
@@ -52,6 +55,7 @@ class MetricsRegistry {
   sim::Histogram* AddHistogram(const std::string& name);
   void AddProbe(const std::string& name, ProbeFn probe);
   void AddHistogramProbe(const std::string& name, HistogramProbeFn probe);
+  void AddSketchProbe(const std::string& name, SketchProbeFn probe);
 
   // --- Reads ---
 
@@ -65,6 +69,8 @@ class MetricsRegistry {
   const sim::Tally& GetTally(const std::string& name) const;
   // Snapshot of a histogram or histogram probe (CHECKs otherwise).
   sim::Histogram GetHistogram(const std::string& name) const;
+  // Snapshot of a sketch probe (CHECKs otherwise).
+  QuantileSketch GetSketch(const std::string& name) const;
 
   // --- Lifecycle & export ---
 
@@ -77,7 +83,7 @@ class MetricsRegistry {
 
  private:
   enum class Kind { kCounter, kGauge, kTally, kHistogram, kProbe,
-                    kHistogramProbe };
+                    kHistogramProbe, kSketchProbe };
 
   struct Entry {
     Kind kind;
@@ -87,6 +93,7 @@ class MetricsRegistry {
     std::unique_ptr<sim::Histogram> histogram;
     ProbeFn probe;
     HistogramProbeFn histogram_probe;
+    SketchProbeFn sketch_probe;
   };
 
   Entry& Register(const std::string& name, Kind kind);

@@ -1,0 +1,108 @@
+#include "obs/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/check.h"
+
+namespace spiffi::obs {
+
+QuantileSketch::QuantileSketch(double relative_accuracy)
+    : alpha_(relative_accuracy) {
+  SPIFFI_CHECK(relative_accuracy > 0.0 && relative_accuracy < 1.0);
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::BucketFor(double magnitude) const {
+  // ceil(log_gamma(m)): the smallest i with gamma^i >= m. Computed via
+  // floor + correction so values exactly on a bucket bound stay in the
+  // lower bucket (matching the (lo, hi] bucket definition).
+  double raw = std::log(magnitude) * inv_log_gamma_;
+  auto index = static_cast<std::int32_t>(std::ceil(raw));
+  // Guard against floating-point overshoot: gamma^(index-1) must be
+  // strictly below the magnitude.
+  if (std::pow(gamma_, index - 1) >= magnitude) --index;
+  return index;
+}
+
+double QuantileSketch::BucketValue(std::int32_t index) const {
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::Add(double value) {
+  if (value > kMinTrackable) {
+    ++positive_[BucketFor(value)];
+  } else if (value < -kMinTrackable) {
+    ++negative_[BucketFor(-value)];
+  } else {
+    ++zero_count_;
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  SPIFFI_CHECK(alpha_ == other.alpha_);
+  if (other.count_ == 0) return;
+  for (const auto& [index, n] : other.positive_) positive_[index] += n;
+  for (const auto& [index, n] : other.negative_) negative_[index] += n;
+  zero_count_ += other.zero_count_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void QuantileSketch::Reset() {
+  positive_.clear();
+  negative_.clear();
+  zero_count_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+
+  // Walk buckets in ascending value order: most-negative first (the
+  // negative store's highest magnitude bucket), then zero, then the
+  // positive store ascending.
+  std::uint64_t seen = 0;
+  for (auto it = negative_.rbegin(); it != negative_.rend(); ++it) {
+    seen += it->second;
+    if (seen > rank) {
+      return std::clamp(-BucketValue(it->first), min_, max_);
+    }
+  }
+  seen += zero_count_;
+  if (seen > rank) return std::clamp(0.0, min_, max_);
+  for (const auto& [index, n] : positive_) {
+    seen += n;
+    if (seen > rank) {
+      return std::clamp(BucketValue(index), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace spiffi::obs

@@ -1,0 +1,125 @@
+// Flight-recorder time series: a registry of named telemetry channels
+// sampled at fixed intervals into snapshot rows.
+//
+// Components register channels once, before the first sample:
+//
+//  * Gauge    — a point-in-time reading (queue length, pages in use).
+//               One column, named after the channel.
+//  * Counter  — a monotonically non-decreasing cumulative total (bytes
+//               sent, glitches). Two columns per snapshot: explicit
+//               `<name>_total` (the cumulative reading) and
+//               `<name>_delta` (change since the previous snapshot) —
+//               the sampler tracks the previous reading itself, so
+//               deltas stay correct even when old snapshots have been
+//               evicted by the retention ring.
+//
+// Sample(now) polls every channel and appends one snapshot row. Memory
+// is bounded two ways: set_retention(N) keeps only the most recent N
+// rows (a flight-recorder ring; total_samples() still counts everything
+// ever sampled), and StreamTo(out) appends each snapshot as a JSONL line
+// the moment it is taken, so a long run can stream to disk while keeping
+// only a small ring in memory.
+//
+// Exports (WriteJsonl / WriteCsv) cover the retained rows. All number
+// formatting goes through one "%.17g" path, so exports of equal samples
+// are byte-identical — the property the cross---jobs determinism tests
+// lock for whole-run telemetry.
+//
+// The class is single-threaded, like the simulation environment whose
+// sampler process drives it.
+
+#ifndef SPIFFI_OBS_TIME_SERIES_H_
+#define SPIFFI_OBS_TIME_SERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spiffi::obs {
+
+class TimeSeries {
+ public:
+  using SampleFn = std::function<double()>;
+
+  TimeSeries() = default;
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  // --- Channel registration (before the first Sample(); CHECKed) ---
+
+  void AddGauge(const std::string& name, SampleFn fn);
+  // `fn` returns the channel's cumulative total.
+  void AddCounter(const std::string& name, SampleFn fn);
+
+  // --- Memory & streaming ---
+
+  // Keeps only the most recent `max_snapshots` rows in memory
+  // (0 = unlimited, the default).
+  void set_retention(std::size_t max_snapshots) {
+    retention_ = max_snapshots;
+    TrimToRetention();
+  }
+  // Streams every subsequent snapshot to `out` as one JSONL line
+  // (nullptr detaches). Orthogonal to in-memory retention.
+  void StreamTo(std::ostream* out) { stream_ = out; }
+
+  // --- Sampling ---
+
+  // Polls every channel and appends one snapshot row at time `now`.
+  void Sample(double now);
+
+  // --- Access (retained rows) ---
+
+  std::size_t num_channels() const { return channels_.size(); }
+  // One name per column: gauges contribute `<name>`, counters
+  // `<name>_total` and `<name>_delta`, in registration order.
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t size() const { return rows_.size(); }
+  // Snapshots ever taken, including rows the retention ring dropped.
+  std::uint64_t total_samples() const { return total_samples_; }
+
+  double time(std::size_t row) const { return rows_[row].time; }
+  double value(std::size_t row, std::size_t column) const {
+    return rows_[row].values[column];
+  }
+  // Column index for `column_name` (CHECKs when absent).
+  std::size_t ColumnIndex(const std::string& column_name) const;
+
+  // --- Export ---
+
+  // One JSON object per retained row: {"t":...,"col":...,...}.
+  void WriteJsonl(std::ostream& out) const;
+  // Header row ("time,col,...") then one line per retained row.
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  struct Channel {
+    std::string name;
+    bool counter = false;
+    SampleFn fn;
+    double last_total = 0.0;  // counters: previous cumulative reading
+  };
+  struct Row {
+    double time = 0.0;
+    std::vector<double> values;
+  };
+
+  void AddChannel(const std::string& name, bool counter, SampleFn fn);
+  void TrimToRetention();
+  void WriteRowJsonl(std::ostream& out, const Row& row) const;
+
+  std::vector<Channel> channels_;
+  std::vector<std::string> columns_;
+  std::deque<Row> rows_;
+  std::size_t retention_ = 0;
+  std::uint64_t total_samples_ = 0;
+  std::ostream* stream_ = nullptr;
+};
+
+}  // namespace spiffi::obs
+
+#endif  // SPIFFI_OBS_TIME_SERIES_H_

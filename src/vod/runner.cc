@@ -1,5 +1,6 @@
 #include "vod/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <utility>
@@ -8,6 +9,24 @@
 #include "vod/simulation.h"
 
 namespace spiffi::vod {
+
+namespace {
+
+// Process-wide registry of live runners, so a --progress printer thread
+// can aggregate fleet status without threading runner pointers through
+// every experiment. Runners register on construction and deregister as
+// the first step of destruction.
+std::mutex& RunnerRegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<ParallelRunner*>& RunnerRegistry() {
+  static std::vector<ParallelRunner*> runners;
+  return runners;
+}
+
+}  // namespace
 
 int DefaultJobs() {
   const char* env = std::getenv("SPIFFI_JOBS");
@@ -22,6 +41,10 @@ int DefaultJobs() {
 int ResolveJobs(int jobs) { return jobs >= 1 ? jobs : DefaultJobs(); }
 
 ParallelRunner::ParallelRunner(int jobs) : jobs_(ResolveJobs(jobs)) {
+  {
+    std::lock_guard<std::mutex> lock(RunnerRegistryMutex());
+    RunnerRegistry().push_back(this);
+  }
   workers_.reserve(jobs_);
   for (int i = 0; i < jobs_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -29,6 +52,11 @@ ParallelRunner::ParallelRunner(int jobs) : jobs_(ResolveJobs(jobs)) {
 }
 
 ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(RunnerRegistryMutex());
+    std::vector<ParallelRunner*>& runners = RunnerRegistry();
+    runners.erase(std::find(runners.begin(), runners.end(), this));
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
@@ -55,13 +83,18 @@ ParallelRunner::~ParallelRunner() {
   run_finished_.notify_all();
 }
 
-ParallelRunner::RunHandle ParallelRunner::Submit(const SimConfig& config) {
+ParallelRunner::RunHandle ParallelRunner::Submit(const SimConfig& config,
+                                                 SetupFn setup) {
   RunHandle run = std::make_shared<Run>();
   run->config = config;
+  run->setup = std::move(setup);
+  run->sim_end_seconds = config.warmup_seconds + config.measure_seconds;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     SPIFFI_CHECK(!shutdown_);
     queue_.push_back(run);
+    ++submitted_;
+    target_sim_seconds_ += run->sim_end_seconds;
   }
   work_available_.notify_one();
   return run;
@@ -83,6 +116,7 @@ void ParallelRunner::Cancel(const RunHandle& run) {
       }
       run->state = Run::State::kCancelled;
       ++stats_.cancelled;
+      target_sim_seconds_ -= run->sim_end_seconds;
       retired = true;
     }
     // A running run stops at its next slice; its worker notifies waiters.
@@ -125,6 +159,57 @@ ParallelRunner::Stats ParallelRunner::stats() const {
   return stats_;
 }
 
+ParallelRunner::RunSnapshot ParallelRunner::SnapshotRun(
+    const RunHandle& run) const {
+  SPIFFI_CHECK(run != nullptr);
+  RunSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.state = run->state;
+  }
+  {
+    std::lock_guard<std::mutex> lock(run->progress_mutex);
+    snapshot.progress = run->progress;
+  }
+  return snapshot;
+}
+
+ParallelRunner::FleetProgress ParallelRunner::SnapshotProgress() const {
+  FleetProgress fleet;
+  std::lock_guard<std::mutex> lock(mutex_);
+  fleet.submitted = submitted_;
+  fleet.pending = queue_.size();
+  fleet.running = active_.size();
+  fleet.completed = stats_.completed;
+  fleet.cancelled = stats_.cancelled;
+  fleet.target_sim_seconds = target_sim_seconds_;
+  fleet.done_sim_seconds = done_sim_seconds_;
+  fleet.events_fired = events_completed_;
+  for (const RunHandle& run : active_) {
+    std::lock_guard<std::mutex> progress_lock(run->progress_mutex);
+    fleet.done_sim_seconds += run->progress.sim_now_seconds;
+    fleet.events_fired += run->progress.events_fired;
+  }
+  return fleet;
+}
+
+ParallelRunner::FleetProgress ParallelRunner::SnapshotAllRunners() {
+  FleetProgress fleet;
+  std::lock_guard<std::mutex> lock(RunnerRegistryMutex());
+  for (const ParallelRunner* runner : RunnerRegistry()) {
+    FleetProgress one = runner->SnapshotProgress();
+    fleet.submitted += one.submitted;
+    fleet.pending += one.pending;
+    fleet.running += one.running;
+    fleet.completed += one.completed;
+    fleet.cancelled += one.cancelled;
+    fleet.target_sim_seconds += one.target_sim_seconds;
+    fleet.done_sim_seconds += one.done_sim_seconds;
+    fleet.events_fired += one.events_fired;
+  }
+  return fleet;
+}
+
 void ParallelRunner::WorkerLoop() {
   for (;;) {
     RunHandle run;
@@ -138,34 +223,54 @@ void ParallelRunner::WorkerLoop() {
       if (run->cancel.load(std::memory_order_relaxed)) {
         run->state = Run::State::kCancelled;
         ++stats_.cancelled;
+        target_sim_seconds_ -= run->sim_end_seconds;
         run_finished_.notify_all();
         continue;
       }
       run->state = Run::State::kRunning;
+      active_.push_back(run);
     }
 
     auto start = std::chrono::steady_clock::now();
     // The simulation's whole world is local to this call; the only state
-    // shared with other threads is the cancel flag and, on completion,
-    // the fields written back under the lock below.
+    // shared with other threads is the cancel flag, the progress
+    // snapshot (own mutex), and the fields written back under the lock
+    // below on completion.
     Simulation simulation(run->config);
+    std::shared_ptr<void> keepalive;
+    if (run->setup) keepalive = run->setup(simulation);
     SimMetrics metrics;
-    bool completed = simulation.Run(run->cancel, &metrics);
+    Run* raw = run.get();
+    bool completed =
+        simulation.Run(run->cancel, &metrics, [raw](const RunProgress& p) {
+          std::lock_guard<std::mutex> lock(raw->progress_mutex);
+          raw->progress = p;
+        });
+    // Destroy per-run attachments (flushing/closing their outputs)
+    // before waiters are released.
+    keepalive.reset();
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      active_.erase(std::find(active_.begin(), active_.end(), run));
       run->wall_seconds = wall;
       if (completed) {
         run->metrics = metrics;
         run->state = Run::State::kDone;
         ++stats_.completed;
         stats_.run_wall_seconds += wall;
+        done_sim_seconds_ += run->sim_end_seconds;
+        // The final slice boundary is the exact phase end, so the last
+        // progress snapshot carries the run's total event count.
+        std::lock_guard<std::mutex> progress_lock(run->progress_mutex);
+        events_completed_ += run->progress.events_fired;
       } else {
         run->state = Run::State::kCancelled;
         ++stats_.cancelled;
+        target_sim_seconds_ -= run->sim_end_seconds;
       }
     }
     run_finished_.notify_all();

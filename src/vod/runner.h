@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -28,6 +29,7 @@
 
 #include "vod/config.h"
 #include "vod/metrics.h"
+#include "vod/simulation.h"
 
 namespace spiffi::vod {
 
@@ -42,17 +44,34 @@ int ResolveJobs(int jobs);
 
 class ParallelRunner {
  public:
+  // Runs on the executing worker after the Simulation is constructed and
+  // before Run() starts — the one hook through which callers can attach
+  // per-run observers (telemetry recorders, tracers) to runner-executed
+  // simulations. Whatever it returns is kept alive until the run
+  // finishes and destroyed before waiters are released, so a returned
+  // recorder has flushed and closed its output by the time Wait()
+  // returns.
+  using SetupFn = std::function<std::shared_ptr<void>(Simulation&)>;
+
   // State of one submitted run. Owned jointly by the runner's queue and
   // the caller's handle; all fields are guarded by the runner's mutex
-  // except `cancel`, which the executing simulation polls.
+  // except `cancel`, which the executing simulation polls, and
+  // `progress`, which has its own mutex (written at every slice
+  // boundary — a global lock there would serialize the fleet).
   struct Run {
     enum class State { kPending, kRunning, kDone, kCancelled };
 
     SimConfig config;
+    SetupFn setup;               // may be empty
+    double sim_end_seconds = 0.0;  // warmup + measure; set at Submit
     std::atomic<bool> cancel{false};
     State state = State::kPending;
     SimMetrics metrics;          // valid when state == kDone
     double wall_seconds = 0.0;   // this run's execution wall time
+
+    // Last slice-boundary snapshot from the executing simulation.
+    mutable std::mutex progress_mutex;
+    RunProgress progress;
   };
   using RunHandle = std::shared_ptr<Run>;
 
@@ -62,6 +81,29 @@ class ParallelRunner {
     // Sum of per-run wall time over completed runs. Dividing by the
     // elapsed wall time of the batch gives the achieved parallelism.
     double run_wall_seconds = 0.0;
+  };
+
+  // Live snapshot of one run: its state plus the most recent progress
+  // report (zeroed until the first slice boundary fires).
+  struct RunSnapshot {
+    Run::State state = Run::State::kPending;
+    RunProgress progress;
+  };
+
+  // Aggregate progress across a runner's whole workload, the input to
+  // fleet status lines and ETAs. `target_sim_seconds` counts every
+  // non-cancelled submission; `done_sim_seconds` counts completed runs
+  // in full plus running runs at their last reported sim-time, so
+  // done/target is a faithful completion fraction.
+  struct FleetProgress {
+    std::uint64_t submitted = 0;
+    std::uint64_t pending = 0;
+    std::uint64_t running = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    double target_sim_seconds = 0.0;
+    double done_sim_seconds = 0.0;
+    std::uint64_t events_fired = 0;  // completed + running runs
   };
 
   // jobs >= 1 sets the worker count; jobs <= 0 uses DefaultJobs().
@@ -74,8 +116,9 @@ class ParallelRunner {
 
   int jobs() const { return jobs_; }
 
-  // Enqueues one simulation run.
-  RunHandle Submit(const SimConfig& config);
+  // Enqueues one simulation run. `setup`, when non-empty, runs on the
+  // worker thread right before the simulation starts (see SetupFn).
+  RunHandle Submit(const SimConfig& config, SetupFn setup = nullptr);
 
   // Requests cooperative cancellation: a pending run never starts, a
   // running one stops at its next slice boundary. Waiters are released
@@ -94,6 +137,18 @@ class ParallelRunner {
 
   Stats stats() const;
 
+  // --- Live introspection (all safe to call from any thread) ---
+
+  // State + latest progress of one run.
+  RunSnapshot SnapshotRun(const RunHandle& run) const;
+
+  // Aggregate progress over everything this runner has been given.
+  FleetProgress SnapshotProgress() const;
+
+  // Aggregate over every live ParallelRunner in the process — the view a
+  // --progress printer wants when the experiment code owns the runners.
+  static FleetProgress SnapshotAllRunners();
+
  private:
   void WorkerLoop();
 
@@ -104,6 +159,12 @@ class ParallelRunner {
   std::deque<RunHandle> queue_;
   bool shutdown_ = false;
   Stats stats_;
+  // Runs currently executing on workers (for fleet snapshots).
+  std::vector<RunHandle> active_;
+  std::uint64_t submitted_ = 0;
+  double target_sim_seconds_ = 0.0;   // cancelled runs subtracted back out
+  double done_sim_seconds_ = 0.0;     // completed runs only
+  std::uint64_t events_completed_ = 0;
   std::vector<std::thread> workers_;
 };
 

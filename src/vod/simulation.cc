@@ -11,6 +11,7 @@
 #include "layout/striping.h"
 #include "mpeg/zipf.h"
 #include "sim/check.h"
+#include "vod/report.h"
 
 namespace spiffi::vod {
 
@@ -222,7 +223,7 @@ SimMetrics Simulation::CollectDirect() const {
   sim::SimTime now = env_->now();
   m.measured_seconds = now - measure_start_;
 
-  sim::Histogram response_histogram;
+  obs::QuantileSketch response_sketch;
   for (const auto& terminal : terminals_) {
     const auto& stats = terminal->stats();
     m.glitches += stats.glitches;
@@ -231,10 +232,10 @@ SimMetrics Simulation::CollectDirect() const {
     m.videos_completed += stats.videos_completed;
     // Sum first; normalized to a mean after the loop.
     m.avg_response_ms += stats.response_time.sum();
-    response_histogram.Merge(stats.response_histogram);
+    response_sketch.Merge(stats.response_sketch);
   }
-  m.p50_response_ms = response_histogram.Percentile(0.5) * 1e3;
-  m.p99_response_ms = response_histogram.Percentile(0.99) * 1e3;
+  m.p50_response_ms = response_sketch.Quantile(0.5) * 1e3;
+  m.p99_response_ms = response_sketch.Quantile(0.99) * 1e3;
   std::uint64_t total_blocks = 0;
   for (const auto& terminal : terminals_) {
     total_blocks += terminal->stats().blocks_received;
@@ -332,9 +333,10 @@ SimMetrics Simulation::Collect() const {
   m.videos_completed = static_cast<std::uint64_t>(
       metrics_.Value("terminal.videos_completed"));
   m.avg_response_ms = metrics_.Value("terminal.response_ms.avg");
-  sim::Histogram response = metrics_.GetHistogram("terminal.response_sec");
-  m.p50_response_ms = response.Percentile(0.5) * 1e3;
-  m.p99_response_ms = response.Percentile(0.99) * 1e3;
+  obs::QuantileSketch response =
+      metrics_.GetSketch("terminal.response_sec_sketch");
+  m.p50_response_ms = response.Quantile(0.5) * 1e3;
+  m.p99_response_ms = response.Quantile(0.99) * 1e3;
 
   m.buffer_references =
       static_cast<std::uint64_t>(metrics_.Value("pool.references"));
@@ -441,6 +443,15 @@ void Simulation::RegisterMetrics() {
           h.Merge(terminal->stats().response_histogram);
         }
       });
+  // The sketch carries the same samples at <=1% relative error; the
+  // SimMetrics percentiles come from here, the coarse histogram above is
+  // the regression reference.
+  metrics_.AddSketchProbe(
+      "terminal.response_sec_sketch", [this](obs::QuantileSketch& s) {
+        for (const auto& terminal : terminals_) {
+          s.Merge(terminal->stats().response_sketch);
+        }
+      });
 
   // --- Deadline slack & glitch attribution (derived; registry-only) ---
   metrics_.AddProbe("terminal.deadline_slack_ms.avg", [this] {
@@ -456,6 +467,12 @@ void Simulation::RegisterMetrics() {
       "terminal.deadline_slack_sec", [this](sim::Histogram& h) {
         for (const auto& terminal : terminals_) {
           h.Merge(terminal->stats().slack_histogram);
+        }
+      });
+  metrics_.AddSketchProbe(
+      "terminal.deadline_slack_sec_sketch", [this](obs::QuantileSketch& s) {
+        for (const auto& terminal : terminals_) {
+          s.Merge(terminal->stats().slack_sketch);
         }
       });
   metrics_.AddProbe("terminal.late_blocks", [sum_terminals] {
@@ -749,6 +766,11 @@ SimMetrics Simulation::Run() {
 }
 
 bool Simulation::Run(const std::atomic<bool>& cancel, SimMetrics* out) {
+  return Run(cancel, out, ProgressFn());
+}
+
+bool Simulation::Run(const std::atomic<bool>& cancel, SimMetrics* out,
+                     const ProgressFn& progress) {
   SPIFFI_CHECK(out != nullptr);
   // Slice count per phase: fine enough that a moot capacity probe stops
   // within ~2% of its runtime, coarse enough to keep RunUntil overhead
@@ -757,6 +779,20 @@ bool Simulation::Run(const std::atomic<bool>& cancel, SimMetrics* out) {
   // phase end, so results do not depend on the slicing.
   constexpr int kSlicesPerPhase = 50;
   auto wall_start = std::chrono::steady_clock::now();
+  const double sim_end = config_.warmup_seconds + config_.measure_seconds;
+  auto report_progress = [&](bool in_measurement) {
+    if (!progress) return;
+    RunProgress p;
+    p.sim_now_seconds = env_->now();
+    p.sim_end_seconds = sim_end;
+    p.events_fired = env_->events_fired();
+    p.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    p.in_measurement = in_measurement;
+    progress(p);
+  };
 
   for (int i = 1; i <= kSlicesPerPhase; ++i) {
     if (cancel.load(std::memory_order_relaxed)) return false;
@@ -764,6 +800,7 @@ bool Simulation::Run(const std::atomic<bool>& cancel, SimMetrics* out) {
                            ? config_.warmup_seconds
                            : config_.warmup_seconds * i / kSlicesPerPhase;
     env_->RunUntil(end);
+    report_progress(false);
   }
   ResetAllStats();
   for (int i = 1; i <= kSlicesPerPhase; ++i) {
@@ -773,8 +810,10 @@ bool Simulation::Run(const std::atomic<bool>& cancel, SimMetrics* out) {
             ? measure_start_ + config_.measure_seconds
             : measure_start_ + config_.measure_seconds * i / kSlicesPerPhase;
     env_->RunUntil(end);
+    report_progress(true);
   }
 
+  *out = Collect();
   if (RunObserver observer = CurrentRunObserver()) {
     RunProfile profile;
     profile.wall_seconds =
@@ -782,10 +821,14 @@ bool Simulation::Run(const std::atomic<bool>& cancel, SimMetrics* out) {
                                       wall_start)
             .count();
     profile.terminals = config_.terminals;
+    profile.sim_seconds = sim_end;
+    profile.seed = config_.seed;
+    profile.config_digest = ConfigDigest(config_);
+    profile.config_summary = config_.Describe();
+    profile.metrics = *out;
     profile.kernel = obs::CaptureKernelProfile(*env_);
     observer(profile);
   }
-  *out = Collect();
   return true;
 }
 

@@ -10,6 +10,7 @@
 #define SPIFFI_VOD_SIMULATION_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -33,13 +34,32 @@ namespace spiffi::vod {
 
 // Kernel self-profile of one completed Run(), delivered to the run
 // observer. Benchmark harnesses install an observer (SetRunObserver) to
-// implement their --profile mode without touching experiment code.
+// implement their --profile and --report modes without touching
+// experiment code.
 struct RunProfile {
   double wall_seconds = 0.0;  // warmup + measurement, wall clock
   int terminals = 0;
+  double sim_seconds = 0.0;   // warmup + measurement, simulated
+  std::uint64_t seed = 0;
+  std::uint64_t config_digest = 0;  // ConfigDigest(config), see report.h
+  std::string config_summary;       // SimConfig::Describe()
+  SimMetrics metrics;               // what Run() returned
   obs::KernelProfile kernel;
 };
 using RunObserver = std::function<void(const RunProfile&)>;
+
+// Mid-run progress snapshot, delivered to the optional progress callback
+// at every slice boundary of Run() (roughly 100 times per run). All
+// fields describe the run so far; `sim_end_seconds` is the known target,
+// so sim_now / sim_end is a faithful completion fraction.
+struct RunProgress {
+  double sim_now_seconds = 0.0;
+  double sim_end_seconds = 0.0;  // warmup + measurement
+  std::uint64_t events_fired = 0;
+  double wall_seconds = 0.0;     // since Run() started
+  bool in_measurement = false;   // false during warmup
+};
+using ProgressFn = std::function<void(const RunProgress&)>;
 
 // Installs a process-wide observer called at the end of every
 // Simulation::Run(); pass nullptr to clear. The registry is
@@ -70,6 +90,13 @@ class Simulation {
   // bit-identical to Run()'s (Run() itself is this method with a
   // never-set flag).
   bool Run(const std::atomic<bool>& cancel, SimMetrics* out);
+
+  // As above, additionally invoking `progress` (may be empty) at every
+  // slice boundary. The callback runs on the simulating thread and must
+  // not re-enter the simulation; it exists so harnesses can publish
+  // sim-time / events-fired snapshots for live introspection.
+  bool Run(const std::atomic<bool>& cancel, SimMetrics* out,
+           const ProgressFn& progress);
 
   // Component access (for tests and custom experiment loops).
   sim::Environment& env() { return *env_; }

@@ -4,72 +4,71 @@
 
 namespace spiffi::vod {
 
+namespace {
+
+TelemetryOptions LegacyOptions(double interval_sec) {
+  TelemetryOptions options;
+  options.interval_sec = interval_sec;
+  return options;  // keep every snapshot; no streaming
+}
+
+}  // namespace
+
 TraceRecorder::TraceRecorder(Simulation* simulation, double interval_sec)
-    : simulation_(simulation) {
-  SPIFFI_CHECK(simulation != nullptr);
-  SPIFFI_CHECK(interval_sec > 0.0);
-  simulation_->env().Spawn(Sampler(interval_sec));
-}
+    : telemetry_(simulation, LegacyOptions(interval_sec)) {}
 
-TraceSample TraceRecorder::Capture() {
-  TraceSample sample;
-  sample.time = simulation_->env().now();
+std::vector<TraceSample> TraceRecorder::samples() const {
+  const obs::TimeSeries& series = telemetry_.series();
+  const std::size_t disks_busy = series.ColumnIndex("disks.busy");
+  const std::size_t disks_total = series.ColumnIndex("disks.total");
+  const std::size_t queue_avg = series.ColumnIndex("disks.queue_avg");
+  const std::size_t cpus_busy = series.ColumnIndex("cpus.busy");
+  const std::size_t glitches_total =
+      series.ColumnIndex("terminals.glitches_total");
+  const std::size_t glitches_delta =
+      series.ColumnIndex("terminals.glitches_delta");
+  const std::size_t priming = series.ColumnIndex("terminals.priming");
+  const std::size_t playing = series.ColumnIndex("terminals.playing");
+  const std::size_t pages = series.ColumnIndex("pool.pages_in_use");
+  const std::size_t net_total = series.ColumnIndex("network.bytes_total");
+  const std::size_t net_delta = series.ColumnIndex("network.bytes_delta");
 
-  server::VideoServer& server = simulation_->server();
-  double queue_sum = 0.0;
-  for (int n = 0; n < server.num_nodes(); ++n) {
-    server::Node& node = server.node(n);
-    if (node.cpu().resource().busy() > 0) ++sample.cpus_busy;
-    sample.pool_pages_in_use += node.pool().pages_in_use();
-    for (int d = 0; d < node.num_disks(); ++d) {
-      ++sample.total_disks;
-      const hw::Disk& disk = node.disk(d);
-      if (disk.busy()) ++sample.disks_busy;
-      queue_sum += static_cast<double>(disk.queue_length());
-    }
+  std::vector<TraceSample> samples;
+  samples.reserve(series.size());
+  for (std::size_t row = 0; row < series.size(); ++row) {
+    TraceSample s;
+    s.time = series.time(row);
+    s.disks_busy = static_cast<int>(series.value(row, disks_busy));
+    s.total_disks = static_cast<int>(series.value(row, disks_total));
+    s.disk_queue_avg = series.value(row, queue_avg);
+    s.cpus_busy = static_cast<int>(series.value(row, cpus_busy));
+    s.glitches_total =
+        static_cast<std::uint64_t>(series.value(row, glitches_total));
+    s.glitches_delta =
+        static_cast<std::uint64_t>(series.value(row, glitches_delta));
+    s.terminals_priming = static_cast<int>(series.value(row, priming));
+    s.terminals_playing = static_cast<int>(series.value(row, playing));
+    s.pool_pages_in_use =
+        static_cast<std::int64_t>(series.value(row, pages));
+    s.network_bytes_total =
+        static_cast<std::uint64_t>(series.value(row, net_total));
+    s.network_bytes_delta =
+        static_cast<std::uint64_t>(series.value(row, net_delta));
+    samples.push_back(s);
   }
-  sample.disk_queue_avg =
-      sample.total_disks > 0 ? queue_sum / sample.total_disks : 0.0;
-
-  for (int t = 0; t < simulation_->num_terminals(); ++t) {
-    const client::Terminal& terminal = simulation_->terminal(t);
-    sample.glitches += terminal.stats().glitches;
-    switch (terminal.state()) {
-      case client::Terminal::State::kPriming:
-        ++sample.terminals_priming;
-        break;
-      case client::Terminal::State::kPlaying:
-        ++sample.terminals_playing;
-        break;
-      default:
-        break;
-    }
-  }
-
-  std::uint64_t total = simulation_->network().total_bytes();
-  sample.network_bytes =
-      total >= last_network_bytes_ ? total - last_network_bytes_ : total;
-  last_network_bytes_ = total;
-  return sample;
-}
-
-sim::Process TraceRecorder::Sampler(double interval_sec) {
-  sim::Environment* env = &simulation_->env();
-  for (;;) {
-    co_await env->Hold(interval_sec);
-    samples_.push_back(Capture());
-  }
+  return samples;
 }
 
 void TraceRecorder::WriteCsv(std::ostream& out) const {
-  out << "time,disks_busy,disk_queue_avg,cpus_busy,glitches,"
-         "terminals_priming,terminals_playing,pool_pages_in_use,"
-         "network_bytes\n";
-  for (const TraceSample& s : samples_) {
+  out << "time,disks_busy,disk_queue_avg,cpus_busy,glitches_total,"
+         "glitches_delta,terminals_priming,terminals_playing,"
+         "pool_pages_in_use,network_bytes_total,network_bytes_delta\n";
+  for (const TraceSample& s : samples()) {
     out << s.time << ',' << s.disks_busy << ',' << s.disk_queue_avg << ','
-        << s.cpus_busy << ',' << s.glitches << ',' << s.terminals_priming
-        << ',' << s.terminals_playing << ',' << s.pool_pages_in_use << ','
-        << s.network_bytes << '\n';
+        << s.cpus_busy << ',' << s.glitches_total << ','
+        << s.glitches_delta << ',' << s.terminals_priming << ','
+        << s.terminals_playing << ',' << s.pool_pages_in_use << ','
+        << s.network_bytes_total << ',' << s.network_bytes_delta << '\n';
   }
 }
 

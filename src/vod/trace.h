@@ -1,11 +1,25 @@
-// Time-series tracing: samples system state at a fixed simulated-time
-// interval while a Simulation runs, for plotting transient behaviour
-// (warmup, saturation onset, glitch storms).
+// Legacy time-series tracing view, kept for compatibility: samples
+// system state at a fixed simulated-time interval while a Simulation
+// runs, for plotting transient behaviour (warmup, saturation onset,
+// glitch storms).
 //
 //   vod::Simulation sim(config);
 //   vod::TraceRecorder trace(&sim, /*interval=*/1.0);
 //   sim.Run();
 //   trace.WriteCsv(std::cout);
+//
+// TraceRecorder is now a thin adapter over the streaming telemetry
+// subsystem (vod/telemetry.h): the channels it reads are registered in
+// an obs::TimeSeries and sampled by TelemetryRecorder's sim-process
+// sampler; this class only re-shapes the retained snapshots into the
+// historical CSV layout. New code should use TelemetryRecorder
+// directly — it exposes more channels, JSONL streaming, and bounded
+// ring retention.
+//
+// Counter semantics are explicit: cumulative readings carry a `_total`
+// suffix and per-interval changes a `_delta` suffix, both in the sample
+// struct and the CSV header (the pre-telemetry recorder mixed a
+// cumulative `glitches` with a per-interval `network_bytes`).
 //
 // The recorder must be constructed before the simulation runs; it spawns
 // a sampling process into the simulation's environment.
@@ -17,8 +31,7 @@
 #include <ostream>
 #include <vector>
 
-#include "sim/process.h"
-#include "vod/simulation.h"
+#include "vod/telemetry.h"
 
 namespace spiffi::vod {
 
@@ -28,11 +41,13 @@ struct TraceSample {
   int total_disks = 0;
   double disk_queue_avg = 0.0; // mean disk queue length
   int cpus_busy = 0;
-  std::uint64_t glitches = 0;  // cumulative terminal glitches
+  std::uint64_t glitches_total = 0;  // cumulative terminal glitches
+  std::uint64_t glitches_delta = 0;  // glitches since the previous sample
   int terminals_priming = 0;   // terminals (re)filling buffers
   int terminals_playing = 0;
-  std::int64_t pool_pages_in_use = 0;  // summed over nodes
-  std::uint64_t network_bytes = 0;     // since the previous sample
+  std::int64_t pool_pages_in_use = 0;      // summed over nodes
+  std::uint64_t network_bytes_total = 0;   // cumulative network traffic
+  std::uint64_t network_bytes_delta = 0;   // since the previous sample
 };
 
 class TraceRecorder {
@@ -44,18 +59,18 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  const std::vector<TraceSample>& samples() const { return samples_; }
+  // Snapshots re-shaped into the legacy sample struct (built on demand
+  // from the underlying time series).
+  std::vector<TraceSample> samples() const;
+
+  // The backing telemetry channels (JSONL export, extra channels).
+  const obs::TimeSeries& series() const { return telemetry_.series(); }
 
   // Writes a CSV with a header row.
   void WriteCsv(std::ostream& out) const;
 
  private:
-  sim::Process Sampler(double interval_sec);
-  TraceSample Capture();
-
-  Simulation* simulation_;
-  std::vector<TraceSample> samples_;
-  std::uint64_t last_network_bytes_ = 0;
+  TelemetryRecorder telemetry_;
 };
 
 }  // namespace spiffi::vod

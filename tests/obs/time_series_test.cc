@@ -1,0 +1,151 @@
+#include "obs/time_series.h"
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::obs {
+namespace {
+
+TEST(TimeSeriesTest, ColumnsFollowRegistrationOrder) {
+  TimeSeries series;
+  double gauge = 0.0;
+  double total = 0.0;
+  series.AddGauge("queue", [&] { return gauge; });
+  series.AddCounter("bytes", [&] { return total; });
+  ASSERT_EQ(series.num_channels(), 2u);
+  ASSERT_EQ(series.columns().size(), 3u);
+  EXPECT_EQ(series.columns()[0], "queue");
+  EXPECT_EQ(series.columns()[1], "bytes_total");
+  EXPECT_EQ(series.columns()[2], "bytes_delta");
+  EXPECT_EQ(series.ColumnIndex("bytes_delta"), 2u);
+}
+
+TEST(TimeSeriesTest, CounterEmitsTotalAndDelta) {
+  TimeSeries series;
+  double total = 0.0;
+  series.AddCounter("bytes", [&] { return total; });
+  total = 100.0;
+  series.Sample(1.0);
+  total = 250.0;
+  series.Sample(2.0);
+  total = 250.0;
+  series.Sample(3.0);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.value(0, 0), 100.0);
+  EXPECT_EQ(series.value(0, 1), 100.0);  // first delta re-bases on 0
+  EXPECT_EQ(series.value(1, 0), 250.0);
+  EXPECT_EQ(series.value(1, 1), 150.0);
+  EXPECT_EQ(series.value(2, 1), 0.0);
+}
+
+TEST(TimeSeriesTest, CounterDeltaRebasesAfterReset) {
+  TimeSeries series;
+  double total = 0.0;
+  series.AddCounter("glitches", [&] { return total; });
+  total = 40.0;
+  series.Sample(1.0);
+  // The component's stats were reset (measurement window opened): the
+  // cumulative total drops. The delta must re-base on the new total, not
+  // wrap around to a huge unsigned value or go negative.
+  total = 5.0;
+  series.Sample(2.0);
+  EXPECT_EQ(series.value(1, 0), 5.0);
+  EXPECT_EQ(series.value(1, 1), 5.0);
+  total = 12.0;
+  series.Sample(3.0);
+  EXPECT_EQ(series.value(2, 1), 7.0);
+}
+
+TEST(TimeSeriesTest, RetentionKeepsMostRecentRows) {
+  TimeSeries series;
+  double gauge = 0.0;
+  series.AddGauge("g", [&] { return gauge; });
+  series.set_retention(3);
+  for (int i = 1; i <= 10; ++i) {
+    gauge = i;
+    series.Sample(i);
+  }
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.total_samples(), 10u);
+  EXPECT_EQ(series.time(0), 8.0);
+  EXPECT_EQ(series.value(2, 0), 10.0);
+}
+
+TEST(TimeSeriesTest, CounterDeltasSurviveRingEviction) {
+  TimeSeries series;
+  double total = 0.0;
+  series.AddCounter("c", [&] { return total; });
+  series.set_retention(2);
+  for (int i = 1; i <= 6; ++i) {
+    total = 10.0 * i;
+    series.Sample(i);
+  }
+  // Deltas are tracked per channel, not recomputed from retained rows,
+  // so eviction never corrupts them.
+  EXPECT_EQ(series.value(0, 0), 50.0);
+  EXPECT_EQ(series.value(0, 1), 10.0);
+  EXPECT_EQ(series.value(1, 0), 60.0);
+  EXPECT_EQ(series.value(1, 1), 10.0);
+}
+
+TEST(TimeSeriesTest, JsonlStreamMatchesBatchExport) {
+  std::ostringstream streamed;
+  TimeSeries series;
+  double gauge = 1.5;
+  double total = 0.0;
+  series.AddGauge("g", [&] { return gauge; });
+  series.AddCounter("c", [&] { return total; });
+  series.StreamTo(&streamed);
+  for (int i = 1; i <= 4; ++i) {
+    gauge = 1.5 * i;
+    total = 100.0 * i;
+    series.Sample(i);
+  }
+  std::ostringstream batch;
+  series.WriteJsonl(batch);
+  // No retention: the streamed lines and the batch export are the same
+  // bytes (the single-format-path guarantee).
+  EXPECT_EQ(streamed.str(), batch.str());
+  EXPECT_NE(streamed.str().find("\"g\":"), std::string::npos);
+  EXPECT_NE(streamed.str().find("\"c_total\":"), std::string::npos);
+  EXPECT_NE(streamed.str().find("\"c_delta\":"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, StreamingCoversEvictedRows) {
+  std::ostringstream streamed;
+  TimeSeries series;
+  double gauge = 0.0;
+  series.AddGauge("g", [&] { return gauge; });
+  series.set_retention(1);
+  series.StreamTo(&streamed);
+  for (int i = 1; i <= 5; ++i) {
+    gauge = i;
+    series.Sample(i);
+  }
+  std::size_t lines = 0;
+  for (char c : streamed.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5u);  // every snapshot, not just the retained one
+  EXPECT_EQ(series.size(), 1u);
+}
+
+TEST(TimeSeriesTest, CsvHasHeaderAndAllColumns) {
+  TimeSeries series;
+  double gauge = 2.0;
+  double total = 7.0;
+  series.AddGauge("busy", [&] { return gauge; });
+  series.AddCounter("reads", [&] { return total; });
+  series.Sample(1.0);
+  std::ostringstream out;
+  series.WriteCsv(out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("time,busy,reads_total,reads_delta\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1,2,7,7\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spiffi::obs

@@ -43,6 +43,64 @@ TEST(HistogramTest, PercentileZeroAndOneClampToExtremes) {
   EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.500);
 }
 
+TEST(HistogramTest, EmptyPercentileIsZeroForAllQuantiles) {
+  Histogram h;
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SingleSampleIsExactAtEveryQuantile) {
+  Histogram h;
+  h.Add(0.0371);
+  // With one sample every quantile clamps to min == max == the sample,
+  // regardless of where the bucket bound lands.
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 0.0371) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, OutOfRangeQuantilesClampToValidRange) {
+  Histogram h;
+  h.Add(0.010);
+  h.Add(0.100);
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), 0.010);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.5), 0.100);
+}
+
+TEST(HistogramTest, PercentileAtBucketBoundaries) {
+  // Two clusters in distinct buckets: the rank convention
+  // rank = floor(q * (count - 1)) decides which bucket answers.
+  Histogram h;
+  for (int i = 0; i < 4; ++i) h.Add(0.010);
+  for (int i = 0; i < 4; ++i) h.Add(0.320);
+  // Ranks 0..3 live in the low bucket, 4..7 in the high one.
+  // q = 3/7 - eps -> rank 2 (low); q = 4/7 -> rank 4 (high).
+  double low = h.Percentile(0.42);
+  double high = h.Percentile(0.58);
+  EXPECT_LT(low, 0.020);   // low bucket bound, near 0.010
+  EXPECT_GT(high, 0.100);  // high bucket, clamped <= max
+  EXPECT_GE(low, h.min());
+  EXPECT_LE(high, h.max());
+  // Answers are bucket upper bounds clamped to observed extremes, so
+  // they always stay inside [min, max].
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double v = h.Percentile(q);
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+  }
+}
+
+TEST(HistogramTest, AllSamplesInOneBucketAnswerWithinThatBucket) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(0.0500);
+  for (double q : {0.01, 0.5, 0.99}) {
+    // Everything is in one bucket whose upper bound exceeds the value,
+    // so the clamp to max makes the answer exact.
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 0.0500) << "q=" << q;
+  }
+}
+
 TEST(HistogramTest, OutOfRangeValuesClampToEndBuckets) {
   Histogram h;
   h.Add(1e-9);   // below the 1 us floor

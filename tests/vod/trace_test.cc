@@ -39,12 +39,12 @@ TEST(TraceTest, CapturesSteadyStatePlayback) {
   const TraceSample& late = trace.samples().back();
   EXPECT_EQ(late.terminals_playing, 10);
   EXPECT_EQ(late.terminals_priming, 0);
-  EXPECT_EQ(late.glitches, 0u);
+  EXPECT_EQ(late.glitches_total, 0u);
   EXPECT_EQ(late.total_disks, 4);
   EXPECT_GT(late.pool_pages_in_use, 0);
 }
 
-TEST(TraceTest, NetworkBytesAreDeltas) {
+TEST(TraceTest, NetworkBytesDeltaIsPerInterval) {
   Simulation sim(TraceConfig(10));
   TraceRecorder trace(&sim, 1.0);
   sim.Run();
@@ -53,25 +53,55 @@ TEST(TraceTest, NetworkBytesAreDeltas) {
   double sum = 0.0;
   int counted = 0;
   for (std::size_t i = 20; i < samples.size(); ++i) {
-    sum += static_cast<double>(samples[i].network_bytes);
+    sum += static_cast<double>(samples[i].network_bytes_delta);
     ++counted;
   }
   double avg = sum / counted;
   EXPECT_NEAR(avg, 10 * 512.0 * 1024.0, 10 * 512.0 * 1024.0 * 0.3);
 }
 
+TEST(TraceTest, TotalAndDeltaColumnsAreConsistent) {
+  Simulation sim(TraceConfig(140));
+  TraceRecorder trace(&sim, 1.0);
+  sim.Run();
+  const auto& samples = trace.samples();
+  ASSERT_FALSE(samples.empty());
+  // *_total is non-decreasing within a stats window and *_delta is the
+  // difference between consecutive totals — for both counters, including
+  // across the reset at the end of warmup (t=15), where the delta
+  // re-bases instead of wrapping.
+  std::uint64_t prev_glitches = 0;
+  std::uint64_t prev_bytes = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const TraceSample& s = samples[i];
+    if (s.time > 16.0) {
+      EXPECT_GE(s.glitches_total, prev_glitches);
+      EXPECT_EQ(s.glitches_delta, s.glitches_total - prev_glitches);
+      EXPECT_GE(s.network_bytes_total, prev_bytes);
+      EXPECT_EQ(s.network_bytes_delta, s.network_bytes_total - prev_bytes);
+    } else {
+      // Around the reset the total may drop below the previous total;
+      // the delta must re-base to the new total, never wrap.
+      EXPECT_LE(s.glitches_delta, s.glitches_total);
+      EXPECT_LE(s.network_bytes_delta, s.network_bytes_total);
+    }
+    prev_glitches = s.glitches_total;
+    prev_bytes = s.network_bytes_total;
+  }
+}
+
 TEST(TraceTest, GlitchesAppearInOverloadTrace) {
   Simulation sim(TraceConfig(140));
   TraceRecorder trace(&sim, 1.0);
   sim.Run();
-  EXPECT_GT(trace.samples().back().glitches, 0u);
-  // Glitch counters are cumulative within the measurement phase (they
+  EXPECT_GT(trace.samples().back().glitches_total, 0u);
+  // Glitch totals are cumulative within the measurement phase (they
   // reset once when the warmup window closes at t=15).
   std::uint64_t prev = 0;
   for (const TraceSample& s : trace.samples()) {
     if (s.time <= 16.0) continue;
-    EXPECT_GE(s.glitches, prev);
-    prev = s.glitches;
+    EXPECT_GE(s.glitches_total, prev);
+    prev = s.glitches_total;
   }
 }
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark run against the committed BENCH_kernel.json.
+
+Usage:
+  bench_compare.py [--threshold=0.15] baseline.json fresh.json [...]
+
+`baseline.json` is the committed BENCH_kernel.json, in either shape:
+  * nested:  {"micro_sim_kernel": {"BM_Foo/64": {"after_items_per_sec": N,
+             ...}, ...}, "micro_buffer_pool": {...}}
+  * summary: {"context": {...}, "benchmarks": [{"name": ..., "time_ns":
+             ..., "items_per_sec": ...}, ...]}  (tools/bench_summary.py)
+
+`fresh.json` files are raw google-benchmark --benchmark_format=json
+output or bench_summary.py output; several may be given (kernel + pool).
+
+For every benchmark present on both sides, compares items/sec and fails
+(exit 1) if any is more than --threshold (default 15%) below baseline.
+Benchmarks present on only one side are reported but never fail the
+check — the committed baseline may predate newly added benchmarks.
+Speedups are reported too, as a nudge to refresh the baseline.
+"""
+
+import json
+import sys
+
+
+def load_rates(path):
+    """Returns {benchmark name: items_per_sec} from any supported shape."""
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    if "benchmarks" in data:
+        # Raw google-benchmark output or bench_summary.py output.
+        for bench in data["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            rate = bench.get("items_per_second", bench.get("items_per_sec"))
+            if rate:
+                rates[bench["name"]] = float(rate)
+    else:
+        # Committed nested shape: {harness: {name: {after_items_per_sec}}}.
+        for harness, entries in data.items():
+            if not isinstance(entries, dict):
+                continue
+            for name, entry in entries.items():
+                if isinstance(entry, dict) and "after_items_per_sec" in entry:
+                    rates[name] = float(entry["after_items_per_sec"])
+    return rates
+
+
+def main(argv):
+    threshold = 0.15
+    paths = []
+    for arg in argv:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(f"bench_compare: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    baseline = load_rates(paths[0])
+    fresh = {}
+    for path in paths[1:]:
+        fresh.update(load_rates(path))
+    if not baseline or not fresh:
+        print(f"bench_compare: no comparable rates (baseline has "
+              f"{len(baseline)}, fresh has {len(fresh)})", file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'benchmark':<42} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in fresh:
+            print(f"{name:<42} {baseline[name]:>12.3g} {'absent':>12}")
+            continue
+        if name not in baseline:
+            print(f"{name:<42} {'absent':>12} {fresh[name]:>12.3g}   (new)")
+            continue
+        ratio = fresh[name] / baseline[name]
+        marker = ""
+        if ratio < 1.0 - threshold:
+            marker = "  REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio > 1.0 + threshold:
+            marker = "  (faster — consider refreshing baseline)"
+        print(f"{name:<42} {baseline[name]:>12.3g} {fresh[name]:>12.3g} "
+              f"{ratio:>6.2f}x{marker}")
+
+    if regressions:
+        print(f"\nbench_compare: FAIL — {len(regressions)} benchmark(s) "
+              f"more than {threshold * 100:.0f}% below baseline:",
+              file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x of baseline", file=sys.stderr)
+        return 1
+    compared = len(set(baseline) & set(fresh))
+    print(f"\nbench_compare: OK ({compared} benchmarks within "
+          f"{threshold * 100:.0f}% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Measure the wall-clock overhead of telemetry sampling.
+
+Runs `trace_run` twice over the same configuration — once with sampling
+disabled (--interval=0) and once at the given interval — several times
+each, and compares the best wall time of either mode. Fails (exit 1) if
+sampling costs more than --max-overhead (default 2%).
+
+Usage:
+  telemetry_overhead.py [--binary=build/examples/trace_run]
+                        [--terminals=100] [--interval=1.0]
+                        [--repeats=3] [--max-overhead=0.02]
+
+Best-of-N comparison deliberately discards scheduler noise: sampling
+overhead is deterministic work (one extra sim event plus a row of probe
+reads per interval), so it shows up in the minimum, while one-off stalls
+do not.
+"""
+
+import re
+import subprocess
+import sys
+
+
+def best_wall(binary, terminals, interval, repeats):
+    best = None
+    for _ in range(repeats):
+        proc = subprocess.run(
+            [binary, f"--terminals={terminals}", f"--interval={interval}",
+             "--no-csv"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+            check=True)
+        match = re.search(r"([0-9.]+)s wall", proc.stderr)
+        if not match:
+            print(f"telemetry_overhead: no wall time in trace_run output:\n"
+                  f"{proc.stderr}", file=sys.stderr)
+            sys.exit(2)
+        wall = float(match.group(1))
+        best = wall if best is None else min(best, wall)
+    return best
+
+
+def main(argv):
+    binary = "build/examples/trace_run"
+    terminals = 100
+    interval = 1.0
+    repeats = 3
+    max_overhead = 0.02
+    for arg in argv:
+        if arg.startswith("--binary="):
+            binary = arg.split("=", 1)[1]
+        elif arg.startswith("--terminals="):
+            terminals = int(arg.split("=", 1)[1])
+        elif arg.startswith("--interval="):
+            interval = float(arg.split("=", 1)[1])
+        elif arg.startswith("--repeats="):
+            repeats = int(arg.split("=", 1)[1])
+        elif arg.startswith("--max-overhead="):
+            max_overhead = float(arg.split("=", 1)[1])
+        else:
+            print(f"telemetry_overhead: unknown flag {arg}", file=sys.stderr)
+            return 2
+
+    off = best_wall(binary, terminals, 0, repeats)
+    on = best_wall(binary, terminals, interval, repeats)
+    overhead = (on - off) / off if off > 0 else 0.0
+    print(f"telemetry_overhead: off={off:.3f}s on={on:.3f}s "
+          f"(interval={interval}s) overhead={overhead * 100:+.2f}%")
+    if overhead > max_overhead:
+        print(f"telemetry_overhead: FAIL — sampling costs "
+              f"{overhead * 100:.2f}% > {max_overhead * 100:.0f}% budget",
+              file=sys.stderr)
+        return 1
+    print(f"telemetry_overhead: OK (budget {max_overhead * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
