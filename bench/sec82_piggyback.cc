@@ -4,6 +4,7 @@
 // terminals that may be supported glitch-free."
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 
@@ -34,18 +35,26 @@ int main(int argc, char** argv) {
     vod::CapacitySearchOptions options = bench::SearchOptions(
         preset, window > 0.0 ? 400 : 200);
     options.step = preset == bench::Preset::kFull ? 5 : 25;
-    options.max_terminals = 1200;
+    // The search ceiling scales with the batching window: a 5-minute
+    // window more than doubles capacity, and a fixed 1200-terminal cap
+    // used to silently clip exactly the rows the experiment is about.
+    options.max_terminals =
+        1200 + static_cast<int>(window / 60.0) * 600;
     vod::CapacityResult result = vod::FindMaxTerminals(config, options);
+    bool saturated =
+        result.max_terminals >= options.max_terminals - options.step;
     if (window == 0.0) base_capacity = result.max_terminals;
     double factor = base_capacity > 0
                         ? static_cast<double>(result.max_terminals) /
                               base_capacity
                         : 0.0;
+    std::string capacity_cell = std::to_string(result.max_terminals);
+    if (saturated) capacity_cell += " (cap)";
     table.AddRow({vod::FmtDouble(window / 60.0, 0) + " min",
-                  std::to_string(result.max_terminals),
-                  "x" + vod::FmtDouble(factor, 2)});
-    std::fprintf(stderr, "  window %.0fs -> %d\n", window,
-                 result.max_terminals);
+                  capacity_cell, "x" + vod::FmtDouble(factor, 2)});
+    std::fprintf(stderr, "  window %.0fs -> %d%s\n", window,
+                 result.max_terminals,
+                 saturated ? " (search ceiling reached)" : "");
   }
   table.Print();
   return 0;

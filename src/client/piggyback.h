@@ -1,59 +1,15 @@
-// Piggybacking of terminals watching the same movie (paper §8.2).
-//
-// When a terminal asks to start a video, the manager may delay the start
-// by up to `window` seconds (the subscriber watches commercials). Other
-// terminals requesting the same video inside that window join the group
-// as followers: they are fed from the leader's stream and place no load
-// of their own on the video server. The group closes when the leader's
-// (delayed) start time arrives.
-//
-// Simplification vs. a real implementation: followers mirror the leader's
-// display exactly and are assumed glitch-free whenever the leader is —
-// their bytes travel the network bus, whose bandwidth the paper declares
-// unlimited, so only server load matters here.
+// Compatibility alias: the §8.2 piggybacking stub grew into the
+// stream-sharing service tier. Batching-only callers (window, no patch
+// window, anonymous Arrange) get exactly the old piggyback semantics.
 
 #ifndef SPIFFI_CLIENT_PIGGYBACK_H_
 #define SPIFFI_CLIENT_PIGGYBACK_H_
 
-#include <cstdint>
-#include <unordered_map>
-
-#include "sim/environment.h"
+#include "client/stream_share.h"
 
 namespace spiffi::client {
 
-class PiggybackManager {
- public:
-  enum class Role { kLeader, kFollower };
-
-  struct Arrangement {
-    Role role = Role::kLeader;
-    sim::SimTime start_time = 0.0;  // when display will begin
-  };
-
-  // `window_sec` == 0 disables batching (every caller leads immediately).
-  PiggybackManager(sim::Environment* env, double window_sec)
-      : env_(env), window_sec_(window_sec) {}
-
-  // Called by a terminal that wants to start `video` now.
-  Arrangement Arrange(int video);
-
-  std::uint64_t groups_formed() const { return groups_formed_; }
-  std::uint64_t followers_attached() const { return followers_attached_; }
-  void ResetStats() {
-    groups_formed_ = 0;
-    followers_attached_ = 0;
-  }
-
- private:
-  sim::Environment* env_;
-  double window_sec_;
-  // Per video: start time of the currently open group (if still in the
-  // future or now).
-  std::unordered_map<int, sim::SimTime> open_groups_;
-  std::uint64_t groups_formed_ = 0;
-  std::uint64_t followers_attached_ = 0;
-};
+using PiggybackManager = StreamShareManager;
 
 }  // namespace spiffi::client
 

@@ -1,0 +1,127 @@
+#include "client/stream_share.h"
+
+#include <utility>
+
+namespace spiffi::client {
+
+bool StreamShareManager::Expired(const Group& group,
+                                 sim::SimTime now) const {
+  // Joinable as a follower until start_time, as a patcher until
+  // start_time + patch window. After that the record only matters while
+  // a member could still need a handoff signal, i.e. while the shared
+  // stream is running. (Patchers outlive end_time by their join offset,
+  // but past end_time they are draining already-buffered data and no
+  // longer depend on the stream.)
+  if (now <= group.start_time + patch_window_sec_) return false;
+  return group.members.empty() || now >= group.end_time;
+}
+
+std::size_t StreamShareManager::PruneExpired() {
+  sim::SimTime now = env_->now();
+  std::size_t pruned = 0;
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (Expired(it->second, now)) {
+      it = groups_.erase(it);
+      ++pruned;
+    } else {
+      ++it;
+    }
+  }
+  stats_.groups_pruned += pruned;
+  return pruned;
+}
+
+StreamShareManager::Arrangement StreamShareManager::Arrange(
+    int video, int terminal, double duration_sec,
+    StreamShareMember* member) {
+  sim::SimTime now = env_->now();
+  if (window_sec_ <= 0.0 && patch_window_sec_ <= 0.0) {
+    return Arrangement{Role::kLeader, now, 0, 0.0};
+  }
+  // Amortized sweep: the touched entry is pruned below regardless, this
+  // keeps entries for videos nobody requests again from lingering.
+  if ((++arranges_ & 63) == 0) PruneExpired();
+
+  auto it = groups_.find(video);
+  if (it != groups_.end()) {
+    Group& group = it->second;
+    if (now <= group.start_time) {
+      ++stats_.followers_attached;
+      if (member != nullptr) {
+        group.members.push_back(Member{terminal, 0.0, member});
+      }
+      return Arrangement{Role::kFollower, group.start_time, group.id, 0.0};
+    }
+    double offset = now - group.start_time;
+    if (patch_window_sec_ > 0.0 && offset <= patch_window_sec_ &&
+        now < group.end_time) {
+      ++stats_.patchers_attached;
+      stats_.patch_seconds_total += offset;
+      if (member != nullptr) {
+        group.members.push_back(Member{terminal, offset, member});
+      }
+      return Arrangement{Role::kPatcher, group.start_time, group.id,
+                         offset};
+    }
+    // Too late to join: the old group streams on (or already finished)
+    // without further bookkeeping; a fresh group takes its slot.
+    ++stats_.groups_pruned;
+    groups_.erase(it);
+  }
+
+  Group group;
+  group.id = next_group_id_++;
+  group.start_time = now + window_sec_;
+  group.end_time = group.start_time +
+                   (duration_sec > 0.0 ? duration_sec : patch_window_sec_);
+  group.leader = terminal;
+  Arrangement arrangement{Role::kLeader, group.start_time, group.id, 0.0};
+  groups_.emplace(video, std::move(group));
+  ++stats_.groups_formed;
+  return arrangement;
+}
+
+void StreamShareManager::LeaderDeparting(int video, std::uint64_t group_id,
+                                         int terminal) {
+  auto it = groups_.find(video);
+  if (it == groups_.end() || it->second.id != group_id ||
+      it->second.leader != terminal) {
+    return;  // group displaced or pruned since this leader joined
+  }
+  Group& group = it->second;
+  for (auto member_it = group.members.begin();
+       member_it != group.members.end(); ++member_it) {
+    if (member_it->offset_sec == 0.0 && member_it->callback != nullptr) {
+      Member promoted = *member_it;
+      group.members.erase(member_it);
+      group.leader = promoted.terminal;
+      ++stats_.leader_handoffs;
+      promoted.callback->OnPromotedToLeader(video);
+      return;
+    }
+  }
+  // No exact mirror to promote: disband. Erase the group before the
+  // callbacks run — they start private streams and must not observe it.
+  std::vector<Member> members = std::move(group.members);
+  groups_.erase(it);
+  ++stats_.groups_disbanded;
+  for (const Member& m : members) {
+    if (m.callback != nullptr) m.callback->OnShareGroupDisbanded(video);
+  }
+}
+
+void StreamShareManager::MemberDeparting(int video, std::uint64_t group_id,
+                                         int terminal) {
+  auto it = groups_.find(video);
+  if (it == groups_.end() || it->second.id != group_id) return;
+  std::vector<Member>& members = it->second.members;
+  for (auto member_it = members.begin(); member_it != members.end();
+       ++member_it) {
+    if (member_it->terminal == terminal) {
+      members.erase(member_it);
+      return;
+    }
+  }
+}
+
+}  // namespace spiffi::client

@@ -16,7 +16,7 @@ Terminal::Terminal(sim::Environment* env, int id,
                    server::NodeDirectory* server,
                    const mpeg::VideoLibrary* library,
                    const layout::Layout* layout, sim::Rng rng,
-                   sim::SimTime start_time, PiggybackManager* piggyback,
+                   sim::SimTime start_time, StreamShareManager* share,
                    const fault::FaultState* fault)
     : env_(env),
       id_(id),
@@ -26,7 +26,7 @@ Terminal::Terminal(sim::Environment* env, int id,
       library_(library),
       layout_(layout),
       rng_(rng),
-      piggyback_(piggyback),
+      share_(share),
       fault_(fault) {
   SPIFFI_CHECK(env != nullptr);
   SPIFFI_CHECK(params.memory_bytes >= params.block_bytes);
@@ -70,6 +70,18 @@ sim::SimTime Terminal::DeadlineForBlock(std::int64_t block) const {
 }
 
 void Terminal::OnEvent(std::uint64_t token) {
+  if ((token & kTokenMask) == kFollowEndToken) {
+    // The generation guards against follow-end events scheduled for a
+    // stream this terminal already left via promotion or disband.
+    if (state_ == State::kFollowing &&
+        (token >> kTokenBits) == follow_gen_) {
+      ++stats_.videos_completed;
+      share_role_ = ShareRole::kNone;
+      state_ = State::kIdle;
+      ChooseNextVideo();
+    }
+    return;
+  }
   switch (token) {
     case kStartToken:
       if (pending_video_ >= 0) {
@@ -86,13 +98,6 @@ void Terminal::OnEvent(std::uint64_t token) {
         state_ = State::kPlaying;
         anchor_ = env_->now() - ConsumedPlaybackTime();
         env_->Schedule(env_->now(), this, kFrameToken);
-      }
-      break;
-    case kFollowEndToken:
-      if (state_ == State::kFollowing) {
-        ++stats_.videos_completed;
-        state_ = State::kIdle;
-        ChooseNextVideo();
       }
       break;
     case kSearchFrameToken:
@@ -115,23 +120,121 @@ void Terminal::ChooseNextVideo() {
           static_cast<std::uint64_t>(library_->video(video).frame_count())));
     }
   }
-  if (piggyback_ == nullptr) {
+  if (share_ == nullptr) {
     StartVideo(video, start_frame);
     return;
   }
-  // Piggyback groups always watch from the beginning (the batching
-  // window replaces the steady-state position spread).
-  PiggybackManager::Arrangement arrangement = piggyback_->Arrange(video);
+  // Share groups always watch from the beginning (the batching window
+  // replaces the steady-state position spread).
+  double duration = library_->video(video).duration_seconds();
+  StreamShareManager::Arrangement arrangement =
+      share_->Arrange(video, id_, duration, this);
   pending_video_ = video;
-  if (arrangement.role == PiggybackManager::Role::kFollower) {
-    state_ = State::kFollowing;
-    env_->Schedule(
-        arrangement.start_time + library_->video(video).duration_seconds(),
-        this, kFollowEndToken);
+  share_video_ = video;
+  share_group_ = arrangement.group_id;
+  switch (arrangement.role) {
+    case StreamShareManager::Role::kFollower:
+      // Exact mirror of the shared stream from its (possibly still
+      // pending) start to its end.
+      share_role_ = ShareRole::kFollower;
+      BeginFollowing(arrangement.start_time,
+                     arrangement.start_time + duration);
+      return;
+    case StreamShareManager::Role::kPatcher:
+      // Start right away; StartVideo caps the stream at the missed
+      // prefix and the display syncs onto the shared stream after it.
+      share_role_ = ShareRole::kPatcher;
+      pending_patch_seconds_ = arrangement.patch_seconds;
+      StartVideo(video, 0);
+      return;
+    case StreamShareManager::Role::kLeader:
+      share_role_ = ShareRole::kLeader;
+      state_ = State::kWaitingStart;
+      env_->Schedule(arrangement.start_time, this, kStartToken);
+      return;
+  }
+}
+
+void Terminal::BeginFollowing(sim::SimTime display_anchor,
+                              sim::SimTime end_time) {
+  state_ = State::kFollowing;
+  follow_anchor_ = display_anchor;
+  ++follow_gen_;
+  env_->Schedule(end_time, this,
+                 kFollowEndToken | (follow_gen_ << kTokenBits));
+}
+
+std::int64_t Terminal::FollowFrameNow(int video) const {
+  double position = env_->now() - follow_anchor_;
+  auto frame = static_cast<std::int64_t>(
+      std::llround(position * FramesPerSecond()));
+  return std::clamp<std::int64_t>(
+      frame, 0, library_->video(video).frame_count() - 1);
+}
+
+void Terminal::OnPromotedToLeader(int video) {
+  if (state_ != State::kFollowing || pending_video_ != video) return;
+  ++stats_.share_promotions;
+  ++follow_gen_;  // the scheduled follow-end no longer applies
+  share_role_ = ShareRole::kLeader;
+  std::int64_t frame = FollowFrameNow(video);
+  obs::TraceInstant(env_, obs::TraceCategory::kTerminal, "share_promote",
+                    obs::Tracer::kTerminalsPid, id_,
+                    {{"video", static_cast<double>(video)},
+                     {"start_frame", static_cast<double>(frame)}});
+  StartVideo(video, frame);
+}
+
+void Terminal::OnShareGroupDisbanded(int video) {
+  if (share_role_ == ShareRole::kPatcher && video_ == video &&
+      state_ != State::kFollowing) {
+    // Mid-patch: keep the running unicast stream, just remove its cap —
+    // the rest of the video must now be fetched privately too.
+    ++stats_.share_disbands;
+    share_role_ = ShareRole::kNone;
+    patch_limit_frame_ = -1;
+    IssueRequests();
     return;
   }
-  state_ = State::kWaitingStart;
-  env_->Schedule(arrangement.start_time, this, kStartToken);
+  if (state_ != State::kFollowing || pending_video_ != video) return;
+  ++stats_.share_disbands;
+  ++follow_gen_;
+  share_role_ = ShareRole::kNone;
+  StartVideo(video, FollowFrameNow(video));
+}
+
+void Terminal::DepartSharedGroup() {
+  if (share_ == nullptr || share_role_ == ShareRole::kNone) return;
+  if (share_role_ == ShareRole::kLeader) {
+    share_->LeaderDeparting(share_video_, share_group_, id_);
+  } else {
+    // Only a patcher can get here — a plain follower has no display
+    // events from which to act. Its stream turns private.
+    share_->MemberDeparting(share_video_, share_group_, id_);
+    patch_limit_frame_ = -1;
+  }
+  share_role_ = ShareRole::kNone;
+}
+
+void Terminal::SyncToSharedStream() {
+  SPIFFI_DCHECK(share_role_ == ShareRole::kPatcher);
+  ++stats_.patch_syncs;
+  // The unicast catch-up stream ends here: from this point the terminal
+  // consumes the shared stream it has been buffering since the join.
+  // Anything buffered or in flight past the join offset duplicates the
+  // shared stream and is dropped (replies go stale via the epoch bump).
+  std::int64_t frame = next_frame_;
+  ResetStreamAt(frame);
+  obs::TraceInstant(env_, obs::TraceCategory::kTerminal, "patch_sync",
+                    obs::Tracer::kTerminalsPid, id_,
+                    {{"video", static_cast<double>(video_)},
+                     {"position_sec", ConsumedPlaybackTime()}});
+  share_role_ = ShareRole::kFollower;
+  sim::SimTime end_time = anchor_ + vid_->duration_seconds();
+  pending_video_ = video_;
+  video_ = -1;
+  vid_ = nullptr;
+  BeginFollowing(anchor_, end_time);
 }
 
 void Terminal::ResetStreamAt(std::int64_t frame) {
@@ -147,6 +250,7 @@ void Terminal::ResetStreamAt(std::int64_t frame) {
   search_blocks_pending_.clear();
   occupied_bytes_ = 0;
   inflight_bytes_ = 0;
+  patch_limit_frame_ = -1;
 }
 
 void Terminal::StartVideo(int video, std::int64_t start_frame) {
@@ -158,6 +262,20 @@ void Terminal::StartVideo(int video, std::int64_t start_frame) {
   num_blocks_ = library_->NumBlocks(video, params_.block_bytes);
 
   ResetStreamAt(start_frame);
+
+  if (pending_patch_seconds_ > 0.0 && start_frame == 0) {
+    // Unicast catch-up stream: fetch and display only the frames the
+    // shared stream has already passed, then sync onto it.
+    auto frames = static_cast<std::int64_t>(
+        std::ceil(pending_patch_seconds_ * FramesPerSecond() - 1e-9));
+    patch_limit_frame_ =
+        std::clamp<std::int64_t>(frames, 1, vid_->frame_count());
+    std::int64_t last_byte =
+        vid_->CumulativeBytesAtFrame(patch_limit_frame_) - 1;
+    patch_limit_block_ = last_byte / params_.block_bytes + 1;
+    ++stats_.patches_started;
+  }
+  pending_patch_seconds_ = 0.0;
 
   pause_at_.clear();
   if (params_.pause_enabled) {
@@ -206,7 +324,7 @@ void Terminal::IssueRequests() {
       state_ != State::kPaused) {
     return;
   }
-  while (next_request_block_ < num_blocks_) {
+  while (next_request_block_ < RequestableBlocks()) {
     std::int64_t bytes = BlockBytesAt(next_request_block_);
     if (occupied_bytes_ + inflight_bytes_ + bytes > params_.memory_bytes) {
       break;  // no room to buffer another block
@@ -339,7 +457,7 @@ void Terminal::AttributeLateBlock(const Message& message, double response) {
 
 void Terminal::CheckPrimeComplete() {
   if (inflight_bytes_ != 0) return;
-  bool exhausted = next_request_block_ >= num_blocks_;
+  bool exhausted = next_request_block_ >= RequestableBlocks();
   bool full = !exhausted &&
               occupied_bytes_ + BlockBytesAt(next_request_block_) >
                   params_.memory_bytes;
@@ -386,6 +504,10 @@ void Terminal::DisplayFrame() {
   ++stats_.frames_displayed;
   IssueRequests();  // consumption freed buffer space
 
+  if (patch_limit_frame_ >= 0 && next_frame_ >= patch_limit_frame_) {
+    SyncToSharedStream();
+    return;
+  }
   if (next_frame_ >= vid_->frame_count()) {
     FinishVideo();
     return;
@@ -410,13 +532,14 @@ void Terminal::HandleGlitch() {
   // never make progress (the terminal memory is smaller than one frame) —
   // fail fast instead of glitching in a zero-time loop.
   SPIFFI_CHECK(!(inflight_bytes_ == 0 &&
-                 next_request_block_ < num_blocks_ &&
+                 next_request_block_ < RequestableBlocks() &&
                  occupied_bytes_ + BlockBytesAt(next_request_block_) >
                      params_.memory_bytes));
   CheckPrimeComplete();  // everything may already have arrived
 }
 
 void Terminal::EnterPause() {
+  DepartSharedGroup();
   state_ = State::kPaused;
   ++stats_.pauses;
   pause_end_ =
@@ -428,6 +551,7 @@ void Terminal::JumpTo(double playback_seconds) {
   SPIFFI_CHECK(vid_ != nullptr);
   SPIFFI_CHECK(state_ == State::kPlaying || state_ == State::kPaused ||
                state_ == State::kSearching || state_ == State::kPriming);
+  DepartSharedGroup();
   auto frame = static_cast<std::int64_t>(
       std::llround(playback_seconds * FramesPerSecond()));
   frame = std::clamp<std::int64_t>(frame, 0, vid_->frame_count() - 1);
@@ -444,6 +568,7 @@ void Terminal::BeginVisualSearch(bool forward, double show_sec,
   SPIFFI_CHECK(state_ == State::kPlaying || state_ == State::kPaused);
   SPIFFI_CHECK(show_sec > 0.0);
   SPIFFI_CHECK(skip_sec >= 0.0);
+  DepartSharedGroup();
   ++stats_.searches;
   state_ = State::kSearching;
   search_forward_ = forward;
@@ -550,6 +675,10 @@ void Terminal::FinishVideo() {
                     obs::Tracer::kTerminalsPid, id_,
                     {{"video", static_cast<double>(video_)}});
   SPIFFI_DCHECK(occupied_bytes_ == 0);
+  // A leader that plays to the end leaves its group to expire naturally
+  // (no handoff needed: mirrors end at the same instant, patchers drain
+  // their buffered tail).
+  share_role_ = ShareRole::kNone;
   state_ = State::kIdle;
   video_ = -1;
   vid_ = nullptr;

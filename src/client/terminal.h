@@ -13,8 +13,8 @@
 // When one video ends the terminal immediately selects another according
 // to the popularity distribution (closed system).
 //
-// Optional behaviours: random pauses (§8.1, Fig 19) and piggybacked
-// starts (§8.2).
+// Optional behaviours: random pauses (§8.1, Fig 19) and shared starts
+// (batching and patching, see client/stream_share.h).
 
 #ifndef SPIFFI_CLIENT_TERMINAL_H_
 #define SPIFFI_CLIENT_TERMINAL_H_
@@ -24,7 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "client/piggyback.h"
+#include "client/stream_share.h"
 #include "fault/state.h"
 #include "layout/layout.h"
 #include "mpeg/video.h"
@@ -63,17 +63,23 @@ struct TerminalParams {
 };
 
 class Terminal final : public server::MessageSink,
-                       public sim::EventHandler {
+                       public sim::EventHandler,
+                       public StreamShareMember {
  public:
   enum class State {
     kIdle,          // constructed, not yet started
-    kWaitingStart,  // piggyback leader waiting out the batching window
+    kWaitingStart,  // share-group leader waiting out the batching window
     kPriming,       // filling buffers before (re)starting display
     kPlaying,       // displaying frames
     kPaused,        // user pressed pause
     kSearching,     // skip-based fast-forward/rewind visual search
-    kFollowing,     // piggybacked onto another terminal's stream
+    kFollowing,     // riding another terminal's shared stream
   };
+
+  // This terminal's part in its current share group, if any. A patcher
+  // is kPatcher while its unicast catch-up stream runs and reports
+  // kFollower once synced onto the shared stream.
+  enum class ShareRole { kNone, kLeader, kFollower, kPatcher };
 
   struct Stats {
     std::uint64_t glitches = 0;
@@ -84,6 +90,10 @@ class Terminal final : public server::MessageSink,
     std::uint64_t primes = 0;
     std::uint64_t pauses = 0;
     std::uint64_t searches = 0;
+    std::uint64_t patches_started = 0;   // unicast catch-up streams begun
+    std::uint64_t patch_syncs = 0;       // catch-ups that reached the group
+    std::uint64_t share_promotions = 0;  // follower -> leader handoffs
+    std::uint64_t share_disbands = 0;    // groups lost under this member
     std::uint64_t search_segments = 0;      // segments shown during search
     std::uint64_t search_frames = 0;        // frames shown during search
     std::uint64_t stale_replies = 0;        // replies to abandoned streams
@@ -117,13 +127,14 @@ class Terminal final : public server::MessageSink,
   };
 
   // The terminal schedules its own first start at `start_time`.
-  // `piggyback` may be nullptr (no batching); `fault` may be nullptr
-  // (no failure awareness — requests always target the primary copy).
+  // `share` may be nullptr (no batching/patching); `fault` may be
+  // nullptr (no failure awareness — requests always target the primary
+  // copy).
   Terminal(sim::Environment* env, int id, const TerminalParams& params,
            hw::Network* network, server::NodeDirectory* server,
            const mpeg::VideoLibrary* library, const layout::Layout* layout,
            sim::Rng rng, sim::SimTime start_time,
-           PiggybackManager* piggyback = nullptr,
+           StreamShareManager* share = nullptr,
            const fault::FaultState* fault = nullptr);
 
   Terminal(const Terminal&) = delete;
@@ -133,9 +144,13 @@ class Terminal final : public server::MessageSink,
   void OnMessage(const server::Message& message) override;
   // Timer events (start, frame ticks, pause end, follower end).
   void OnEvent(std::uint64_t token) override;
+  // Share-group handoff callbacks (see StreamShareMember).
+  void OnPromotedToLeader(int video) override;
+  void OnShareGroupDisbanded(int video) override;
 
   int id() const { return id_; }
   State state() const { return state_; }
+  ShareRole share_role() const { return share_role_; }
   int current_video() const { return video_; }
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
@@ -162,12 +177,16 @@ class Terminal final : public server::MessageSink,
   double PositionSeconds() const { return ConsumedPlaybackTime(); }
 
  private:
-  // Event tokens.
+  // Event tokens. Follow-end tokens additionally carry a generation in
+  // the bits above kTokenBits (see follow_gen_); all other tokens fit
+  // in the low bits unchanged.
   static constexpr std::uint64_t kStartToken = 1;
   static constexpr std::uint64_t kFrameToken = 2;
   static constexpr std::uint64_t kPauseEndToken = 3;
   static constexpr std::uint64_t kFollowEndToken = 4;
   static constexpr std::uint64_t kSearchFrameToken = 5;
+  static constexpr std::uint64_t kTokenBits = 3;
+  static constexpr std::uint64_t kTokenMask = (1u << kTokenBits) - 1;
 
   void ChooseNextVideo();
   // Begins priming `video` with display starting at `start_frame`.
@@ -179,6 +198,21 @@ class Terminal final : public server::MessageSink,
   void HandleGlitch();
   void FinishVideo();
   void EnterPause();
+
+  // --- Stream sharing internals ---
+  // Enters kFollowing until `end_time`, displaying as if playback time 0
+  // were at `display_anchor` (group start for mirrors, the patcher's own
+  // anchor for patched joins).
+  void BeginFollowing(sim::SimTime display_anchor, sim::SimTime end_time);
+  // The patch stream's display reached the join offset: drop the
+  // unicast stream and ride the shared one.
+  void SyncToSharedStream();
+  // Leaving the current stream for an interactive action (pause, jump,
+  // search): hand leadership off or detach a patcher.
+  void DepartSharedGroup();
+  // Playback position implied by `follow_anchor_`, clamped to a valid
+  // frame of `video`.
+  std::int64_t FollowFrameNow(int video) const;
 
   // Resets the streaming state (buffers, request window, display cursor)
   // to start consuming at `frame` of the current video. Bumps the stream
@@ -218,7 +252,7 @@ class Terminal final : public server::MessageSink,
   const mpeg::VideoLibrary* library_;
   const layout::Layout* layout_;
   sim::Rng rng_;
-  PiggybackManager* piggyback_;
+  StreamShareManager* share_;
   const fault::FaultState* fault_;
 
   State state_ = State::kIdle;
@@ -263,6 +297,28 @@ class Terminal final : public server::MessageSink,
   // (video change, jump, search start/end). Sent as the request cookie;
   // replies with a stale cookie are dropped.
   std::uint64_t epoch_ = 0;
+
+  // Stream sharing. share_group_/share_video_ identify the group this
+  // terminal belongs to (or leads); follow_anchor_ is the sim time of
+  // this member's playback position 0 while kFollowing; follow_gen_
+  // invalidates scheduled follow-end events after a promotion or
+  // disband pulls the terminal out of kFollowing early. A patch limit
+  // >= 0 caps the unicast catch-up stream: requests stop at
+  // patch_limit_block_ and the display syncs onto the shared stream at
+  // patch_limit_frame_.
+  ShareRole share_role_ = ShareRole::kNone;
+  std::uint64_t share_group_ = 0;
+  int share_video_ = -1;
+  sim::SimTime follow_anchor_ = 0.0;
+  std::uint64_t follow_gen_ = 0;
+  double pending_patch_seconds_ = 0.0;
+  std::int64_t patch_limit_frame_ = -1;
+  std::int64_t patch_limit_block_ = 0;
+  // Blocks this stream will actually request: num_blocks_, or the patch
+  // cap while a catch-up stream runs.
+  std::int64_t RequestableBlocks() const {
+    return patch_limit_frame_ >= 0 ? patch_limit_block_ : num_blocks_;
+  }
 
   // Visual search (§8.1): upcoming search positions per video
   // (descending), and the state of the search in progress.

@@ -27,6 +27,7 @@ void BufferPool::RecordReference(Page* page, int terminal) {
   if (page->ever_referenced && page->last_terminal != terminal) {
     ++stats_.shared_refs;
   }
+  if (page->pinned_prefix) ++stats_.prefix_hits;
   if (page->io_in_flight) {
     ++stats_.attaches;
     obs::TraceInstant(env_, obs::TraceCategory::kBuffer, "pool_attach",
@@ -69,8 +70,12 @@ void BufferPool::RemoveFromChain(Page* page) {
 
 void BufferPool::AppendToChain(Page* page, int chain) {
   RemoveFromChain(page);
-  // Under global LRU everything lives on one queue.
-  if (policy_ == ReplacementPolicy::kGlobalLru) chain = kReferencedChain;
+  // Under global LRU everything evictable lives on one queue; the
+  // pinned chain stays separate under both policies.
+  if (policy_ == ReplacementPolicy::kGlobalLru &&
+      chain == kPrefetchedChain) {
+    chain = kReferencedChain;
+  }
   page->lru_prev = chain_tail_[chain];
   page->lru_next = nullptr;
   if (chain_tail_[chain] != nullptr) {
@@ -88,7 +93,27 @@ void BufferPool::Touch(Page* page, int terminal) {
   page->ever_referenced = true;
   page->last_terminal = terminal;
   page->prefetched = false;
+  // Pinned prefix pages stay put: eviction ordering is moot for them.
+  if (page->pinned_prefix) return;
   AppendToChain(page, kReferencedChain);
+}
+
+void BufferPool::PinPrefix(Page* page) {
+  SPIFFI_DCHECK(page->valid && !page->io_in_flight);
+  if (page->pinned_prefix) return;
+  page->pinned_prefix = true;
+  page->prefetched = false;
+  AppendToChain(page, kPinnedChain);
+  obs::TraceCounter(env_, obs::TraceCategory::kBuffer, "pool_pinned_pages",
+                    trace_pid_, obs::Tracer::kPoolTid,
+                    static_cast<double>(pinned_pages()));
+}
+
+void BufferPool::UnpinPrefix(Page* page) {
+  if (!page->pinned_prefix) return;
+  page->pinned_prefix = false;
+  AppendToChain(page, kReferencedChain);
+  if (page->pin_count == 0) free_waiters_.NotifyOne();
 }
 
 BufferPool::Page* BufferPool::EvictFrom(int chain) {
@@ -131,6 +156,7 @@ BufferPool::Page* BufferPool::Allocate(const PageKey& key,
   page->valid = false;
   page->io_in_flight = true;
   page->prefetched = for_prefetch;
+  page->pinned_prefix = false;
   page->pin_count = 1;  // caller's pin
   page->last_terminal = -1;
   page->ever_referenced = false;

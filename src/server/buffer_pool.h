@@ -11,6 +11,13 @@
 //    referenced chain first and only then from the prefetched chain, so
 //    pages that were read ahead but not yet consumed are protected.
 //
+// A third chain holds pinned prefix pages: the first blocks of popular
+// videos, pinned by the owning node so that new share groups and patch
+// streams start from memory. Pinned pages are exempt from eviction
+// under BOTH policies (the chain is never scanned) and never count as
+// wasted prefetches; the node sizes and reconciles the pinned set from
+// measured popularity (see server/node.h).
+//
 // The LRU chains are intrusive: the prev/next links live in the Page
 // itself, so moving a page between chains (the per-reference hot path)
 // is a handful of pointer writes with no node allocation. Each page also
@@ -68,6 +75,7 @@ class BufferPool {
     bool valid = false;         // data present
     bool io_in_flight = false;  // a disk read is filling this page
     bool prefetched = false;    // filled by prefetch, not yet referenced
+    bool pinned_prefix = false; // resident on the pinned prefix chain
     int pin_count = 0;
     int last_terminal = -1;     // last terminal to really reference it
     bool ever_referenced = false;
@@ -97,6 +105,8 @@ class BufferPool {
     std::uint64_t wasted_prefetches = 0;  // prefetched page evicted
                                           // before ever being referenced
     std::uint64_t allocation_stalls = 0;  // Allocate returned nullptr
+    std::uint64_t prefix_hits = 0;        // references served by a
+                                          // pinned prefix page
   };
 
   BufferPool(sim::Environment* env, std::int64_t num_pages,
@@ -132,6 +142,25 @@ class BufferPool {
   void Pin(Page* page) { ++page->pin_count; }
   void Unpin(Page* page);
 
+  // Moves a valid page onto the pinned prefix chain, exempting it from
+  // eviction until UnpinPrefix. Clears the prefetched tag: a prefix
+  // page later unpinned and evicted is not a wasted prefetch.
+  void PinPrefix(Page* page);
+  // Returns a pinned prefix page to the referenced chain (normal
+  // eviction rules apply again).
+  void UnpinPrefix(Page* page);
+  // Unpins every pinned prefix page for which `keep` returns false —
+  // the reconcile step after popularity shifts shrink a video's quota.
+  template <typename Keep>
+  void ReconcilePinned(Keep&& keep) {
+    Page* page = chain_head_[kPinnedChain];
+    while (page != nullptr) {
+      Page* next = page->lru_next;
+      if (!keep(page->key)) UnpinPrefix(page);
+      page = next;
+    }
+  }
+
   sim::WaitList& Ready(Page* page) { return page->ready; }
   // Notified whenever a page may have become evictable.
   sim::WaitList& free_pages() { return free_waiters_; }
@@ -149,11 +178,15 @@ class BufferPool {
     return num_pages() - static_cast<std::int64_t>(free_.size());
   }
   std::size_t chain_size(int chain) const { return chain_count_[chain]; }
+  std::int64_t pinned_pages() const {
+    return static_cast<std::int64_t>(chain_count_[kPinnedChain]);
+  }
   ReplacementPolicy policy() const { return policy_; }
 
   // Chain indices.
   static constexpr int kReferencedChain = 0;
   static constexpr int kPrefetchedChain = 1;
+  static constexpr int kPinnedChain = 2;
 
  private:
   // Pops the first evictable page from `chain` (head = LRU end);
@@ -170,9 +203,9 @@ class BufferPool {
   std::vector<Page*> free_;
   std::unordered_map<PageKey, Page*, PageKeyHash> table_;
   // Intrusive chain endpoints: head = LRU (eviction) end, tail = MRU.
-  Page* chain_head_[2] = {nullptr, nullptr};
-  Page* chain_tail_[2] = {nullptr, nullptr};
-  std::size_t chain_count_[2] = {0, 0};
+  Page* chain_head_[3] = {nullptr, nullptr, nullptr};
+  Page* chain_tail_[3] = {nullptr, nullptr, nullptr};
+  std::size_t chain_count_[3] = {0, 0, 0};
   sim::WaitList free_waiters_;
   Stats stats_;
   std::int32_t trace_pid_ = 0;

@@ -41,6 +41,93 @@ Node::Node(sim::Environment* env, const NodeConfig& config,
         config.costs));
     prefetchers_.back()->SetTraceTrack(pid, obs::Tracer::kDiskTidBase + d);
   }
+  if (config.prefix_cache_fraction > 0.0) {
+    prefix_budget_pages_ = static_cast<std::int64_t>(
+        static_cast<double>(config.pool_pages) *
+        config.prefix_cache_fraction);
+    // Pinned pages are exempt from eviction; leave Allocate at least
+    // half the pool no matter what the caller asked for.
+    prefix_budget_pages_ =
+        std::min(prefix_budget_pages_, config.pool_pages / 2);
+    video_refs_.assign(library->count(), 0);
+    prefix_quota_.assign(library->count(), 0);
+    if (prefix_budget_pages_ > 0) env->Spawn(PrefixManager());
+  }
+}
+
+sim::Process Node::PrefixManager() {
+  for (;;) {
+    co_await env_->Hold(config_.prefix_recompute_sec);
+    RecomputePrefixQuotas();
+  }
+}
+
+void Node::MaybePinPrefix(BufferPool::Page* page) {
+  if (prefix_budget_pages_ <= 0 || page->pinned_prefix || !page->valid) {
+    return;
+  }
+  if (page->key.block >= prefix_quota_[page->key.video]) return;
+  if (pool_.pinned_pages() >= prefix_budget_pages_) return;
+  pool_.PinPrefix(page);
+}
+
+void Node::RecomputePrefixQuotas() {
+  if (prefix_budget_pages_ <= 0) return;
+  std::uint64_t total = 0;
+  for (std::uint64_t refs : video_refs_) total += refs;
+  if (total == 0) return;  // no demand measured yet; keep current quotas
+
+  // Popularity-proportional prefix sizing (arXiv:1003.4049): each video
+  // earns a prefix share of the budget equal to its measured share of
+  // demand. Quotas are global block indexes; striping spreads a global
+  // prefix range evenly across nodes, so a budget of B local pages
+  // supports roughly B * num_nodes global prefix blocks. The pin-time
+  // budget check in MaybePinPrefix bounds the error for other layouts.
+  const int videos = library_->count();
+  const double budget_blocks = static_cast<double>(prefix_budget_pages_) *
+                               std::max(config_.num_nodes, 1);
+  for (int v = 0; v < videos; ++v) {
+    double share =
+        static_cast<double>(video_refs_[v]) / static_cast<double>(total);
+    prefix_quota_[v] =
+        std::min(static_cast<std::int64_t>(share * budget_blocks),
+                 library_->NumBlocks(v, config_.block_bytes));
+  }
+
+  // Shrunk quotas release their pages back to normal eviction...
+  pool_.ReconcilePinned([this](const PageKey& key) {
+    return key.block < prefix_quota_[key.video];
+  });
+
+  // ...and grown quotas warm their missing local blocks through the
+  // regular prefetch path, most popular video first, while pin budget
+  // remains. Deadlines are lazy: resident by about the next recompute.
+  std::vector<int> order(videos);
+  for (int v = 0; v < videos; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    if (video_refs_[a] != video_refs_[b]) {
+      return video_refs_[a] > video_refs_[b];
+    }
+    return a < b;
+  });
+  std::int64_t room = prefix_budget_pages_ - pool_.pinned_pages();
+  for (int v : order) {
+    if (room <= 0) break;
+    for (std::int64_t b = 0; b < prefix_quota_[v] && room > 0; ++b) {
+      layout::BlockLocation loc = LocalReplica(v, b);
+      if (loc.node != config_.id) continue;
+      if (pool_.Lookup(PageKey{v, b}) != nullptr) continue;
+      if (fault_ != nullptr && !fault_->LocationUp(loc)) continue;
+      PrefetchTask task;
+      task.key = PageKey{v, b};
+      task.disk_offset = loc.offset;
+      task.bytes = BlockBytes(v, b);
+      task.terminal = -1;
+      task.est_deadline = env_->now() + config_.prefix_recompute_sec;
+      prefetchers_[loc.disk_local]->Enqueue(task);
+      --room;
+    }
+  }
 }
 
 std::int64_t Node::BlockBytes(int video, std::int64_t block) const {
@@ -59,6 +146,9 @@ void Node::OnDiskComplete(hw::DiskRequest* request) {
   auto* page = static_cast<BufferPool::Page*>(request->context);
   SPIFFI_DCHECK(page != nullptr);
   pool_.Complete(page);
+  // Freshly landed in-quota prefix blocks (demand or prefetch, which
+  // includes the warming reads) pin immediately.
+  MaybePinPrefix(page);
 }
 
 layout::BlockLocation Node::LocalReplica(int video,
@@ -144,6 +234,11 @@ sim::Process Node::HandleRead(Message message) {
   co_await cpu_.Execute(config_.costs.receive_message_instructions);
 
   PageKey key{message.video, message.block};
+  if (prefix_budget_pages_ > 0) {
+    // Demand popularity for prefix sizing: every locally served
+    // reference counts toward its video.
+    ++video_refs_[message.video];
+  }
 
   if (config_.prefetch_trigger == PrefetchTrigger::kOnReference) {
     // Aggressive: every real reference drives the prefetcher.
@@ -176,6 +271,7 @@ sim::Process Node::HandleRead(Message message) {
         timing.path = ReadTiming::Path::kHit;
       }
       pool_.Touch(page, message.terminal);
+      MaybePinPrefix(page);
       break;
     }
 

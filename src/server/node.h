@@ -59,6 +59,15 @@ struct NodeConfig {
   // and the recovery re-check period while no replica is alive.
   int fault_hop_budget = 2;
   double fault_recheck_sec = 0.25;
+  // Pinned prefix cache: the node dedicates up to
+  // pool_pages * prefix_cache_fraction pages to the first blocks of
+  // popular videos, re-sizing per-video quotas from measured demand
+  // every prefix_recompute_sec (0 fraction disables the machinery
+  // entirely). num_nodes scales local page budget to global prefix
+  // blocks under striping.
+  double prefix_cache_fraction = 0.0;
+  double prefix_recompute_sec = 30.0;
+  int num_nodes = 1;
 };
 
 class Node final : public MessageSink, public hw::DiskCompletionListener {
@@ -100,10 +109,23 @@ class Node final : public MessageSink, public hw::DiskCompletionListener {
   };
   const FaultStats& fault_stats() const { return fault_stats_; }
 
+  // Pinned-prefix introspection (for tests and telemetry).
+  std::int64_t prefix_budget_pages() const { return prefix_budget_pages_; }
+  std::int64_t prefix_quota(int video) const {
+    return prefix_quota_.empty() ? 0 : prefix_quota_[video];
+  }
+  // Recomputes quotas from the demand measured so far and reconciles
+  // the pinned set (normally driven by the periodic PrefixManager).
+  void RecomputePrefixQuotas();
+
   void ResetStats(sim::SimTime now);
 
  private:
   sim::Process HandleRead(Message message);
+  // Periodic popularity -> quota recomputation.
+  sim::Process PrefixManager();
+  // Pins `page` if it is an in-quota prefix block and budget remains.
+  void MaybePinPrefix(BufferPool::Page* page);
 
   // The copy of (video, block) this node serves: the primary if it is
   // ours, else the local replica. Falls back to the primary location
@@ -136,6 +158,13 @@ class Node final : public MessageSink, public hw::DiskCompletionListener {
   BufferPool pool_;
   std::vector<std::unique_ptr<hw::Disk>> disks_;
   std::vector<std::unique_ptr<Prefetcher>> prefetchers_;
+
+  // Pinned prefix cache state (empty / zero when disabled). Demand
+  // counts accumulate over the whole run — popularity is a measurement,
+  // not a windowed statistic, so ResetStats leaves it alone.
+  std::int64_t prefix_budget_pages_ = 0;
+  std::vector<std::uint64_t> video_refs_;
+  std::vector<std::int64_t> prefix_quota_;  // pin blocks [0, quota)
 };
 
 }  // namespace spiffi::server

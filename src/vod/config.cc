@@ -42,6 +42,23 @@ std::string SimConfig::Validate() const {
              "must land on distinct nodes)";
     }
   }
+  if (piggyback_window_sec < 0.0) {
+    return "piggyback_window_sec must be non-negative";
+  }
+  if (patch_window_sec < 0.0) {
+    return "patch_window_sec must be non-negative";
+  }
+  if (patch_window_sec >= video_seconds) {
+    return "patch_window_sec must be shorter than the video";
+  }
+  if (prefix_cache_fraction < 0.0 || prefix_cache_fraction > 0.5) {
+    return "prefix_cache_fraction must be in [0, 0.5] (pinned pages must "
+           "leave the pool eviction headroom)";
+  }
+  if (prefix_cache_fraction > 0.0 && prefix_recompute_sec <= 0.0) {
+    return "prefix_recompute_sec must be positive when the prefix cache "
+           "is enabled";
+  }
   if (warmup_seconds < start_window_sec) {
     return "warmup must cover the terminal start window";
   }
@@ -83,6 +100,13 @@ std::string SimConfig::Describe() const {
       break;
   }
   out << ", z=" << zipf_z;
+  if (piggyback_window_sec > 0.0) {
+    out << ", batch " << piggyback_window_sec << " s";
+  }
+  if (patch_window_sec > 0.0) out << ", patch " << patch_window_sec << " s";
+  if (prefix_cache_fraction > 0.0) {
+    out << ", prefix " << prefix_cache_fraction;
+  }
   if (fault_plan.enabled()) out << ", faults: " << fault_plan.Describe();
   return out.str();
 }

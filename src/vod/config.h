@@ -84,10 +84,24 @@ struct SimConfig {
   double search_duration_mean_sec = 30.0;
   double search_show_sec = 1.0;
   double search_skip_sec = 7.0;
-  double piggyback_window_sec = 0.0;  // 0 => disabled
+  double piggyback_window_sec = 0.0;  // batching window; 0 => disabled
+  // Stream sharing (client/stream_share.h): terminals arriving up to
+  // patch_window_sec after a shared stream started join it anyway,
+  // fetching only the missed prefix over a short unicast catch-up
+  // stream. 0 disables patching; batching and patching are independent.
+  double patch_window_sec = 0.0;
+  // Pinned prefix cache: each node pins up to this fraction of its
+  // buffer pool on the first blocks of popular videos (sized by
+  // measured demand, refreshed every prefix_recompute_sec), so patch
+  // streams and new groups start from memory. 0 disables.
+  double prefix_cache_fraction = 0.0;
+  double prefix_recompute_sec = 30.0;
   // First videos start at random playback positions (steady-state
-  // initialization); disabled automatically when piggybacking is on.
+  // initialization); disabled automatically when stream sharing is on.
   bool random_initial_position = true;
+  bool stream_sharing_enabled() const {
+    return piggyback_window_sec > 0.0 || patch_window_sec > 0.0;
+  }
 
   // --- Run control ---
   // Terminals start at uniform random times in [0, start_window_sec);

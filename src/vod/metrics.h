@@ -49,6 +49,15 @@ struct SimMetrics {
 
   std::uint64_t events_simulated = 0;
 
+  // Stream sharing (all zero when batching and patching are disabled).
+  std::uint64_t share_groups = 0;       // delivery groups formed
+  std::uint64_t share_followers = 0;    // terminals that joined at start
+  std::uint64_t share_patches = 0;      // late joiners via patch streams
+  double share_patch_seconds = 0.0;     // total unicast catch-up footage
+  std::uint64_t share_handoffs = 0;     // leader promotions
+  std::uint64_t prefix_hits = 0;        // references served by pinned pages
+  std::int64_t prefix_pinned_pages = 0; // pinned pages at collection time
+
   // Availability (all zero when no FaultPlan is active).
   std::uint64_t faults_injected = 0;    // disk + node fail transitions
   std::uint64_t repairs_completed = 0;

@@ -159,6 +159,9 @@ std::uint64_t ConfigDigest(const SimConfig& c) {
   d.F64(c.search_show_sec);
   d.F64(c.search_skip_sec);
   d.F64(c.piggyback_window_sec);
+  d.F64(c.patch_window_sec);
+  d.F64(c.prefix_cache_fraction);
+  d.F64(c.prefix_recompute_sec);
   d.I64(c.random_initial_position ? 1 : 0);
   // Run control.
   d.F64(c.start_window_sec);

@@ -128,6 +128,9 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   node_config.block_bytes = config.stripe_bytes;
   node_config.fault_hop_budget = config.fault_plan.reroute_hop_budget;
   node_config.fault_recheck_sec = config.fault_plan.recheck_sec;
+  node_config.prefix_cache_fraction = config.prefix_cache_fraction;
+  node_config.prefix_recompute_sec = config.prefix_recompute_sec;
+  node_config.num_nodes = config.num_nodes;
   server_ = std::make_unique<server::VideoServer>(
       env_.get(), config.num_nodes, node_config, network_.get(),
       library_.get(), layout_.get(), fault_state_.get());
@@ -165,9 +168,9 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
     fault_injector_->Start();
   }
 
-  if (config.piggyback_window_sec > 0.0) {
-    piggyback_ = std::make_unique<client::PiggybackManager>(
-        env_.get(), config.piggyback_window_sec);
+  if (config.stream_sharing_enabled()) {
+    share_ = std::make_unique<client::StreamShareManager>(
+        env_.get(), config.piggyback_window_sec, config.patch_window_sec);
   }
 
   // Terminals, with staggered starts.
@@ -184,14 +187,14 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   terminal_params.search_show_sec = config.search_show_sec;
   terminal_params.search_skip_sec = config.search_skip_sec;
   terminal_params.random_initial_position =
-      config.random_initial_position && config.piggyback_window_sec <= 0.0;
+      config.random_initial_position && !config.stream_sharing_enabled();
   terminals_.reserve(config.terminals);
   for (int t = 0; t < config.terminals; ++t) {
     sim::Rng rng = master.Child(kTerminalStreamBase + t);
     sim::SimTime start = rng.Uniform(0.0, config.start_window_sec);
     terminals_.push_back(std::make_unique<client::Terminal>(
         env_.get(), t, terminal_params, network_.get(), server_.get(),
-        library_.get(), layout_.get(), rng, start, piggyback_.get(),
+        library_.get(), layout_.get(), rng, start, share_.get(),
         fault_state_.get()));
   }
 
@@ -207,7 +210,7 @@ void Simulation::ResetAllStats() {
   server_->ResetStats(now);
   network_->ResetStats();
   for (auto& terminal : terminals_) terminal->ResetStats();
-  if (piggyback_ != nullptr) piggyback_->ResetStats();
+  if (share_ != nullptr) share_->ResetStats();
   if (fault_state_ != nullptr) fault_state_->ResetStats(now);
   metrics_.Reset();  // owned instruments; probes read the state above
   measure_start_ = now;
@@ -262,6 +265,8 @@ SimMetrics Simulation::CollectDirect() const {
     m.buffer_misses += pool_stats.misses;
     m.shared_references += pool_stats.shared_refs;
     m.wasted_prefetches += pool_stats.wasted_prefetches;
+    m.prefix_hits += pool_stats.prefix_hits;
+    m.prefix_pinned_pages += node.pool().pinned_pages();
     for (int d = 0; d < node.num_disks(); ++d) {
       const hw::Disk& disk = node.disk(d);
       double util = disk.AverageUtilization(now);
@@ -292,6 +297,16 @@ SimMetrics Simulation::CollectDirect() const {
       config_.network.bandwidth_bucket_sec;
   m.avg_network_bytes_per_sec = network_->AverageBandwidth(now);
   m.events_simulated = env_->events_fired();
+
+  // Stream sharing: all zero when no manager was constructed.
+  if (share_ != nullptr) {
+    const auto& share_stats = share_->stats();
+    m.share_groups = share_stats.groups_formed;
+    m.share_followers = share_stats.followers_attached;
+    m.share_patches = share_stats.patchers_attached;
+    m.share_patch_seconds = share_stats.patch_seconds_total;
+    m.share_handoffs = share_stats.leader_handoffs;
+  }
 
   // Availability: all zero on healthy runs (no FaultState).
   if (fault_state_ != nullptr) {
@@ -365,6 +380,20 @@ SimMetrics Simulation::Collect() const {
   m.avg_network_bytes_per_sec = metrics_.Value("network.avg_bytes_per_sec");
   m.events_simulated =
       static_cast<std::uint64_t>(metrics_.Value("kernel.events_fired"));
+
+  m.share_groups =
+      static_cast<std::uint64_t>(metrics_.Value("share.groups_formed"));
+  m.share_followers =
+      static_cast<std::uint64_t>(metrics_.Value("share.followers"));
+  m.share_patches =
+      static_cast<std::uint64_t>(metrics_.Value("share.patches"));
+  m.share_patch_seconds = metrics_.Value("share.patch_seconds");
+  m.share_handoffs =
+      static_cast<std::uint64_t>(metrics_.Value("share.handoffs"));
+  m.prefix_hits =
+      static_cast<std::uint64_t>(metrics_.Value("pool.prefix_hits"));
+  m.prefix_pinned_pages =
+      static_cast<std::int64_t>(metrics_.Value("pool.pinned_pages"));
 
   m.faults_injected =
       static_cast<std::uint64_t>(metrics_.Value("fault.faults_injected"));
@@ -584,6 +613,41 @@ void Simulation::RegisterMetrics() {
   });
   metrics_.AddProbe("pool.allocation_stalls", [sum_pool] {
     return sum_pool([](const auto& s) { return s.allocation_stalls; });
+  });
+  metrics_.AddProbe("pool.prefix_hits", [sum_pool] {
+    return sum_pool([](const auto& s) { return s.prefix_hits; });
+  });
+  metrics_.AddProbe("pool.pinned_pages", [this] {
+    std::int64_t sum = 0;
+    for (int n = 0; n < server_->num_nodes(); ++n) {
+      sum += server_->node(n).pool().pinned_pages();
+    }
+    return static_cast<double>(sum);
+  });
+
+  // --- Stream sharing (all zero when no manager is constructed) ---
+  metrics_.AddProbe("share.groups_formed", [this] {
+    return share_ == nullptr
+               ? 0.0
+               : static_cast<double>(share_->stats().groups_formed);
+  });
+  metrics_.AddProbe("share.followers", [this] {
+    return share_ == nullptr
+               ? 0.0
+               : static_cast<double>(share_->stats().followers_attached);
+  });
+  metrics_.AddProbe("share.patches", [this] {
+    return share_ == nullptr
+               ? 0.0
+               : static_cast<double>(share_->stats().patchers_attached);
+  });
+  metrics_.AddProbe("share.patch_seconds", [this] {
+    return share_ == nullptr ? 0.0 : share_->stats().patch_seconds_total;
+  });
+  metrics_.AddProbe("share.handoffs", [this] {
+    return share_ == nullptr
+               ? 0.0
+               : static_cast<double>(share_->stats().leader_handoffs);
   });
   auto sum_prefetch = [this](auto field) {
     std::uint64_t sum = 0;

@@ -1,7 +1,8 @@
 // Builds and runs one complete video-on-demand simulation.
 //
 // The Simulation object wires together the full system — video library,
-// layout, network, server nodes, terminals, optional piggyback manager —
+// layout, network, server nodes, terminals, optional stream-share
+// manager —
 // from a SimConfig, runs the warmup, opens the measurement window, and
 // collects SimMetrics. RunSimulation() is the one-call convenience used
 // by the benchmark harnesses.
@@ -15,7 +16,7 @@
 #include <memory>
 #include <vector>
 
-#include "client/piggyback.h"
+#include "client/stream_share.h"
 #include "client/terminal.h"
 #include "fault/injector.h"
 #include "fault/state.h"
@@ -111,6 +112,11 @@ class Simulation {
   const fault::FaultInjector* fault_injector() const {
     return fault_injector_.get();
   }
+  // Null unless config.stream_sharing_enabled().
+  const client::StreamShareManager* stream_share() const {
+    return share_.get();
+  }
+  const SimConfig& config() const { return config_; }
 
   // Manual phase control used by Run(); exposed for experiments that
   // sample mid-run (e.g. utilization traces).
@@ -146,7 +152,7 @@ class Simulation {
   std::unique_ptr<fault::FaultState> fault_state_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<server::VideoServer> server_;
-  std::unique_ptr<client::PiggybackManager> piggyback_;
+  std::unique_ptr<client::StreamShareManager> share_;
   std::vector<std::unique_ptr<client::Terminal>> terminals_;
   obs::MetricsRegistry metrics_;
   sim::SimTime measure_start_ = 0.0;

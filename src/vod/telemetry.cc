@@ -136,6 +136,40 @@ void TelemetryRecorder::RegisterChannels() {
     return static_cast<double>(playing);
   });
 
+  // --- Stream sharing (only when the manager exists, mirroring the
+  // fault channels' lean-schema rule) ---
+  if (sim->stream_share() != nullptr) {
+    series_.AddGauge("share.open_groups", [sim] {
+      return static_cast<double>(sim->stream_share()->open_group_count());
+    });
+    series_.AddCounter("share.followers", [sim] {
+      return static_cast<double>(
+          sim->stream_share()->stats().followers_attached);
+    });
+    series_.AddCounter("share.patches", [sim] {
+      return static_cast<double>(
+          sim->stream_share()->stats().patchers_attached);
+    });
+  }
+  if (sim->config().prefix_cache_fraction > 0.0) {
+    series_.AddGauge("pool.pinned_pages", [sim] {
+      std::int64_t pages = 0;
+      server::VideoServer& server = sim->server();
+      for (int n = 0; n < server.num_nodes(); ++n) {
+        pages += server.node(n).pool().pinned_pages();
+      }
+      return static_cast<double>(pages);
+    });
+    series_.AddCounter("pool.prefix_hits", [sim] {
+      std::uint64_t hits = 0;
+      server::VideoServer& server = sim->server();
+      for (int n = 0; n < server.num_nodes(); ++n) {
+        hits += server.node(n).pool().stats().prefix_hits;
+      }
+      return static_cast<double>(hits);
+    });
+  }
+
   // --- Fault injector (only on runs with an active FaultPlan, so
   // healthy-run telemetry keeps the lean schema) ---
   if (sim->fault_state() != nullptr) {

@@ -76,7 +76,7 @@ class TerminalTest : public ::testing::Test {
 
   void Build(TerminalParams params = TerminalParams(),
              double video_seconds = 30.0,
-             PiggybackManager* piggyback = nullptr) {
+             StreamShareManager* share = nullptr) {
     mpeg::ZipfDistribution popularity(2, 0.0);
     library_ = std::make_unique<mpeg::VideoLibrary>(
         2, video_seconds, mpeg::MpegParams(), popularity, 1);
@@ -91,7 +91,7 @@ class TerminalTest : public ::testing::Test {
     params.random_initial_position = false;  // deterministic tests
     terminal_ = std::make_unique<Terminal>(
         &env_, 0, params, network_.get(), fake_.get(), library_.get(),
-        layout_.get(), sim::Rng(7), /*start_time=*/0.0, piggyback);
+        layout_.get(), sim::Rng(7), /*start_time=*/0.0, share);
   }
 
   sim::Environment env_;
@@ -248,7 +248,7 @@ TEST_F(TerminalTest, PiggybackFollowerSendsNoRequests) {
       std::vector<std::int64_t>{library_->NumBlocks(0, kBlock)});
   network_ = std::make_unique<hw::Network>(&env_, hw::NetworkParams());
   fake_ = std::make_unique<FakeServer>(&env_, network_.get());
-  PiggybackManager manager(&env_, 5.0);
+  StreamShareManager manager(&env_, 5.0);
   TerminalParams params;
   params.random_initial_position = false;
   Terminal leader(&env_, 0, params, network_.get(), fake_.get(),

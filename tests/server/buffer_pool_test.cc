@@ -221,6 +221,73 @@ TEST_F(BufferPoolTest, WastedPrefetchOnlyWhenNeverReferenced) {
   EXPECT_EQ(pool_->stats().evictions, 1u);
 }
 
+TEST_F(BufferPoolTest, PinnedPrefixPageSurvivesEvictionPressure) {
+  Build(2, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* prefix = FillPage(0, 0);
+  FillPage(0, 1);
+  pool_->PinPrefix(prefix);
+  EXPECT_EQ(pool_->pinned_pages(), 1);
+  // Repeated allocation pressure must always recycle the other slot;
+  // the pinned prefix page never leaves the table.
+  for (int i = 2; i < 8; ++i) {
+    BufferPool::Page* page = pool_->Allocate(PageKey{0, i}, false);
+    ASSERT_NE(page, nullptr);
+    EXPECT_NE(page, prefix);
+    pool_->Complete(page);
+    pool_->Unpin(page);
+  }
+  EXPECT_EQ(pool_->Lookup(PageKey{0, 0}), prefix);
+  EXPECT_TRUE(prefix->pinned_prefix);
+}
+
+TEST_F(BufferPoolTest, PinnedPrefixSurvivesUnderLovePrefetch) {
+  Build(2, ReplacementPolicy::kLovePrefetch);
+  BufferPool::Page* prefix = FillPage(0, 0, /*prefetch=*/true);
+  FillPage(0, 1, /*prefetch=*/true);
+  pool_->PinPrefix(prefix);
+  // Both eviction chains are scanned before giving up; neither may
+  // yield the pinned page.
+  BufferPool::Page* page = pool_->Allocate(PageKey{0, 2}, false);
+  ASSERT_NE(page, nullptr);
+  EXPECT_NE(page, prefix);
+  EXPECT_EQ(pool_->Lookup(PageKey{0, 0}), prefix);
+}
+
+TEST_F(BufferPoolTest, PinnedPrefetchedPageNeverCountsWasted) {
+  Build(1, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* page = FillPage(0, 0, /*prefetch=*/true);
+  pool_->PinPrefix(page);   // pinning clears the prefetched mark
+  pool_->UnpinPrefix(page); // back on the LRU, evictable again
+  pool_->Allocate(PageKey{0, 1}, false);
+  EXPECT_EQ(pool_->stats().evictions, 1u);
+  EXPECT_EQ(pool_->stats().wasted_prefetches, 0u);
+}
+
+TEST_F(BufferPoolTest, PrefixHitCountsReferencesToPinnedPages) {
+  Build(4, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* prefix = FillPage(0, 0);
+  BufferPool::Page* plain = FillPage(0, 1);
+  pool_->PinPrefix(prefix);
+  pool_->RecordReference(prefix, 1);
+  pool_->Touch(prefix, 1);
+  pool_->RecordReference(plain, 1);
+  pool_->Touch(plain, 1);
+  EXPECT_EQ(pool_->stats().prefix_hits, 1u);
+  EXPECT_EQ(pool_->stats().hits, 2u);
+}
+
+TEST_F(BufferPoolTest, TouchLeavesPinnedPageOnPinnedChain) {
+  Build(4, ReplacementPolicy::kGlobalLru);
+  BufferPool::Page* prefix = FillPage(0, 0);
+  pool_->PinPrefix(prefix);
+  pool_->Touch(prefix, 2);
+  EXPECT_EQ(pool_->chain_size(BufferPool::kPinnedChain), 1u);
+  EXPECT_EQ(pool_->pinned_pages(), 1);
+  pool_->UnpinPrefix(prefix);
+  EXPECT_EQ(pool_->chain_size(BufferPool::kPinnedChain), 0u);
+  EXPECT_EQ(pool_->chain_size(BufferPool::kReferencedChain), 1u);
+}
+
 TEST_F(BufferPoolTest, PagesInUseTracksFreeList) {
   Build(4, ReplacementPolicy::kGlobalLru);
   EXPECT_EQ(pool_->pages_in_use(), 0);

@@ -154,6 +154,53 @@ TEST(SimConfigTest, DescribeMentionsKeyChoices) {
   EXPECT_NE(description.find("z=1"), std::string::npos);
 }
 
+TEST(SimConfigTest, ValidatesStreamSharingKnobs) {
+  {
+    SimConfig c;
+    c.patch_window_sec = -1.0;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.patch_window_sec = c.video_seconds;  // must be < the video
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.prefix_cache_fraction = 0.6;  // must leave eviction headroom
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.prefix_cache_fraction = 0.25;
+    c.prefix_recompute_sec = 0.0;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.piggyback_window_sec = 60.0;
+    c.patch_window_sec = 45.0;
+    c.prefix_cache_fraction = 0.25;
+    EXPECT_TRUE(c.Validate().empty());
+    EXPECT_TRUE(c.stream_sharing_enabled());
+  }
+}
+
+TEST(SimConfigTest, DescribeMentionsSharingOnlyWhenEnabled) {
+  SimConfig c;
+  EXPECT_EQ(c.Describe().find("batch"), std::string::npos);
+  EXPECT_EQ(c.Describe().find("patch"), std::string::npos);
+  EXPECT_EQ(c.Describe().find("prefix"), std::string::npos);
+  EXPECT_FALSE(c.stream_sharing_enabled());
+  c.piggyback_window_sec = 60.0;
+  c.patch_window_sec = 45.0;
+  c.prefix_cache_fraction = 0.25;
+  std::string description = c.Describe();
+  EXPECT_NE(description.find("batch 60 s"), std::string::npos);
+  EXPECT_NE(description.find("patch 45 s"), std::string::npos);
+  EXPECT_NE(description.find("prefix 0.25"), std::string::npos);
+}
+
 TEST(SimConfigTest, ScaleupPreservesVideosPerDisk) {
   SimConfig config;
   config.disks_per_node = 16;  // x4 scaleup keeps 4 CPUs

@@ -56,6 +56,13 @@ void ExpectBitIdentical(const SimMetrics& a, const SimMetrics& b) {
   EXPECT_EQ(a.frames_displayed, b.frames_displayed);
   EXPECT_EQ(a.videos_completed, b.videos_completed);
   EXPECT_EQ(a.events_simulated, b.events_simulated);
+  EXPECT_EQ(a.share_groups, b.share_groups);
+  EXPECT_EQ(a.share_followers, b.share_followers);
+  EXPECT_EQ(a.share_patches, b.share_patches);
+  EXPECT_EQ(a.share_patch_seconds, b.share_patch_seconds);
+  EXPECT_EQ(a.share_handoffs, b.share_handoffs);
+  EXPECT_EQ(a.prefix_hits, b.prefix_hits);
+  EXPECT_EQ(a.prefix_pinned_pages, b.prefix_pinned_pages);
   EXPECT_EQ(a.faults_injected, b.faults_injected);
   EXPECT_EQ(a.repairs_completed, b.repairs_completed);
   EXPECT_EQ(a.mttr_sec, b.mttr_sec);

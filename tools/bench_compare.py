@@ -39,6 +39,9 @@ def load_rates(path):
                 rates[bench["name"]] = float(rate)
     else:
         # Committed nested shape: {harness: {name: {after_items_per_sec}}}.
+        # Sections recording non-throughput results (e.g. "stream_share"
+        # capacity tables) carry no after_items_per_sec entries and are
+        # skipped — the file may hold any mix of sections.
         for harness, entries in data.items():
             if not isinstance(entries, dict):
                 continue
