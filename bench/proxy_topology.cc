@@ -1,0 +1,137 @@
+// Hierarchical proxy tier: two-tier topology with popularity-aware
+// cache policies (proxy/proxy_node.h).
+//
+// Two questions, two phases:
+//
+//  1. Origin offload — at a fixed terminal count, how much of the
+//     request stream do the proxy caches absorb (hits + attaches) as a
+//     function of cache size, replacement policy, and popularity skew?
+//     Swept at the video-rental skew (z = 0.271) and the paper's
+//     default z = 1; offload must grow with cache size and the
+//     popularity-aware policies must not trail plain LRU at high skew.
+//
+//  2. Capacity gain — the offloaded origin work buys admission
+//     headroom: glitch-free capacity with the proxy tier off vs on,
+//     same hardware.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "proxy/proxy_cache.h"
+
+int main(int argc, char** argv) {
+  spiffi::bench::InitHarness(argc, argv);
+  using namespace spiffi;
+  bench::Preset preset = bench::ActivePreset();
+  bench::PrintHeader("hierarchical proxy tier", "two-tier topology",
+                     preset);
+  bool smoke = preset == bench::Preset::kSmoke;
+
+  constexpr int kProxies = 4;
+
+  // Proxy caches pay off when request streams overlap: terminals watch
+  // from the beginning (VCR-style starts, as in the stream-share
+  // experiments) staggered over a wide arrival window, over a compact
+  // popular library of 10-minute features. At 4 Mbit/s one 512 KB page
+  // holds one second of footage, so pages/proxy reads directly as the
+  // seconds of trailing footage a follower can still find cached.
+  auto shared_start_config = [&](bench::Preset p) {
+    vod::SimConfig config = bench::BaseConfig(p);
+    config.videos_per_disk = 1;  // 16-video popular library
+    config.video_seconds = 600.0;
+    config.random_initial_position = false;
+    config.start_window_sec = smoke ? 120.0 : 600.0;
+    config.warmup_seconds = config.start_window_sec + 60.0;
+    config.measure_seconds = smoke ? 60.0 : 240.0;
+    return config;
+  };
+
+  // --- Phase 1: origin offload at fixed load ---
+  const int terminals = smoke ? 60 : 160;
+  std::vector<std::int64_t> cache_pages =
+      smoke ? std::vector<std::int64_t>{128, 512}
+            : std::vector<std::int64_t>{128, 512, 2048};
+  std::vector<double> skews =
+      smoke ? std::vector<double>{0.271} : std::vector<double>{0.271, 1.0};
+  const proxy::ProxyPolicy policies[] = {
+      proxy::ProxyPolicy::kLru, proxy::ProxyPolicy::kRankZipf,
+      proxy::ProxyPolicy::kAdaptivePrefix};
+
+  vod::TextTable offload_table(
+      {"z", "policy", "pages/proxy", "offload", "hit ratio",
+       "origin reads/s", "fwd ms"});
+  for (double z : skews) {
+    for (proxy::ProxyPolicy policy : policies) {
+      for (std::int64_t pages : cache_pages) {
+        vod::SimConfig config = shared_start_config(preset);
+        config.zipf_z = z;
+        config.terminals = terminals;
+        config.proxy_nodes = kProxies;
+        config.proxy_cache_pages = pages;
+        config.proxy_policy = policy;
+        vod::SimMetrics m = vod::RunSimulation(config);
+        double hit_ratio =
+            m.proxy_references == 0
+                ? 0.0
+                : static_cast<double>(m.proxy_hits) / m.proxy_references;
+        double origin_reads_per_sec =
+            m.measured_seconds == 0.0 ? 0.0
+                                      : m.disk_reads / m.measured_seconds;
+        offload_table.AddRow(
+            {vod::FmtDouble(z, 3), proxy::ProxyPolicyName(policy),
+             std::to_string(pages),
+             vod::FmtDouble(m.proxy_offload_ratio(), 3),
+             vod::FmtDouble(hit_ratio, 3),
+             vod::FmtDouble(origin_reads_per_sec, 1),
+             vod::FmtDouble(m.avg_proxy_forward_ms, 2)});
+        std::fprintf(stderr,
+                     "  z=%.3f %s %lld pages: offload %.3f (%llu refs)\n",
+                     z, proxy::ProxyPolicyName(policy),
+                     static_cast<long long>(pages), m.proxy_offload_ratio(),
+                     static_cast<unsigned long long>(m.proxy_references));
+      }
+    }
+  }
+  offload_table.Print();
+
+  // --- Phase 2: capacity gain from the offload ---
+  // The proxy tier buys admission headroom only when the origin is the
+  // bottleneck: a lean origin pool (128 MB across the cluster) over the
+  // full 64-video library, so origin disks carry the misses the proxies
+  // fail to absorb.
+  vod::SimConfig base = shared_start_config(preset);
+  base.videos_per_disk = 4;  // full library again
+  base.server_memory_bytes = 128 * hw::kMiB;
+  base.zipf_z = 0.271;
+  vod::CapacitySearchOptions options = bench::SearchOptions(preset, 200);
+  options.step = smoke ? 25 : 10;
+  options.max_terminals = smoke ? 400 : 1200;
+
+  vod::SimConfig flat = base;
+  vod::CapacityResult flat_result = vod::FindMaxTerminals(flat, options);
+
+  vod::SimConfig proxied = base;
+  proxied.proxy_nodes = kProxies;
+  proxied.proxy_cache_pages = smoke ? 512 : 2048;
+  proxied.proxy_policy = proxy::ProxyPolicy::kRankZipf;
+  vod::CapacityResult proxied_result =
+      vod::FindMaxTerminals(proxied, options);
+
+  double gain = flat_result.max_terminals > 0
+                    ? static_cast<double>(proxied_result.max_terminals) /
+                          flat_result.max_terminals
+                    : 0.0;
+  vod::TextTable capacity_table(
+      {"topology", "capacity", "gain"});
+  capacity_table.AddRow({"flat", std::to_string(flat_result.max_terminals),
+                         "x1.00"});
+  capacity_table.AddRow(
+      {"proxy " + std::to_string(kProxies) + "x" +
+           std::to_string(proxied.proxy_cache_pages) + " rank-zipf",
+       std::to_string(proxied_result.max_terminals),
+       "x" + vod::FmtDouble(gain, 2)});
+  capacity_table.Print();
+  return 0;
+}

@@ -17,7 +17,8 @@ Terminal::Terminal(sim::Environment* env, int id,
                    const mpeg::VideoLibrary* library,
                    const layout::Layout* layout, sim::Rng rng,
                    sim::SimTime start_time, StreamShareManager* share,
-                   const fault::FaultState* fault)
+                   const fault::FaultState* fault,
+                   server::MessageSink* ingress)
     : env_(env),
       id_(id),
       params_(params),
@@ -27,7 +28,8 @@ Terminal::Terminal(sim::Environment* env, int id,
       layout_(layout),
       rng_(rng),
       share_(share),
-      fault_(fault) {
+      fault_(fault),
+      ingress_(ingress) {
   SPIFFI_CHECK(env != nullptr);
   SPIFFI_CHECK(params.memory_bytes >= params.block_bytes);
   env_->Schedule(start_time, this, kStartToken);
@@ -329,7 +331,11 @@ void Terminal::IssueRequests() {
     if (occupied_bytes_ + inflight_bytes_ + bytes > params_.memory_bytes) {
       break;  // no room to buffer another block
     }
-    layout::BlockLocation loc = RouteForBlock(next_request_block_);
+    server::MessageSink* sink = ingress_;
+    if (sink == nullptr) {
+      layout::BlockLocation loc = RouteForBlock(next_request_block_);
+      sink = server_->node_sink(loc.node);
+    }
 
     Message request;
     request.kind = Message::Kind::kReadRequest;
@@ -345,8 +351,8 @@ void Terminal::IssueRequests() {
         obs::Tracer::kTerminalsPid,
         {{"terminal", static_cast<double>(id_)},
          {"block", static_cast<double>(next_request_block_)}});
-    server::PostMessage(env_, network_, server::kControlMessageBytes,
-                        server_->node_sink(loc.node), request);
+    server::PostMessage(env_, network_, server::kControlMessageBytes, sink,
+                        request);
 
     inflight_bytes_ += bytes;
     issue_time_[next_request_block_] =
@@ -610,7 +616,11 @@ void Terminal::StartSearchSegment() {
     search_blocks_pending_.insert(b);
   }
   for (std::int64_t b = b0; b <= b1; ++b) {
-    layout::BlockLocation loc = RouteForBlock(b);
+    server::MessageSink* sink = ingress_;
+    if (sink == nullptr) {
+      layout::BlockLocation loc = RouteForBlock(b);
+      sink = server_->node_sink(loc.node);
+    }
     Message request;
     request.kind = Message::Kind::kReadRequest;
     request.terminal = id_;
@@ -623,8 +633,8 @@ void Terminal::StartSearchSegment() {
         env_->now() + search_show_sec_ + search_skip_sec_;
     request.reply_to = this;
     request.cookie = epoch_;
-    server::PostMessage(env_, network_, server::kControlMessageBytes,
-                        server_->node_sink(loc.node), request);
+    server::PostMessage(env_, network_, server::kControlMessageBytes, sink,
+                        request);
     ++stats_.requests_sent;
   }
 }

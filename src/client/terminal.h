@@ -129,13 +129,16 @@ class Terminal final : public server::MessageSink,
   // The terminal schedules its own first start at `start_time`.
   // `share` may be nullptr (no batching/patching); `fault` may be
   // nullptr (no failure awareness — requests always target the primary
-  // copy).
+  // copy). When `ingress` is set (the terminal's assigned proxy in a
+  // two-tier topology) every request goes there instead of being routed
+  // to an origin node; the proxy tier handles failover itself.
   Terminal(sim::Environment* env, int id, const TerminalParams& params,
            hw::Network* network, server::NodeDirectory* server,
            const mpeg::VideoLibrary* library, const layout::Layout* layout,
            sim::Rng rng, sim::SimTime start_time,
            StreamShareManager* share = nullptr,
-           const fault::FaultState* fault = nullptr);
+           const fault::FaultState* fault = nullptr,
+           server::MessageSink* ingress = nullptr);
 
   Terminal(const Terminal&) = delete;
   Terminal& operator=(const Terminal&) = delete;
@@ -254,6 +257,7 @@ class Terminal final : public server::MessageSink,
   sim::Rng rng_;
   StreamShareManager* share_;
   const fault::FaultState* fault_;
+  server::MessageSink* ingress_;  // proxy hop; nullptr = flat topology
 
   State state_ = State::kIdle;
   int video_ = -1;

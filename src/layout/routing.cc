@@ -1,0 +1,21 @@
+#include "layout/routing.h"
+
+#include "sim/check.h"
+
+namespace spiffi::layout {
+
+TierRouter::TierRouter(const Layout* layout, int proxy_nodes)
+    : layout_(layout), proxy_nodes_(proxy_nodes) {
+  SPIFFI_CHECK(layout != nullptr);
+  SPIFFI_CHECK(proxy_nodes >= 0);
+}
+
+TierRoute TierRouter::RouteForBlock(int terminal, int video,
+                                    std::int64_t block) const {
+  TierRoute route;
+  route.proxy = ProxyForTerminal(terminal);
+  route.origin = layout_->Replicas(video, block);
+  return route;
+}
+
+}  // namespace spiffi::layout

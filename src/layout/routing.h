@@ -1,0 +1,62 @@
+// Multi-tier request routing: generalizes Layout::Replicas() into a
+// topology-aware resolver.
+//
+// The flat cluster routes a block request straight to the origin node
+// owning its stripe (Layout::Locate). With a proxy tier configured, the
+// request first hops to the terminal's assigned proxy cache; the proxy
+// serves hits locally and forwards misses to the origin. TierRouter is
+// the one place that resolves both hops:
+//
+//   * the proxy hop — a static, deterministic terminal -> proxy
+//     assignment (terminal % proxy_nodes), and
+//   * the origin hop — every physical copy of the block, primary first,
+//     exactly as Layout::Replicas() reports it, so the degraded-read
+//     fallback order is identical to the flat topology's.
+//
+// RouteForBlock is a pure function of (terminal, video, block): no
+// state, no randomness, so routing is bit-identical at any --jobs N and
+// a zero-proxy router degenerates to the flat topology (proxy == -1).
+
+#ifndef SPIFFI_LAYOUT_ROUTING_H_
+#define SPIFFI_LAYOUT_ROUTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.h"
+
+namespace spiffi::layout {
+
+// Resolved route for one block request: the proxy-tier hop (if any)
+// plus every origin copy, primary first (origin[0] == Locate()).
+struct TierRoute {
+  int proxy = -1;                     // -1: no proxy tier
+  std::vector<BlockLocation> origin;  // Layout::Replicas(), primary first
+};
+
+class TierRouter {
+ public:
+  // `proxy_nodes` == 0 builds a flat (single-tier) router.
+  TierRouter(const Layout* layout, int proxy_nodes);
+
+  int proxy_nodes() const { return proxy_nodes_; }
+  const Layout* layout() const { return layout_; }
+
+  // Static terminal -> proxy assignment; -1 when the proxy tier is
+  // empty.
+  int ProxyForTerminal(int terminal) const {
+    return proxy_nodes_ == 0 ? -1 : terminal % proxy_nodes_;
+  }
+
+  // Full route for `terminal`'s request for (video, block).
+  TierRoute RouteForBlock(int terminal, int video,
+                          std::int64_t block) const;
+
+ private:
+  const Layout* layout_;
+  int proxy_nodes_;
+};
+
+}  // namespace spiffi::layout
+
+#endif  // SPIFFI_LAYOUT_ROUTING_H_

@@ -19,6 +19,7 @@ const char* TraceCategoryName(TraceCategory category) {
     case TraceCategory::kPrefetch: return "prefetch";
     case TraceCategory::kKernel: return "kernel";
     case TraceCategory::kFault: return "fault";
+    case TraceCategory::kProxy: return "proxy";
   }
   return "unknown";
 }

@@ -50,8 +50,9 @@ enum class TraceCategory : std::uint8_t {
   kPrefetch,
   kKernel,
   kFault,
+  kProxy,
 };
-inline constexpr int kNumTraceCategories = 8;
+inline constexpr int kNumTraceCategories = 9;
 const char* TraceCategoryName(TraceCategory category);
 
 // One optional key/value annotation on an event. Keys must be string
@@ -82,6 +83,7 @@ class Tracer {
   static constexpr std::int32_t kNetworkPid = 2;
   static constexpr std::int32_t kFaultPid = 3;
   static constexpr std::int32_t kNodePidBase = 10;
+  static constexpr std::int32_t kProxyPidBase = 500;
   static constexpr std::int32_t kCpuTid = 0;
   static constexpr std::int32_t kDiskTidBase = 1;
   static constexpr std::int32_t kPoolTid = 99;

@@ -1,0 +1,148 @@
+#include "proxy/proxy_node.h"
+
+#include "obs/trace.h"
+#include "obs/tracer.h"
+#include "sim/check.h"
+
+namespace spiffi::proxy {
+
+ProxyNode::ProxyNode(sim::Environment* env, const ProxyParams& params,
+                     hw::Network* network, server::NodeDirectory* origin,
+                     const layout::TierRouter* router,
+                     const mpeg::VideoLibrary* library,
+                     const fault::FaultState* fault)
+    : env_(env),
+      params_(params),
+      network_(network),
+      origin_(origin),
+      router_(router),
+      fault_(fault),
+      cache_(params.cache_pages, params.policy,
+             [&] {
+               std::vector<std::int64_t> blocks(library->count());
+               for (int v = 0; v < library->count(); ++v) {
+                 blocks[v] = library->NumBlocks(v, params.block_bytes);
+               }
+               return blocks;
+             }()),
+      trace_pid_(obs::Tracer::kProxyPidBase + params.id) {
+  SPIFFI_CHECK(env != nullptr);
+  SPIFFI_CHECK(network != nullptr);
+  SPIFFI_CHECK(origin != nullptr);
+  SPIFFI_CHECK(router != nullptr);
+  if (params_.policy != ProxyPolicy::kLru && params_.recompute_sec > 0.0) {
+    env_->Spawn(RecomputeLoop());
+  }
+}
+
+void ProxyNode::OnMessage(const server::Message& message) {
+  switch (message.kind) {
+    case server::Message::Kind::kReadRequest:
+      HandleRequest(message);
+      return;
+    case server::Message::Kind::kReadReply:
+      HandleReply(message);
+      return;
+  }
+}
+
+void ProxyNode::HandleRequest(const server::Message& message) {
+  cache_.RecordReference(message.video);
+  ++stats_.references;
+
+  const server::PageKey key{message.video, message.block};
+  if (cache_.Contains(message.video, message.block)) {
+    // Hit: answer from the proxy, never touching the origin tier. The
+    // proxy charges no node time (dedicated hardware, see the header).
+    cache_.Touch(message.video, message.block);
+    ++stats_.hits;
+    stats_.bytes_from_cache += static_cast<std::uint64_t>(message.bytes);
+    server::Message reply = message;
+    reply.kind = server::Message::Kind::kReadReply;
+    reply.reply_to = nullptr;
+    reply.timing.node_received = env_->now();
+    reply.timing.reply_sent = env_->now();
+    reply.timing.path = server::ReadTiming::Path::kHit;
+    obs::TraceInstant(env_, obs::TraceCategory::kProxy, "hit", trace_pid_,
+                      obs::Tracer::kCpuTid);
+    server::PostMessage(env_, network_, reply.bytes, message.reply_to, reply);
+    return;
+  }
+
+  auto pending = pending_.find(key);
+  if (pending != pending_.end()) {
+    // A forward for this block is already in flight: attach to it.
+    ++stats_.attaches;
+    pending->second.waiters.push_back(
+        Waiter{message.reply_to, message.terminal, message.cookie});
+    obs::TraceInstant(env_, obs::TraceCategory::kProxy, "attach", trace_pid_,
+                      obs::Tracer::kCpuTid);
+    return;
+  }
+
+  // Miss: forward to the first live origin copy, primary first — the
+  // same failover order terminals use in the flat topology.
+  ++stats_.forwards;
+  PendingForward& forward = pending_[key];
+  forward.forward_time = env_->now();
+  forward.waiters.push_back(
+      Waiter{message.reply_to, message.terminal, message.cookie});
+
+  const layout::TierRoute route =
+      router_->RouteForBlock(message.terminal, message.video, message.block);
+  const layout::BlockLocation* target = &route.origin.front();
+  if (fault_ != nullptr) {
+    for (const layout::BlockLocation& loc : route.origin) {
+      if (fault_->LocationUp(loc)) {
+        target = &loc;
+        break;
+      }
+    }
+    // All copies down: fall through to the primary; the origin's own
+    // degraded-read machinery parks the request until a copy returns.
+  }
+
+  server::Message fwd = message;
+  fwd.reply_to = this;
+  obs::TraceInstant(env_, obs::TraceCategory::kProxy, "forward", trace_pid_,
+                    obs::Tracer::kCpuTid);
+  server::PostMessage(env_, network_, server::kControlMessageBytes,
+                      origin_->node_sink(target->node), fwd);
+}
+
+void ProxyNode::HandleReply(const server::Message& message) {
+  const server::PageKey key{message.video, message.block};
+  auto it = pending_.find(key);
+  SPIFFI_CHECK(it != pending_.end());
+  stats_.forward_latency.Add(env_->now() - it->second.forward_time);
+  cache_.Insert(message.video, message.block);
+  obs::TraceCounter(env_, obs::TraceCategory::kProxy, "cached_pages",
+                    trace_pid_, obs::Tracer::kCpuTid,
+                    static_cast<double>(cache_.pages_in_use()));
+  // Fan the origin reply out to every waiter, re-addressed per terminal.
+  // The vector is moved out first: PostMessage delivery is deferred, but
+  // erase invalidates the PendingForward either way.
+  std::vector<Waiter> waiters = std::move(it->second.waiters);
+  pending_.erase(it);
+  for (const Waiter& waiter : waiters) {
+    server::Message reply = message;
+    reply.terminal = waiter.terminal;
+    reply.cookie = waiter.cookie;
+    reply.reply_to = nullptr;
+    server::PostMessage(env_, network_, reply.bytes, waiter.sink, reply);
+  }
+}
+
+void ProxyNode::ResetStats() {
+  stats_ = Stats();
+  cache_.ResetStats();
+}
+
+sim::Process ProxyNode::RecomputeLoop() {
+  for (;;) {
+    co_await env_->Hold(params_.recompute_sec);
+    cache_.Recompute();
+  }
+}
+
+}  // namespace spiffi::proxy

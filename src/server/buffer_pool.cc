@@ -51,21 +51,9 @@ void BufferPool::RecordMiss() {
 }
 
 void BufferPool::RemoveFromChain(Page* page) {
-  int chain = page->chain;
-  if (chain < 0) return;
-  if (page->lru_prev != nullptr) {
-    page->lru_prev->lru_next = page->lru_next;
-  } else {
-    chain_head_[chain] = page->lru_next;
-  }
-  if (page->lru_next != nullptr) {
-    page->lru_next->lru_prev = page->lru_prev;
-  } else {
-    chain_tail_[chain] = page->lru_prev;
-  }
-  page->lru_prev = page->lru_next = nullptr;
+  if (page->chain < 0) return;
+  chains_[page->chain].Remove(page);
   page->chain = -1;
-  --chain_count_[chain];
 }
 
 void BufferPool::AppendToChain(Page* page, int chain) {
@@ -76,16 +64,8 @@ void BufferPool::AppendToChain(Page* page, int chain) {
       chain == kPrefetchedChain) {
     chain = kReferencedChain;
   }
-  page->lru_prev = chain_tail_[chain];
-  page->lru_next = nullptr;
-  if (chain_tail_[chain] != nullptr) {
-    chain_tail_[chain]->lru_next = page;
-  } else {
-    chain_head_[chain] = page;
-  }
-  chain_tail_[chain] = page;
+  chains_[chain].Append(page);
   page->chain = chain;
-  ++chain_count_[chain];
 }
 
 void BufferPool::Touch(Page* page, int terminal) {
@@ -117,7 +97,7 @@ void BufferPool::UnpinPrefix(Page* page) {
 }
 
 BufferPool::Page* BufferPool::EvictFrom(int chain) {
-  for (Page* page = chain_head_[chain]; page != nullptr;
+  for (Page* page = chains_[chain].head(); page != nullptr;
        page = page->lru_next) {
     if (page->pin_count == 0 && !page->io_in_flight) {
       RemoveFromChain(page);

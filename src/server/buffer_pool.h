@@ -18,10 +18,11 @@
 // wasted prefetches; the node sizes and reconciles the pinned set from
 // measured popularity (see server/node.h).
 //
-// The LRU chains are intrusive: the prev/next links live in the Page
-// itself, so moving a page between chains (the per-reference hot path)
-// is a handful of pointer writes with no node allocation. Each page also
-// embeds its I/O-completion WaitList directly.
+// The LRU chains are intrusive (server/intrusive_chain.h): the
+// prev/next links live in the Page itself, so moving a page between
+// chains (the per-reference hot path) is a handful of pointer writes
+// with no node allocation. Each page also embeds its I/O-completion
+// WaitList directly.
 //
 // Concurrency protocol (single-threaded simulation, coroutine processes):
 //  * Lookup finds a page that is valid or still being filled by an I/O.
@@ -41,6 +42,7 @@
 #include <vector>
 
 #include "hw/disk.h"
+#include "server/intrusive_chain.h"
 #include "sim/environment.h"
 #include "sim/random.h"
 #include "sim/wait_list.h"
@@ -153,7 +155,7 @@ class BufferPool {
   // the reconcile step after popularity shifts shrink a video's quota.
   template <typename Keep>
   void ReconcilePinned(Keep&& keep) {
-    Page* page = chain_head_[kPinnedChain];
+    Page* page = chains_[kPinnedChain].head();
     while (page != nullptr) {
       Page* next = page->lru_next;
       if (!keep(page->key)) UnpinPrefix(page);
@@ -177,9 +179,9 @@ class BufferPool {
   std::int64_t pages_in_use() const {
     return num_pages() - static_cast<std::int64_t>(free_.size());
   }
-  std::size_t chain_size(int chain) const { return chain_count_[chain]; }
+  std::size_t chain_size(int chain) const { return chains_[chain].size(); }
   std::int64_t pinned_pages() const {
-    return static_cast<std::int64_t>(chain_count_[kPinnedChain]);
+    return static_cast<std::int64_t>(chains_[kPinnedChain].size());
   }
   ReplacementPolicy policy() const { return policy_; }
 
@@ -202,10 +204,8 @@ class BufferPool {
   std::deque<Page> pages_;
   std::vector<Page*> free_;
   std::unordered_map<PageKey, Page*, PageKeyHash> table_;
-  // Intrusive chain endpoints: head = LRU (eviction) end, tail = MRU.
-  Page* chain_head_[3] = {nullptr, nullptr, nullptr};
-  Page* chain_tail_[3] = {nullptr, nullptr, nullptr};
-  std::size_t chain_count_[3] = {0, 0, 0};
+  // Intrusive chains: head = LRU (eviction) end, tail = MRU.
+  IntrusiveChain<Page> chains_[3];
   sim::WaitList free_waiters_;
   Stats stats_;
   std::int32_t trace_pid_ = 0;

@@ -1,0 +1,67 @@
+// Intrusive doubly-linked LRU chain, extracted from the buffer pool so
+// every bounded cache in the system (origin buffer pools, proxy caches)
+// shares one chain implementation.
+//
+// The prev/next links live inside the element itself (`T::lru_prev` /
+// `T::lru_next`), so moving an element between chains — the
+// per-reference hot path — is a handful of pointer writes with no node
+// allocation. Convention throughout: head = LRU (eviction) end,
+// tail = MRU end.
+//
+// The chain does not own its elements and performs no bookkeeping
+// beyond the links and a size counter; callers track which chain an
+// element is on (e.g. BufferPool::Page::chain).
+
+#ifndef SPIFFI_SERVER_INTRUSIVE_CHAIN_H_
+#define SPIFFI_SERVER_INTRUSIVE_CHAIN_H_
+
+#include <cstddef>
+
+namespace spiffi::server {
+
+template <typename T>
+class IntrusiveChain {
+ public:
+  T* head() const { return head_; }
+  T* tail() const { return tail_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Unlinks `item`, which must currently be on this chain.
+  void Remove(T* item) {
+    if (item->lru_prev != nullptr) {
+      item->lru_prev->lru_next = item->lru_next;
+    } else {
+      head_ = item->lru_next;
+    }
+    if (item->lru_next != nullptr) {
+      item->lru_next->lru_prev = item->lru_prev;
+    } else {
+      tail_ = item->lru_prev;
+    }
+    item->lru_prev = item->lru_next = nullptr;
+    --size_;
+  }
+
+  // Links `item`, which must not be on any chain, at the MRU end.
+  void Append(T* item) {
+    item->lru_prev = tail_;
+    item->lru_next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->lru_next = item;
+    } else {
+      head_ = item;
+    }
+    tail_ = item;
+    ++size_;
+  }
+
+ private:
+  T* head_ = nullptr;
+  T* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spiffi::server
+
+#endif  // SPIFFI_SERVER_INTRUSIVE_CHAIN_H_

@@ -59,6 +59,18 @@ std::string SimConfig::Validate() const {
     return "prefix_recompute_sec must be positive when the prefix cache "
            "is enabled";
   }
+  if (proxy_nodes < 0) return "proxy_nodes must be non-negative";
+  if (proxy_nodes > 0) {
+    if (proxy_cache_pages <= 0) {
+      return "proxy_cache_pages must be positive when the proxy tier is "
+             "enabled";
+    }
+    if (proxy_policy != proxy::ProxyPolicy::kLru &&
+        proxy_recompute_sec <= 0.0) {
+      return "proxy_recompute_sec must be positive for popularity-aware "
+             "proxy policies";
+    }
+  }
   if (warmup_seconds < start_window_sec) {
     return "warmup must cover the terminal start window";
   }
@@ -106,6 +118,10 @@ std::string SimConfig::Describe() const {
   if (patch_window_sec > 0.0) out << ", patch " << patch_window_sec << " s";
   if (prefix_cache_fraction > 0.0) {
     out << ", prefix " << prefix_cache_fraction;
+  }
+  if (proxy_nodes > 0) {
+    out << ", proxy " << proxy_nodes << "x" << proxy_cache_pages << " "
+        << proxy::ProxyPolicyName(proxy_policy);
   }
   if (fault_plan.enabled()) out << ", faults: " << fault_plan.Describe();
   return out.str();

@@ -14,6 +14,7 @@
 #include "hw/disk_params.h"
 #include "hw/network.h"
 #include "mpeg/frame_model.h"
+#include "proxy/proxy_cache.h"
 #include "server/buffer_pool.h"
 #include "server/disk_sched.h"
 #include "server/prefetch.h"
@@ -96,6 +97,15 @@ struct SimConfig {
   // streams and new groups start from memory. 0 disables.
   double prefix_cache_fraction = 0.0;
   double prefix_recompute_sec = 30.0;
+  // --- Proxy tier (proxy/proxy_node.h) ---
+  // Proxy-cache nodes between the terminals and the origin cluster.
+  // Terminals route every request to their assigned proxy (terminal %
+  // proxy_nodes); hits are served there, misses forwarded to the origin.
+  // 0 disables the tier (flat topology, bit-identical to before).
+  int proxy_nodes = 0;
+  std::int64_t proxy_cache_pages = 256;  // per proxy, in stripe blocks
+  proxy::ProxyPolicy proxy_policy = proxy::ProxyPolicy::kLru;
+  double proxy_recompute_sec = 30.0;  // popularity re-rank/re-quota period
   // First videos start at random playback positions (steady-state
   // initialization); disabled automatically when stream sharing is on.
   bool random_initial_position = true;

@@ -58,6 +58,14 @@ struct SimMetrics {
   std::uint64_t prefix_hits = 0;        // references served by pinned pages
   std::int64_t prefix_pinned_pages = 0; // pinned pages at collection time
 
+  // Proxy tier (all zero when proxy_nodes == 0). Summed over proxies.
+  std::uint64_t proxy_references = 0;      // terminal requests at proxies
+  std::uint64_t proxy_hits = 0;            // served from a proxy cache
+  std::uint64_t proxy_attaches = 0;        // joined an in-flight forward
+  std::uint64_t proxy_forwards = 0;        // misses forwarded to origin
+  std::uint64_t proxy_bytes_from_cache = 0;  // payload bytes hits saved
+  double avg_proxy_forward_ms = 0.0;       // forward -> origin reply
+
   // Availability (all zero when no FaultPlan is active).
   std::uint64_t faults_injected = 0;    // disk + node fail transitions
   std::uint64_t repairs_completed = 0;
@@ -80,6 +88,14 @@ struct SimMetrics {
                ? 0.0
                : static_cast<double>(shared_references) /
                      static_cast<double>(buffer_references);
+  }
+  // Fraction of proxy-tier traffic the origin cluster never saw
+  // (hits + attaches); 0 when the proxy tier is off.
+  double proxy_offload_ratio() const {
+    return proxy_references == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(proxy_forwards) /
+                           static_cast<double>(proxy_references);
   }
   bool glitch_free() const { return glitches == 0; }
 };

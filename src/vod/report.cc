@@ -162,6 +162,10 @@ std::uint64_t ConfigDigest(const SimConfig& c) {
   d.F64(c.patch_window_sec);
   d.F64(c.prefix_cache_fraction);
   d.F64(c.prefix_recompute_sec);
+  d.I64(c.proxy_nodes);
+  d.I64(c.proxy_cache_pages);
+  d.I64(static_cast<int>(c.proxy_policy));
+  d.F64(c.proxy_recompute_sec);
   d.I64(c.random_initial_position ? 1 : 0);
   // Run control.
   d.F64(c.start_window_sec);
@@ -217,6 +221,10 @@ void WriteRunReportJson(std::ostream& out, const RunReport& r) {
   WriteNumber(out, m.peak_network_bytes_per_sec);
   out << ",\"events_simulated\":" << m.events_simulated;
   out << ",\"faults_injected\":" << m.faults_injected;
+  out << ",\"proxy_hits\":" << m.proxy_hits;
+  out << ",\"proxy_forwards\":" << m.proxy_forwards;
+  out << ",\"proxy_offload_ratio\":";
+  WriteNumber(out, m.proxy_offload_ratio());
   out << "}";
   out << ",\"telemetry_path\":";
   WriteString(out, r.telemetry_path);

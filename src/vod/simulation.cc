@@ -173,6 +173,27 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
         env_.get(), config.piggyback_window_sec, config.patch_window_sec);
   }
 
+  // Tier routing is always resolvable (proxy hop == -1 when the tier is
+  // off); proxy nodes themselves exist only when configured, so a
+  // zero-proxy run schedules no proxy events and stays bit-identical to
+  // the flat topology.
+  router_ =
+      std::make_unique<layout::TierRouter>(layout_.get(), config.proxy_nodes);
+  if (config.proxy_nodes > 0) {
+    proxies_.reserve(config.proxy_nodes);
+    for (int p = 0; p < config.proxy_nodes; ++p) {
+      proxy::ProxyParams proxy_params;
+      proxy_params.id = p;
+      proxy_params.cache_pages = config.proxy_cache_pages;
+      proxy_params.policy = config.proxy_policy;
+      proxy_params.recompute_sec = config.proxy_recompute_sec;
+      proxy_params.block_bytes = config.stripe_bytes;
+      proxies_.push_back(std::make_unique<proxy::ProxyNode>(
+          env_.get(), proxy_params, network_.get(), server_.get(),
+          router_.get(), library_.get(), fault_state_.get()));
+    }
+  }
+
   // Terminals, with staggered starts.
   client::TerminalParams terminal_params;
   terminal_params.memory_bytes = config.terminal_memory_bytes;
@@ -192,10 +213,13 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   for (int t = 0; t < config.terminals; ++t) {
     sim::Rng rng = master.Child(kTerminalStreamBase + t);
     sim::SimTime start = rng.Uniform(0.0, config.start_window_sec);
+    server::MessageSink* ingress =
+        proxies_.empty() ? nullptr
+                         : proxies_[router_->ProxyForTerminal(t)].get();
     terminals_.push_back(std::make_unique<client::Terminal>(
         env_.get(), t, terminal_params, network_.get(), server_.get(),
         library_.get(), layout_.get(), rng, start, share_.get(),
-        fault_state_.get()));
+        fault_state_.get(), ingress));
   }
 
   RegisterMetrics();
@@ -211,6 +235,7 @@ void Simulation::ResetAllStats() {
   network_->ResetStats();
   for (auto& terminal : terminals_) terminal->ResetStats();
   if (share_ != nullptr) share_->ResetStats();
+  for (auto& proxy : proxies_) proxy->ResetStats();
   if (fault_state_ != nullptr) fault_state_->ResetStats(now);
   metrics_.Reset();  // owned instruments; probes read the state above
   measure_start_ = now;
@@ -308,6 +333,24 @@ SimMetrics Simulation::CollectDirect() const {
     m.share_handoffs = share_stats.leader_handoffs;
   }
 
+  // Proxy tier: all zero when no proxies are configured.
+  double proxy_forward_sum = 0.0;
+  std::uint64_t proxy_forward_count = 0;
+  for (const auto& proxy : proxies_) {
+    const auto& proxy_stats = proxy->stats();
+    m.proxy_references += proxy_stats.references;
+    m.proxy_hits += proxy_stats.hits;
+    m.proxy_attaches += proxy_stats.attaches;
+    m.proxy_forwards += proxy_stats.forwards;
+    m.proxy_bytes_from_cache += proxy_stats.bytes_from_cache;
+    proxy_forward_sum += proxy_stats.forward_latency.sum();
+    proxy_forward_count += proxy_stats.forward_latency.count();
+  }
+  m.avg_proxy_forward_ms =
+      proxy_forward_count == 0
+          ? 0.0
+          : proxy_forward_sum / proxy_forward_count * 1e3;
+
   // Availability: all zero on healthy runs (no FaultState).
   if (fault_state_ != nullptr) {
     fault::FaultState::Stats fstats = fault_state_->StatsAt(now);
@@ -394,6 +437,17 @@ SimMetrics Simulation::Collect() const {
       static_cast<std::uint64_t>(metrics_.Value("pool.prefix_hits"));
   m.prefix_pinned_pages =
       static_cast<std::int64_t>(metrics_.Value("pool.pinned_pages"));
+
+  m.proxy_references =
+      static_cast<std::uint64_t>(metrics_.Value("proxy.references"));
+  m.proxy_hits = static_cast<std::uint64_t>(metrics_.Value("proxy.hits"));
+  m.proxy_attaches =
+      static_cast<std::uint64_t>(metrics_.Value("proxy.attaches"));
+  m.proxy_forwards =
+      static_cast<std::uint64_t>(metrics_.Value("proxy.forwards"));
+  m.proxy_bytes_from_cache = static_cast<std::uint64_t>(
+      metrics_.Value("proxy.bytes_from_cache"));
+  m.avg_proxy_forward_ms = metrics_.Value("proxy.forward_ms.avg");
 
   m.faults_injected =
       static_cast<std::uint64_t>(metrics_.Value("fault.faults_injected"));
@@ -649,6 +703,48 @@ void Simulation::RegisterMetrics() {
                ? 0.0
                : static_cast<double>(share_->stats().leader_handoffs);
   });
+  // --- Proxy tier (registered unconditionally; the loops read zero when
+  // no proxies exist so exports keep a stable schema) ---
+  auto sum_proxy = [this](auto field) {
+    std::uint64_t sum = 0;
+    for (const auto& proxy : proxies_) {
+      sum += field(proxy->stats());
+    }
+    return static_cast<double>(sum);
+  };
+  metrics_.AddProbe("proxy.references", [sum_proxy] {
+    return sum_proxy([](const auto& s) { return s.references; });
+  });
+  metrics_.AddProbe("proxy.hits", [sum_proxy] {
+    return sum_proxy([](const auto& s) { return s.hits; });
+  });
+  metrics_.AddProbe("proxy.attaches", [sum_proxy] {
+    return sum_proxy([](const auto& s) { return s.attaches; });
+  });
+  metrics_.AddProbe("proxy.forwards", [sum_proxy] {
+    return sum_proxy([](const auto& s) { return s.forwards; });
+  });
+  metrics_.AddProbe("proxy.bytes_from_cache", [sum_proxy] {
+    return sum_proxy([](const auto& s) { return s.bytes_from_cache; });
+  });
+  metrics_.AddProbe("proxy.forward_ms.avg", [this] {
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (const auto& proxy : proxies_) {
+      sum += proxy->stats().forward_latency.sum();
+      count += proxy->stats().forward_latency.count();
+    }
+    return count == 0 ? 0.0 : sum / count * 1e3;
+  });
+  // Registry-only: cache occupancy across the tier at collection time.
+  metrics_.AddProbe("proxy.pages_in_use", [this] {
+    std::int64_t sum = 0;
+    for (const auto& proxy : proxies_) {
+      sum += proxy->cache().pages_in_use();
+    }
+    return static_cast<double>(sum);
+  });
+
   auto sum_prefetch = [this](auto field) {
     std::uint64_t sum = 0;
     for (int n = 0; n < server_->num_nodes(); ++n) {
@@ -807,6 +903,11 @@ obs::Tracer& Simulation::EnableTracing(std::size_t ring_capacity) {
       tracer.SetThreadName(obs::Tracer::kFaultPid, total_disks + n,
                            "node " + std::to_string(n));
     }
+  }
+  for (int p = 0; p < num_proxies(); ++p) {
+    std::int32_t pid = obs::Tracer::kProxyPidBase + p;
+    tracer.SetProcessName(pid, "proxy " + std::to_string(p));
+    tracer.SetThreadName(pid, obs::Tracer::kCpuTid, "cache");
   }
   for (int n = 0; n < server_->num_nodes(); ++n) {
     std::int32_t pid = obs::Tracer::kNodePidBase + n;

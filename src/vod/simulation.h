@@ -2,7 +2,7 @@
 //
 // The Simulation object wires together the full system — video library,
 // layout, network, server nodes, terminals, optional stream-share
-// manager —
+// manager and proxy-cache tier —
 // from a SimConfig, runs the warmup, opens the measurement window, and
 // collects SimMetrics. RunSimulation() is the one-call convenience used
 // by the benchmark harnesses.
@@ -22,10 +22,12 @@
 #include "fault/state.h"
 #include "hw/network.h"
 #include "layout/layout.h"
+#include "layout/routing.h"
 #include "mpeg/video.h"
 #include "obs/kernel_profile.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
+#include "proxy/proxy_node.h"
 #include "server/server.h"
 #include "sim/environment.h"
 #include "vod/config.h"
@@ -116,6 +118,12 @@ class Simulation {
   const client::StreamShareManager* stream_share() const {
     return share_.get();
   }
+  // Proxy tier: empty when config.proxy_nodes == 0 (flat topology).
+  int num_proxies() const { return static_cast<int>(proxies_.size()); }
+  proxy::ProxyNode& proxy_node(int id) { return *proxies_[id]; }
+  const proxy::ProxyNode& proxy_node(int id) const { return *proxies_[id]; }
+  // Always valid; resolves both hops (proxy == -1 when the tier is off).
+  const layout::TierRouter& tier_router() const { return *router_; }
   const SimConfig& config() const { return config_; }
 
   // Manual phase control used by Run(); exposed for experiments that
@@ -153,6 +161,8 @@ class Simulation {
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<server::VideoServer> server_;
   std::unique_ptr<client::StreamShareManager> share_;
+  std::unique_ptr<layout::TierRouter> router_;
+  std::vector<std::unique_ptr<proxy::ProxyNode>> proxies_;
   std::vector<std::unique_ptr<client::Terminal>> terminals_;
   obs::MetricsRegistry metrics_;
   sim::SimTime measure_start_ = 0.0;

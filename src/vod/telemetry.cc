@@ -170,6 +170,38 @@ void TelemetryRecorder::RegisterChannels() {
     });
   }
 
+  // --- Proxy tier (only when proxies are configured) ---
+  if (sim->num_proxies() > 0) {
+    series_.AddCounter("proxy.references", [sim] {
+      std::uint64_t sum = 0;
+      for (int p = 0; p < sim->num_proxies(); ++p) {
+        sum += sim->proxy_node(p).stats().references;
+      }
+      return static_cast<double>(sum);
+    });
+    series_.AddCounter("proxy.hits", [sim] {
+      std::uint64_t sum = 0;
+      for (int p = 0; p < sim->num_proxies(); ++p) {
+        sum += sim->proxy_node(p).stats().hits;
+      }
+      return static_cast<double>(sum);
+    });
+    series_.AddCounter("proxy.forwards", [sim] {
+      std::uint64_t sum = 0;
+      for (int p = 0; p < sim->num_proxies(); ++p) {
+        sum += sim->proxy_node(p).stats().forwards;
+      }
+      return static_cast<double>(sum);
+    });
+    series_.AddGauge("proxy.pages_in_use", [sim] {
+      std::int64_t sum = 0;
+      for (int p = 0; p < sim->num_proxies(); ++p) {
+        sum += sim->proxy_node(p).cache().pages_in_use();
+      }
+      return static_cast<double>(sum);
+    });
+  }
+
   // --- Fault injector (only on runs with an active FaultPlan, so
   // healthy-run telemetry keeps the lean schema) ---
   if (sim->fault_state() != nullptr) {

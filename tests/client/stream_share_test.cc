@@ -172,8 +172,8 @@ TEST(StreamShareTest, ExpiredGroupsArePruned) {
 }
 
 TEST(StreamShareTest, AmortizedSweepBoundsOpenGroups) {
-  // Regression for the unbounded open_groups_ growth of the old
-  // PiggybackManager: arranging many distinct videos over a long run
+  // Regression for the unbounded open_groups_ growth of the retired
+  // piggyback stub: arranging many distinct videos over a long run
   // must not accumulate one dead entry per video ever requested.
   sim::Environment env;
   StreamShareManager manager(&env, 5.0, 0.0);

@@ -1,0 +1,193 @@
+// Replacement-policy behaviour of the proxy block cache: eviction order
+// under known reference sequences for all three policy families.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "proxy/proxy_cache.h"
+
+namespace spiffi::proxy {
+namespace {
+
+std::vector<std::int64_t> UniformLibrary(int videos,
+                                         std::int64_t blocks = 100) {
+  return std::vector<std::int64_t>(videos, blocks);
+}
+
+TEST(ProxyCacheLruTest, EvictsLeastRecentlyUsed) {
+  ProxyCache cache(3, ProxyPolicy::kLru, UniformLibrary(2));
+  cache.Insert(0, 0);
+  cache.Insert(0, 1);
+  cache.Insert(1, 0);
+  EXPECT_EQ(cache.pages_in_use(), 3);
+
+  // Touch (0,0): now (0,1) is the LRU victim.
+  cache.Touch(0, 0);
+  cache.Insert(1, 1);
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_FALSE(cache.Contains(0, 1));
+  EXPECT_TRUE(cache.Contains(1, 0));
+  EXPECT_TRUE(cache.Contains(1, 1));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ProxyCacheLruTest, InsertOfResidentBlockIsANoOp) {
+  ProxyCache cache(2, ProxyPolicy::kLru, UniformLibrary(1));
+  cache.Insert(0, 0);
+  cache.Insert(0, 0);
+  EXPECT_EQ(cache.pages_in_use(), 1);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(ProxyCacheRankTest, BeforeRecomputeRankIsLibraryOrder) {
+  ProxyCache cache(4, ProxyPolicy::kRankZipf, UniformLibrary(3));
+  EXPECT_EQ(cache.video_rank(0), 0);
+  EXPECT_EQ(cache.video_rank(1), 1);
+  EXPECT_EQ(cache.video_rank(2), 2);
+  // Victim comes from the worst-ranked cached video (2), LRU within it.
+  cache.Insert(0, 0);
+  cache.Insert(2, 0);
+  cache.Insert(2, 1);
+  cache.Insert(1, 0);
+  cache.Insert(1, 1);  // full: evicts (2,0), video 2's LRU block
+  EXPECT_FALSE(cache.Contains(2, 0));
+  EXPECT_TRUE(cache.Contains(2, 1));
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_TRUE(cache.Contains(1, 0));
+}
+
+TEST(ProxyCacheRankTest, RecomputeReordersEvictionByMeasuredRefs) {
+  // Known reference sequence: video 2 becomes the most popular, video 0
+  // the least. After Recompute() evictions must drain video 0 first.
+  ProxyCache cache(4, ProxyPolicy::kRankZipf, UniformLibrary(3));
+  for (int i = 0; i < 9; ++i) cache.RecordReference(2);
+  for (int i = 0; i < 5; ++i) cache.RecordReference(1);
+  cache.RecordReference(0);
+  cache.Recompute();
+  EXPECT_EQ(cache.video_rank(2), 0);
+  EXPECT_EQ(cache.video_rank(1), 1);
+  EXPECT_EQ(cache.video_rank(0), 2);
+
+  cache.Insert(0, 0);
+  cache.Insert(0, 1);
+  cache.Insert(2, 0);
+  cache.Insert(1, 0);
+  cache.Insert(2, 1);  // evicts from video 0 (worst rank): its LRU (0,0)
+  EXPECT_FALSE(cache.Contains(0, 0));
+  EXPECT_TRUE(cache.Contains(0, 1));
+  cache.Insert(2, 2);  // video 0 again: (0,1)
+  EXPECT_FALSE(cache.Contains(0, 1));
+  // Video 0 fully drained; next victim is video 1's LRU block.
+  cache.Insert(2, 3);
+  EXPECT_FALSE(cache.Contains(1, 0));
+  EXPECT_TRUE(cache.Contains(2, 0));
+  EXPECT_TRUE(cache.Contains(2, 1));
+  EXPECT_TRUE(cache.Contains(2, 2));
+  EXPECT_TRUE(cache.Contains(2, 3));
+}
+
+TEST(ProxyCacheRankTest, TiesBreakByVideoIdDeterministically) {
+  ProxyCache cache(4, ProxyPolicy::kRankZipf, UniformLibrary(3));
+  // All refs equal: rank must be the id order, run after run.
+  for (int v = 0; v < 3; ++v) cache.RecordReference(v);
+  cache.Recompute();
+  EXPECT_EQ(cache.video_rank(0), 0);
+  EXPECT_EQ(cache.video_rank(1), 1);
+  EXPECT_EQ(cache.video_rank(2), 2);
+}
+
+TEST(ProxyCacheAdaptiveTest, PlainLruBeforeFirstRecompute) {
+  ProxyCache cache(2, ProxyPolicy::kAdaptivePrefix, UniformLibrary(2));
+  cache.Insert(0, 0);
+  cache.Insert(1, 0);
+  cache.Insert(0, 1);  // no quotas yet: evicts the global LRU (0,0)
+  EXPECT_FALSE(cache.Contains(0, 0));
+  EXPECT_TRUE(cache.Contains(1, 0));
+  EXPECT_TRUE(cache.Contains(0, 1));
+}
+
+TEST(ProxyCacheAdaptiveTest, QuotasTrackReferenceShares) {
+  ProxyCache cache(100, ProxyPolicy::kAdaptivePrefix, UniformLibrary(4));
+  for (int i = 0; i < 60; ++i) cache.RecordReference(0);
+  for (int i = 0; i < 30; ++i) cache.RecordReference(1);
+  for (int i = 0; i < 10; ++i) cache.RecordReference(2);
+  cache.Recompute();
+  EXPECT_EQ(cache.prefix_quota(0), 60);
+  EXPECT_EQ(cache.prefix_quota(1), 30);
+  EXPECT_EQ(cache.prefix_quota(2), 10);
+  EXPECT_EQ(cache.prefix_quota(3), 0);
+}
+
+TEST(ProxyCacheAdaptiveTest, QuotaIsClampedToVideoLength) {
+  ProxyCache cache(100, ProxyPolicy::kAdaptivePrefix,
+                   {/*video 0*/ 8, /*video 1*/ 100});
+  for (int i = 0; i < 90; ++i) cache.RecordReference(0);
+  for (int i = 0; i < 10; ++i) cache.RecordReference(1);
+  cache.Recompute();
+  EXPECT_EQ(cache.prefix_quota(0), 8);  // 90 pages of share, 8 blocks long
+  EXPECT_EQ(cache.prefix_quota(1), 10);
+}
+
+TEST(ProxyCacheAdaptiveTest, ProtectedPrefixSurvivesUnprotectedChurn) {
+  ProxyCache cache(4, ProxyPolicy::kAdaptivePrefix, UniformLibrary(2));
+  // Video 0 owns half the cache as protected prefix.
+  for (int i = 0; i < 50; ++i) cache.RecordReference(0);
+  for (int i = 0; i < 50; ++i) cache.RecordReference(1);
+  cache.Recompute();
+  EXPECT_EQ(cache.prefix_quota(0), 2);
+  EXPECT_EQ(cache.prefix_quota(1), 2);
+
+  cache.Insert(0, 0);  // in quota: protected
+  cache.Insert(0, 1);  // in quota: protected
+  // Churn far past video 1's quota: blocks 10.. are unprotected and
+  // must evict each other while video 0's prefix stays resident.
+  for (std::int64_t b = 10; b < 20; ++b) cache.Insert(1, b);
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_TRUE(cache.Contains(0, 1));
+  EXPECT_EQ(cache.pages_in_use(), 4);
+}
+
+TEST(ProxyCacheAdaptiveTest, RecomputeConvergesQuotaResizing) {
+  // Re-sizing convergence: after the popularity flips, successive
+  // Recompute() calls re-protect the new favourite's prefix and demote
+  // the old one — and a second Recompute with unchanged refs is stable.
+  ProxyCache cache(4, ProxyPolicy::kAdaptivePrefix, UniformLibrary(2));
+  for (int i = 0; i < 100; ++i) cache.RecordReference(0);
+  cache.Recompute();
+  EXPECT_EQ(cache.prefix_quota(0), 4);
+  cache.Insert(0, 0);
+  cache.Insert(0, 1);
+
+  // Flip: video 1 takes over (300 more refs vs video 0's 100).
+  for (int i = 0; i < 300; ++i) cache.RecordReference(1);
+  cache.Recompute();
+  EXPECT_EQ(cache.prefix_quota(0), 1);
+  EXPECT_EQ(cache.prefix_quota(1), 3);
+  // (0,1) was demoted out of quota: churn evicts it, not (0,0).
+  cache.Insert(1, 0);
+  cache.Insert(1, 1);
+  cache.Insert(1, 2);  // full; victims come from the unprotected chain
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_FALSE(cache.Contains(0, 1));
+
+  std::int64_t q0 = cache.prefix_quota(0);
+  std::int64_t q1 = cache.prefix_quota(1);
+  cache.Recompute();  // unchanged refs: quotas are a fixed point
+  EXPECT_EQ(cache.prefix_quota(0), q0);
+  EXPECT_EQ(cache.prefix_quota(1), q1);
+}
+
+TEST(ProxyCacheTest, ResetStatsKeepsPopularityAndContents) {
+  ProxyCache cache(4, ProxyPolicy::kRankZipf, UniformLibrary(2));
+  cache.RecordReference(1);
+  cache.Insert(1, 0);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.video_refs(1), 1u);   // measurement survives
+  EXPECT_TRUE(cache.Contains(1, 0));    // contents survive
+}
+
+}  // namespace
+}  // namespace spiffi::proxy

@@ -63,6 +63,12 @@ void ExpectBitIdentical(const SimMetrics& a, const SimMetrics& b) {
   EXPECT_EQ(a.share_handoffs, b.share_handoffs);
   EXPECT_EQ(a.prefix_hits, b.prefix_hits);
   EXPECT_EQ(a.prefix_pinned_pages, b.prefix_pinned_pages);
+  EXPECT_EQ(a.proxy_references, b.proxy_references);
+  EXPECT_EQ(a.proxy_hits, b.proxy_hits);
+  EXPECT_EQ(a.proxy_attaches, b.proxy_attaches);
+  EXPECT_EQ(a.proxy_forwards, b.proxy_forwards);
+  EXPECT_EQ(a.proxy_bytes_from_cache, b.proxy_bytes_from_cache);
+  EXPECT_EQ(a.avg_proxy_forward_ms, b.avg_proxy_forward_ms);
   EXPECT_EQ(a.faults_injected, b.faults_injected);
   EXPECT_EQ(a.repairs_completed, b.repairs_completed);
   EXPECT_EQ(a.mttr_sec, b.mttr_sec);
@@ -103,6 +109,42 @@ TEST(MetricsRegressionTest, RegistryCollectMatchesDirectUnderFaults) {
   SimMetrics metrics = simulation.Run();
   EXPECT_EQ(metrics.faults_injected, 1u);
   ExpectBitIdentical(simulation.Collect(), simulation.CollectDirect());
+}
+
+// The proxy probes must track their direct computations on a run where
+// the proxy tier is live and actually hitting.
+TEST(MetricsRegressionTest, RegistryCollectMatchesDirectWithProxyTier) {
+  SimConfig config = SmallConfig();
+  config.proxy_nodes = 2;
+  config.proxy_cache_pages = 64;
+  Simulation simulation(config);
+  SimMetrics metrics = simulation.Run();
+  EXPECT_GT(metrics.proxy_references, 0u);
+  ExpectBitIdentical(simulation.Collect(), simulation.CollectDirect());
+}
+
+// Feature-off regression: a proxy_nodes == 0 run must be bit-identical
+// to the same config built before the proxy tier existed — same event
+// count, same metrics — and every proxy metric must read zero.
+TEST(MetricsRegressionTest, ZeroProxyRunIsBitIdenticalAndAllZero) {
+  SimConfig config = SmallConfig();
+  ASSERT_EQ(config.proxy_nodes, 0);
+  Simulation a(config);
+  SimMetrics ma = a.Run();
+  Simulation b(config);
+  SimMetrics mb = b.Run();
+  ExpectBitIdentical(ma, mb);
+  EXPECT_EQ(ma.proxy_references, 0u);
+  EXPECT_EQ(ma.proxy_hits, 0u);
+  EXPECT_EQ(ma.proxy_attaches, 0u);
+  EXPECT_EQ(ma.proxy_forwards, 0u);
+  EXPECT_EQ(ma.proxy_bytes_from_cache, 0u);
+  EXPECT_EQ(ma.avg_proxy_forward_ms, 0.0);
+  EXPECT_EQ(ma.proxy_offload_ratio(), 0.0);
+  EXPECT_EQ(a.num_proxies(), 0);
+  // The registry schema still carries the proxy keys, reading zero.
+  EXPECT_EQ(a.metrics().Value("proxy.references"), 0.0);
+  EXPECT_EQ(a.metrics().Value("proxy.pages_in_use"), 0.0);
 }
 
 // Collect() may be called repeatedly (harnesses sample mid-run); the

@@ -40,14 +40,24 @@ def load_rates(path):
     else:
         # Committed nested shape: {harness: {name: {after_items_per_sec}}}.
         # Sections recording non-throughput results (e.g. "stream_share"
-        # capacity tables) carry no after_items_per_sec entries and are
-        # skipped — the file may hold any mix of sections.
+        # or "proxy_topology" capacity tables) carry no after_items_per_sec
+        # entries and are skipped — the file may hold any mix of sections.
+        # Every skip is logged so a silently-missing section is visible.
         for harness, entries in data.items():
             if not isinstance(entries, dict):
+                print(f"bench_compare: skipping {path}:{harness} "
+                      f"(metadata, not a benchmark section)",
+                      file=sys.stderr)
                 continue
+            found = 0
             for name, entry in entries.items():
                 if isinstance(entry, dict) and "after_items_per_sec" in entry:
                     rates[name] = float(entry["after_items_per_sec"])
+                    found += 1
+            if found == 0:
+                print(f"bench_compare: skipping {path}:{harness} "
+                      f"(no after_items_per_sec entries — records "
+                      f"non-throughput results)", file=sys.stderr)
     return rates
 
 
