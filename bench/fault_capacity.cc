@@ -109,5 +109,74 @@ int main(int argc, char** argv) {
       "re-routes reads to the surviving copy\nand holds capacity near "
       "the healthy figure at the cost of %dx storage.\n",
       2);
+
+  // --- Resilience layers on top of re-routing (ISSUE 9) ---
+  //
+  // Same replicated-x2 layout at the hottest failure rate, stepping up
+  // through the resilience stack: admission control (refuse streams the
+  // bandwidth envelope cannot carry), request timeout/retry (re-issue a
+  // late block to the next live replica instead of waiting for a
+  // glitch), and post-repair rebuild (resync a repaired disk from its
+  // peers at a throttled rate). The capacity search measures how many
+  // glitch-free terminals each stack level sustains under the same
+  // fault pressure as the reroute-only baseline above.
+  struct Mode {
+    std::string name;
+    vod::AdmissionPolicy policy;
+    int retry_budget;
+    double rebuild_mbps;
+  };
+  std::vector<Mode> modes = {
+      {"reroute only", vod::AdmissionPolicy::kOff, 0, 0.0},
+      {"+admission", vod::AdmissionPolicy::kStaticReservation, 0, 0.0},
+      {"+retry", vod::AdmissionPolicy::kOff, 2, 0.0},
+      // Rebuild throttled to ~3% of a disk's bandwidth: redundancy is
+      // restored without eating the capacity retry wins back.
+      {"+admission+retry+rebuild",
+       vod::AdmissionPolicy::kStaticReservation, 2, 2.0},
+  };
+
+  const Rate& worst_rate = rates.back();
+  vod::TextTable resilience_table(
+      {"resilience", "capacity", "retries", "failovers", "rebuilds",
+       "defers"});
+  for (const Mode& mode : modes) {
+    vod::SimConfig config = bench::BaseConfig(preset);
+    config.placement = vod::VideoPlacement::kReplicatedStriped;
+    config.replica_count = 2;
+    config.fault_plan.disk_mtbf_sec = worst_rate.disk_mtbf_sec;
+    config.fault_plan.disk_repair_mean_sec = 15.0;
+    config.admission_policy = mode.policy;
+    config.request_retry_budget = mode.retry_budget;
+    config.rebuild_mbps = mode.rebuild_mbps;
+    vod::CapacitySearchOptions options = bench::SearchOptions(preset, 200);
+    vod::CapacityResult result = vod::FindMaxTerminals(config, options);
+    const vod::SimMetrics& at = result.at_capacity;
+    std::fprintf(stderr,
+                 "  %s @ %s -> %d (retries %llu, failovers %llu, "
+                 "rebuilds %llu, defers %llu)\n",
+                 mode.name.c_str(), worst_rate.name.c_str(),
+                 result.max_terminals,
+                 static_cast<unsigned long long>(at.request_retries),
+                 static_cast<unsigned long long>(at.session_failovers),
+                 static_cast<unsigned long long>(at.rebuilds_completed),
+                 static_cast<unsigned long long>(at.admission_defers));
+    resilience_table.AddRow(
+        {mode.name, std::to_string(result.max_terminals),
+         std::to_string(at.request_retries),
+         std::to_string(at.session_failovers),
+         std::to_string(at.rebuilds_completed),
+         std::to_string(at.admission_defers)});
+  }
+  std::printf("\nresilience stack, replicated x2 @ %s:\n",
+              worst_rate.name.c_str());
+  resilience_table.Print();
+  std::printf(
+      "\nReading: retry converts silent waits on a dead replica into "
+      "immediate\nre-issues against the surviving copy, admission sheds "
+      "load the degraded\nenvelope cannot carry instead of glitching "
+      "every stream a little, and\nrebuild returns repaired disks to "
+      "full redundancy while competing with\nservice I/O at its "
+      "throttled rate.\n");
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "obs/trace.h"
 #include "sim/check.h"
+#include "vod/admission.h"
 
 namespace spiffi::client {
 
@@ -18,7 +19,8 @@ Terminal::Terminal(sim::Environment* env, int id,
                    const layout::Layout* layout, sim::Rng rng,
                    sim::SimTime start_time, StreamShareManager* share,
                    const fault::FaultState* fault,
-                   server::MessageSink* ingress)
+                   server::MessageSink* ingress,
+                   vod::AdmissionController* admission)
     : env_(env),
       id_(id),
       params_(params),
@@ -29,7 +31,8 @@ Terminal::Terminal(sim::Environment* env, int id,
       rng_(rng),
       share_(share),
       fault_(fault),
-      ingress_(ingress) {
+      ingress_(ingress),
+      admission_(admission) {
   SPIFFI_CHECK(env != nullptr);
   SPIFFI_CHECK(params.memory_bytes >= params.block_bytes);
   env_->Schedule(start_time, this, kStartToken);
@@ -80,8 +83,13 @@ void Terminal::OnEvent(std::uint64_t token) {
       ++stats_.videos_completed;
       share_role_ = ShareRole::kNone;
       state_ = State::kIdle;
+      if (admission_ != nullptr) admission_->Release(id_);
       ChooseNextVideo();
     }
+    return;
+  }
+  if ((token & kTokenMask) == kRetryToken) {
+    OnRetryTimeout(static_cast<std::int64_t>(token >> kTokenBits));
     return;
   }
   switch (token) {
@@ -111,6 +119,24 @@ void Terminal::OnEvent(std::uint64_t token) {
 }
 
 void Terminal::ChooseNextVideo() {
+  if (admission_ != nullptr) {
+    // The gate comes before the popularity draw so admission-off runs
+    // keep an identical RNG sequence. A deferred session retries after
+    // a bounded-exponential delay; a rejection waits the full cooldown.
+    vod::AdmissionController::Decision decision = admission_->TryAdmit(id_);
+    if (decision != vod::AdmissionController::Decision::kAdmit) {
+      double factor =
+          decision == vod::AdmissionController::Decision::kReject
+              ? 16.0
+              : static_cast<double>(
+                    1 << std::min(admission_defer_streak_, 4));
+      ++admission_defer_streak_;
+      env_->ScheduleAfter(params_.admission_defer_sec * factor, this,
+                          kStartToken);
+      return;
+    }
+    admission_defer_streak_ = 0;
+  }
   int video = library_->Select(&rng_);
   // Only the very first video starts mid-stream (steady-state warmup);
   // later selections play from the beginning.
@@ -241,6 +267,7 @@ void Terminal::SyncToSharedStream() {
 
 void Terminal::ResetStreamAt(std::int64_t frame) {
   ++epoch_;  // replies to everything issued so far become stale
+  CancelRetryTimers();
   next_frame_ = frame;
   start_byte_ = vid_->CumulativeBytesAtFrame(frame);
   consumed_bytes_ = start_byte_;
@@ -332,9 +359,11 @@ void Terminal::IssueRequests() {
       break;  // no room to buffer another block
     }
     server::MessageSink* sink = ingress_;
+    int target_node = -1;
     if (sink == nullptr) {
       layout::BlockLocation loc = RouteForBlock(next_request_block_);
       sink = server_->node_sink(loc.node);
+      target_node = loc.node;
     }
 
     Message request;
@@ -355,8 +384,14 @@ void Terminal::IssueRequests() {
                         request);
 
     inflight_bytes_ += bytes;
-    issue_time_[next_request_block_] =
-        PendingRequest{env_->now(), request.deadline, trace_id};
+    PendingRequest& pending = issue_time_[next_request_block_];
+    pending = PendingRequest{env_->now(), request.deadline, trace_id};
+    pending.node = target_node;
+    pending.last_send_time = env_->now();
+    if (params_.retry_budget > 0) {
+      ArmRetryTimer(next_request_block_,
+                    FirstRetryFireTime(request.deadline));
+    }
     ++stats_.requests_sent;
     ++next_request_block_;
   }
@@ -371,6 +406,14 @@ void Terminal::OnMessage(const Message& message) {
   }
   if (state_ == State::kSearching) {
     OnSearchBlock(message);
+    return;
+  }
+  if (issue_time_.find(message.block) == issue_time_.end()) {
+    // Duplicate delivery: a retried request and the original both
+    // completed. The first reply was accounted; drop the straggler
+    // before it corrupts the buffer bookkeeping. Unreachable when
+    // retry_budget == 0 (every live-epoch block has a pending record).
+    ++stats_.duplicate_replies;
     return;
   }
 
@@ -419,6 +462,7 @@ void Terminal::RecordArrival(const Message& message) {
   auto it = issue_time_.find(message.block);
   if (it == issue_time_.end()) return;
   const PendingRequest& pending = it->second;
+  if (pending.retry_timer != 0) env_->Cancel(pending.retry_timer);
   if (message.hops > 0) ++stats_.blocks_rerouted;
   double response = env_->now() - pending.issue_time;
   stats_.response_time.Add(response);
@@ -428,7 +472,12 @@ void Terminal::RecordArrival(const Message& message) {
   stats_.deadline_slack.Add(slack);
   stats_.slack_histogram.Add(slack);
   stats_.slack_sketch.Add(slack);
-  if (slack < 0.0) AttributeLateBlock(message, response);
+  if (slack < 0.0) {
+    AttributeLateBlock(message, response,
+                       pending.attempts > 0
+                           ? pending.last_send_time - pending.issue_time
+                           : 0.0);
+  }
   obs::TraceAsyncEnd(env_, obs::TraceCategory::kTerminal, "block_request",
                      obs::Tracer::kTerminalsPid, pending.trace_id,
                      {{"response_ms", response * 1e3},
@@ -436,18 +485,20 @@ void Terminal::RecordArrival(const Message& message) {
   issue_time_.erase(it);
 }
 
-void Terminal::AttributeLateBlock(const Message& message, double response) {
+void Terminal::AttributeLateBlock(const Message& message, double response,
+                                  double retry_wait) {
   ++stats_.late_blocks;
   const server::ReadTiming& timing = message.timing;
   // Stage shares of the response time: wire transit (both directions),
   // server CPU + pool stalls, disk queueing, disk mechanism, and
   // degraded-mode delay (time parked on or hopping between nodes whose
-  // copy was down; always 0 on healthy runs). The stage with the
-  // largest share takes the blame for the missed deadline.
-  double network = response - timing.ServerSeconds();
+  // copy was down, plus time waiting out retry timeouts; always 0 on
+  // healthy runs). The stage with the largest share takes the blame for
+  // the missed deadline.
+  double network = response - retry_wait - timing.ServerSeconds();
   double stages[] = {network, timing.ServerOverheadSeconds(),
                      timing.disk_queue_sec, timing.disk_service_sec,
-                     timing.fault_wait_sec};
+                     timing.fault_wait_sec + retry_wait};
   int worst = 0;
   for (int i = 1; i < 5; ++i) {
     if (stages[i] > stages[worst]) worst = i;
@@ -692,9 +743,112 @@ void Terminal::FinishVideo() {
   state_ = State::kIdle;
   video_ = -1;
   vid_ = nullptr;
+  if (admission_ != nullptr) admission_->Release(id_);
   // "When a terminal finishes one movie, it randomly selects a new video
   // and immediately begins playing it." (§6)
   ChooseNextVideo();
+}
+
+// --- Request timeout/retry/failover (ISSUE 9) ---
+
+sim::SimTime Terminal::FirstRetryFireTime(sim::SimTime deadline) const {
+  // Deadline-derived: fire shortly before the block's consumption point
+  // (replacing the silent wait-until-glitch), but never sooner than the
+  // minimum timeout after the send — a healthy round trip must have a
+  // chance to complete first.
+  return std::max(deadline - params_.retry_min_timeout_sec,
+                  env_->now() + params_.retry_min_timeout_sec);
+}
+
+void Terminal::ArmRetryTimer(std::int64_t block, sim::SimTime fire_time) {
+  auto it = issue_time_.find(block);
+  SPIFFI_DCHECK(it != issue_time_.end());
+  it->second.retry_timer = env_->Schedule(
+      fire_time, this,
+      kRetryToken | (static_cast<std::uint64_t>(block) << kTokenBits));
+}
+
+void Terminal::CancelRetryTimers() {
+  for (auto& [block, pending] : issue_time_) {
+    if (pending.retry_timer != 0) {
+      env_->Cancel(pending.retry_timer);
+      pending.retry_timer = 0;
+    }
+  }
+}
+
+void Terminal::OnRetryTimeout(std::int64_t block) {
+  auto it = issue_time_.find(block);
+  if (it == issue_time_.end()) return;  // reply won a same-tick race
+  PendingRequest& pending = it->second;
+  pending.retry_timer = 0;
+  // A timeout whose target node has died is not a lost message — the
+  // whole stream's routing is stale. Migrate the session once instead
+  // of re-sending block by block.
+  if (fault_ != nullptr && pending.node >= 0 &&
+      !fault_->node_up(pending.node)) {
+    SessionFailover();
+    return;
+  }
+  if (pending.attempts >= params_.retry_budget) {
+    // Budget spent: leave the request outstanding — the degraded-read
+    // path (park + reroute) still delivers it eventually.
+    ++stats_.retries_exhausted;
+    return;
+  }
+  ++pending.attempts;
+  ++stats_.request_retries;
+  // Re-send against the first live replica (possibly a different node
+  // than the original pick). The duplicate carries the same epoch
+  // cookie and deadline; whichever reply lands first wins and the
+  // straggler is dropped as a duplicate.
+  server::MessageSink* sink = ingress_;
+  int target_node = -1;
+  if (sink == nullptr) {
+    layout::BlockLocation loc = RouteForBlock(block);
+    sink = server_->node_sink(loc.node);
+    target_node = loc.node;
+  }
+  pending.node = target_node;
+  pending.last_send_time = env_->now();
+
+  Message request;
+  request.kind = Message::Kind::kReadRequest;
+  request.terminal = id_;
+  request.video = video_;
+  request.block = block;
+  request.bytes = BlockBytesAt(block);
+  request.deadline = pending.deadline;
+  request.reply_to = this;
+  request.cookie = epoch_;
+  server::PostMessage(env_, network_, server::kControlMessageBytes, sink,
+                      request);
+
+  // Bounded exponential backoff before the next attempt.
+  double backoff = params_.retry_backoff_base_sec *
+                   static_cast<double>(1 << std::min(pending.attempts - 1, 6));
+  ArmRetryTimer(block, env_->now() + backoff);
+}
+
+void Terminal::SessionFailover() {
+  ++stats_.session_failovers;
+  if (admission_ != nullptr) admission_->Readmit(id_);
+  obs::TraceInstant(env_, obs::TraceCategory::kTerminal, "session_failover",
+                    obs::Tracer::kTerminalsPid, id_,
+                    {{"video", static_cast<double>(video_)},
+                     {"position_sec", ConsumedPlaybackTime()}});
+  // Abandon every outstanding request (their replies go stale via the
+  // epoch bump) and re-prime the whole stream from the consumption
+  // point; the fresh requests route to surviving replicas. A leader's
+  // share group migrates implicitly — followers mirror the leader's
+  // stream and never issue I/O of their own. A mid-patch catch-up
+  // stream turns private (its sync point dies with the reset).
+  if (share_role_ == ShareRole::kPatcher) DepartSharedGroup();
+  state_ = State::kPriming;
+  ++stats_.primes;
+  prime_start_ = env_->now();
+  ResetStreamAt(next_frame_);
+  IssueRequests();
 }
 
 }  // namespace spiffi::client

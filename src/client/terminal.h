@@ -36,6 +36,10 @@
 #include "sim/random.h"
 #include "sim/stats.h"
 
+namespace spiffi::vod {
+class AdmissionController;
+}  // namespace spiffi::vod
+
 namespace spiffi::client {
 
 struct TerminalParams {
@@ -60,6 +64,20 @@ struct TerminalParams {
   double search_duration_mean_sec = 30.0;
   double search_show_sec = 1.0;
   double search_skip_sec = 7.0;
+
+  // Block-request timeout/retry (ISSUE 9). When retry_budget > 0 every
+  // outstanding block request arms a deadline-derived timeout; on
+  // expiry the block is re-sent to the first live replica (bounded
+  // exponential backoff between attempts), and a timeout whose target
+  // node is down triggers a whole-stream session failover instead of
+  // per-block retries. 0 keeps the wait-until-glitch behaviour and is
+  // bit-identical to it.
+  int retry_budget = 0;
+  double retry_min_timeout_sec = 0.25;
+  double retry_backoff_base_sec = 0.25;
+  // Admission control: base delay before a deferred session retries
+  // the gate (doubles per consecutive deferral, capped at 16x).
+  double admission_defer_sec = 2.0;
 };
 
 class Terminal final : public server::MessageSink,
@@ -124,6 +142,12 @@ class Terminal final : public server::MessageSink,
     // re-routed between nodes after arriving at a dead copy.
     std::uint64_t requests_redirected = 0;  // sent to a replica directly
     std::uint64_t blocks_rerouted = 0;      // replies that hopped nodes
+
+    // Resilience accounting (zero when retry_budget == 0).
+    std::uint64_t request_retries = 0;    // timed-out blocks re-sent
+    std::uint64_t retries_exhausted = 0;  // budget spent, left waiting
+    std::uint64_t session_failovers = 0;  // whole-stream migrations
+    std::uint64_t duplicate_replies = 0;  // original + retry both landed
   };
 
   // The terminal schedules its own first start at `start_time`.
@@ -132,13 +156,16 @@ class Terminal final : public server::MessageSink,
   // copy). When `ingress` is set (the terminal's assigned proxy in a
   // two-tier topology) every request goes there instead of being routed
   // to an origin node; the proxy tier handles failover itself.
+  // `admission`, when given, gates every session start (and failover
+  // re-admission) through the controller; nullptr admits everyone.
   Terminal(sim::Environment* env, int id, const TerminalParams& params,
            hw::Network* network, server::NodeDirectory* server,
            const mpeg::VideoLibrary* library, const layout::Layout* layout,
            sim::Rng rng, sim::SimTime start_time,
            StreamShareManager* share = nullptr,
            const fault::FaultState* fault = nullptr,
-           server::MessageSink* ingress = nullptr);
+           server::MessageSink* ingress = nullptr,
+           vod::AdmissionController* admission = nullptr);
 
   Terminal(const Terminal&) = delete;
   Terminal& operator=(const Terminal&) = delete;
@@ -181,13 +208,15 @@ class Terminal final : public server::MessageSink,
 
  private:
   // Event tokens. Follow-end tokens additionally carry a generation in
-  // the bits above kTokenBits (see follow_gen_); all other tokens fit
-  // in the low bits unchanged.
+  // the bits above kTokenBits, and retry tokens carry the block index
+  // there (see follow_gen_ / OnRetryTimeout); all other tokens fit in
+  // the low bits unchanged.
   static constexpr std::uint64_t kStartToken = 1;
   static constexpr std::uint64_t kFrameToken = 2;
   static constexpr std::uint64_t kPauseEndToken = 3;
   static constexpr std::uint64_t kFollowEndToken = 4;
   static constexpr std::uint64_t kSearchFrameToken = 5;
+  static constexpr std::uint64_t kRetryToken = 6;
   static constexpr std::uint64_t kTokenBits = 3;
   static constexpr std::uint64_t kTokenMask = (1u << kTokenBits) - 1;
 
@@ -235,8 +264,28 @@ class Terminal final : public server::MessageSink,
   // Accounts an arrived block against its pending-request record:
   // response time, deadline slack, lateness attribution, trace span end.
   void RecordArrival(const server::Message& message);
-  // Attributes a late block to its dominant pipeline stage.
-  void AttributeLateBlock(const server::Message& message, double response);
+  // Attributes a late block to its dominant pipeline stage. `retry_wait`
+  // is the extra time spent waiting out retry timeouts (0 without
+  // retries); it is charged to the fault stage.
+  void AttributeLateBlock(const server::Message& message, double response,
+                          double retry_wait);
+
+  // --- Request timeout/retry internals (retry_budget > 0 only) ---
+  // Absolute fire time of the first timeout for a request with this
+  // deadline: shortly before the block's consumption point, but never
+  // sooner than the minimum timeout from now.
+  sim::SimTime FirstRetryFireTime(sim::SimTime deadline) const;
+  // Arms (or re-arms) the retry timer of the pending request at `block`.
+  void ArmRetryTimer(std::int64_t block, sim::SimTime fire_time);
+  // A retry timer fired: re-send to the next live replica, or fail the
+  // whole session over when the target node is down.
+  void OnRetryTimeout(std::int64_t block);
+  // Migrates the whole stream to surviving replicas: re-admission,
+  // epoch bump (stale in-flight replies), full re-prime from the
+  // consumption point. Happens once per outage by construction — the
+  // re-primed requests route to live nodes.
+  void SessionFailover();
+  void CancelRetryTimers();
 
   // Absolute time by which `block`'s first byte will be consumed.
   sim::SimTime DeadlineForBlock(std::int64_t block) const;
@@ -258,6 +307,8 @@ class Terminal final : public server::MessageSink,
   StreamShareManager* share_;
   const fault::FaultState* fault_;
   server::MessageSink* ingress_;  // proxy hop; nullptr = flat topology
+  vod::AdmissionController* admission_;  // nullptr = admit everyone
+  int admission_defer_streak_ = 0;  // consecutive deferrals (backoff)
 
   State state_ = State::kIdle;
   int video_ = -1;
@@ -281,6 +332,11 @@ class Terminal final : public server::MessageSink,
     sim::SimTime issue_time = 0.0;
     sim::SimTime deadline = sim::kSimTimeMax;
     std::uint64_t trace_id = 0;
+    // Retry state (unused when retry_budget == 0).
+    int node = -1;          // origin node targeted (-1 via proxy ingress)
+    int attempts = 0;       // retries consumed
+    sim::SimTime last_send_time = 0.0;  // most recent (re)send
+    sim::EventId retry_timer = 0;       // armed timeout, 0 = none
   };
   std::unordered_map<std::int64_t, PendingRequest> issue_time_;
   std::int64_t contiguous_blocks_ = 0;

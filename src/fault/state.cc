@@ -13,6 +13,8 @@ FaultState::FaultState(int num_nodes, int disks_per_node)
   node_down_since_.assign(static_cast<std::size_t>(num_nodes), 0.0);
   disk_down_since_.assign(static_cast<std::size_t>(total_disks()), 0.0);
   disk_slow_.assign(static_cast<std::size_t>(total_disks()), 1.0);
+  disk_rebuilding_.assign(static_cast<std::size_t>(total_disks()), 0);
+  rebuild_since_.assign(static_cast<std::size_t>(total_disks()), 0.0);
 }
 
 bool FaultState::FailDisk(int disk_global, double now) {
@@ -73,10 +75,38 @@ bool FaultState::EndLimp(int disk_global, double now) {
   return true;
 }
 
+bool FaultState::BeginRebuild(int disk_global, double now) {
+  SPIFFI_CHECK(disk_global >= 0 && disk_global < total_disks());
+  if (disk_rebuilding_[disk_global] != 0) return false;
+  disk_rebuilding_[disk_global] = 1;
+  rebuild_since_[disk_global] = now;
+  return true;
+}
+
+bool FaultState::EndRebuild(int disk_global, double now,
+                            std::uint64_t bytes, bool completed) {
+  SPIFFI_CHECK(disk_global >= 0 && disk_global < total_disks());
+  if (disk_rebuilding_[disk_global] == 0) return false;
+  disk_rebuilding_[disk_global] = 0;
+  stats_.rebuild_sec += now - rebuild_since_[disk_global];
+  stats_.rebuild_bytes += bytes;
+  if (completed) ++stats_.rebuilds_completed;
+  return true;
+}
+
+int FaultState::disks_rebuilding() const {
+  int count = 0;
+  for (char flag : disk_rebuilding_) count += flag != 0;
+  return count;
+}
+
 FaultState::Stats FaultState::StatsAt(double now) const {
   Stats stats = stats_;
   for (int d = 0; d < total_disks(); ++d) {
     if (disk_up_[d] == 0) stats.downtime_sec += now - disk_down_since_[d];
+    if (disk_rebuilding_[d] != 0) {
+      stats.rebuild_sec += now - rebuild_since_[d];
+    }
   }
   for (int n = 0; n < num_nodes_; ++n) {
     if (node_up_[n] == 0) stats.downtime_sec += now - node_down_since_[n];
@@ -94,6 +124,7 @@ void FaultState::ResetStats(double now) {
   stats_ = Stats{};
   for (int d = 0; d < total_disks(); ++d) {
     if (disk_up_[d] == 0) disk_down_since_[d] = now;
+    if (disk_rebuilding_[d] != 0) rebuild_since_[d] = now;
   }
   for (int n = 0; n < num_nodes_; ++n) {
     if (node_up_[n] == 0) node_down_since_[n] = now;

@@ -55,6 +55,25 @@ class FaultState {
   bool BeginLimp(int disk_global, double factor, double now);
   bool EndLimp(int disk_global, double now);
 
+  // --- Post-repair rebuild phase (ISSUE 9) ---
+  //
+  // A repaired disk may enter a `rebuilding` phase while a throttled
+  // rebuild process re-reads its stripe regions from replica peers. The
+  // disk serves reads normally while rebuilding (it is up); the phase
+  // exists so MTTR-style accounting can separate "back up" from "fully
+  // restored" and so admission control can discount the rebuild load.
+  // BeginRebuild is idempotent like the other transitions; EndRebuild
+  // closes the window, charging its duration and the bytes re-read, and
+  // counts a completed rebuild only when `completed` is true (a rebuild
+  // aborted by a re-failure closes without counting).
+  bool BeginRebuild(int disk_global, double now);
+  bool EndRebuild(int disk_global, double now, std::uint64_t bytes,
+                  bool completed);
+  bool disk_rebuilding(int disk_global) const {
+    return disk_rebuilding_[disk_global] != 0;
+  }
+  int disks_rebuilding() const;
+
   struct Stats {
     std::uint64_t faults_injected = 0;    // disk + node fail transitions
     std::uint64_t repairs_completed = 0;  // disk + node recoveries
@@ -64,6 +83,12 @@ class FaultState {
     double downtime_sec = 0.0;
     // Summed duration of completed repairs; MTTR = this / repairs.
     double repair_total_sec = 0.0;
+    // Rebuild accounting: full resyncs completed, disk-seconds spent in
+    // the rebuilding phase (open windows included via StatsAt), and
+    // replica bytes re-read.
+    std::uint64_t rebuilds_completed = 0;
+    double rebuild_sec = 0.0;
+    std::uint64_t rebuild_bytes = 0;
   };
 
   // Counters with still-open outages charged up to `now`.
@@ -84,6 +109,8 @@ class FaultState {
   std::vector<double> node_down_since_;
   std::vector<double> disk_down_since_;
   std::vector<double> disk_slow_;
+  std::vector<char> disk_rebuilding_;
+  std::vector<double> rebuild_since_;
   Stats stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "proxy/proxy_node.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 #include "obs/tracer.h"
 #include "sim/check.h"
@@ -88,32 +90,51 @@ void ProxyNode::HandleRequest(const server::Message& message) {
   forward.waiters.push_back(
       Waiter{message.reply_to, message.terminal, message.cookie});
 
-  const layout::TierRoute route =
-      router_->RouteForBlock(message.terminal, message.video, message.block);
-  const layout::BlockLocation* target = &route.origin.front();
-  if (fault_ != nullptr) {
-    for (const layout::BlockLocation& loc : route.origin) {
-      if (fault_->LocationUp(loc)) {
-        target = &loc;
-        break;
-      }
-    }
-    // All copies down: fall through to the primary; the origin's own
-    // degraded-read machinery parks the request until a copy returns.
-  }
+  const int target_node =
+      PickOriginNode(message.terminal, message.video, message.block, -1);
 
   server::Message fwd = message;
   fwd.reply_to = this;
+  forward.request = fwd;
+  forward.last_node = target_node;
   obs::TraceInstant(env_, obs::TraceCategory::kProxy, "forward", trace_pid_,
                     obs::Tracer::kCpuTid);
   server::PostMessage(env_, network_, server::kControlMessageBytes,
-                      origin_->node_sink(target->node), fwd);
+                      origin_->node_sink(target_node), fwd);
+  if (params_.retry_budget > 0) {
+    env_->Spawn(ForwardWatchdog(key));
+  }
+}
+
+int ProxyNode::PickOriginNode(int terminal, int video, std::int64_t block,
+                              int avoid_node) const {
+  const layout::TierRoute route =
+      router_->RouteForBlock(terminal, video, block);
+  const int primary = route.origin.front().node;
+  if (fault_ == nullptr) return primary;
+  int first_live = -1;
+  for (const layout::BlockLocation& loc : route.origin) {
+    if (!fault_->LocationUp(loc)) continue;
+    if (first_live < 0) first_live = loc.node;
+    if (loc.node != avoid_node) return loc.node;
+  }
+  // Only the avoided node is live: better a retry there than nowhere.
+  if (first_live >= 0) return first_live;
+  // All copies down: fall through to the primary; the origin's own
+  // degraded-read machinery parks the request until a copy returns.
+  return primary;
 }
 
 void ProxyNode::HandleReply(const server::Message& message) {
   const server::PageKey key{message.video, message.block};
   auto it = pending_.find(key);
-  SPIFFI_CHECK(it != pending_.end());
+  if (it == pending_.end()) {
+    // Late duplicate: a watchdog re-forward and the original both got
+    // answered, and the first reply already fanned out to the waiters.
+    ++stats_.stale_replies;
+    cache_.Insert(message.video, message.block);
+    return;
+  }
   stats_.forward_latency.Add(env_->now() - it->second.forward_time);
   cache_.Insert(message.video, message.block);
   obs::TraceCounter(env_, obs::TraceCategory::kProxy, "cached_pages",
@@ -142,6 +163,28 @@ sim::Process ProxyNode::RecomputeLoop() {
   for (;;) {
     co_await env_->Hold(params_.recompute_sec);
     cache_.Recompute();
+  }
+}
+
+sim::Process ProxyNode::ForwardWatchdog(server::PageKey key) {
+  double timeout = params_.retry_min_timeout_sec;
+  for (;;) {
+    co_await env_->Hold(timeout);
+    auto it = pending_.find(key);
+    if (it == pending_.end()) co_return;  // a reply resolved the forward
+    PendingForward& forward = it->second;
+    if (forward.attempts >= params_.retry_budget) co_return;
+    ++forward.attempts;
+    ++stats_.forward_retries;
+    const int target = PickOriginNode(forward.request.terminal, key.video,
+                                      key.block, forward.last_node);
+    forward.last_node = target;
+    obs::TraceInstant(env_, obs::TraceCategory::kProxy, "forward_retry",
+                      trace_pid_, obs::Tracer::kCpuTid);
+    server::PostMessage(env_, network_, server::kControlMessageBytes,
+                        origin_->node_sink(target), forward.request);
+    timeout = params_.retry_backoff_base_sec *
+              static_cast<double>(1 << std::min(forward.attempts - 1, 6));
   }
 }
 

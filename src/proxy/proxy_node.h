@@ -51,6 +51,12 @@ struct ProxyParams {
   ProxyPolicy policy = ProxyPolicy::kLru;
   double recompute_sec = 30.0;  // re-rank / re-quota period
   std::int64_t block_bytes = 512 * 1024;
+  // Forward retry (0 = off). When on, each miss forward is covered by a
+  // watchdog that re-forwards to the next live origin copy after a
+  // timeout, with bounded exponential backoff between attempts.
+  int retry_budget = 0;
+  double retry_min_timeout_sec = 0.25;
+  double retry_backoff_base_sec = 0.25;
 };
 
 class ProxyNode final : public server::MessageSink {
@@ -61,6 +67,8 @@ class ProxyNode final : public server::MessageSink {
     std::uint64_t attaches = 0;    // joined an in-flight forward
     std::uint64_t forwards = 0;    // misses forwarded to an origin node
     std::uint64_t bytes_from_cache = 0;  // payload bytes hits saved
+    std::uint64_t forward_retries = 0;  // watchdog re-forwards
+    std::uint64_t stale_replies = 0;    // late duplicates after a retry
     sim::Tally forward_latency;    // forward -> origin reply (seconds)
   };
 
@@ -89,8 +97,14 @@ class ProxyNode final : public server::MessageSink {
  private:
   void HandleRequest(const server::Message& message);
   void HandleReply(const server::Message& message);
+  // First live origin copy for the block (primary first), preferring a
+  // node other than `avoid_node` so a retry lands on a fresh replica.
+  int PickOriginNode(int terminal, int video, std::int64_t block,
+                     int avoid_node) const;
   // Periodic popularity digestion for the rank/quota policies.
   sim::Process RecomputeLoop();
+  // Re-forwards `key` while it stays pending, up to the retry budget.
+  sim::Process ForwardWatchdog(server::PageKey key);
 
   // One terminal waiting on an in-flight forward.
   struct Waiter {
@@ -101,6 +115,9 @@ class ProxyNode final : public server::MessageSink {
   struct PendingForward {
     sim::SimTime forward_time = 0.0;
     std::vector<Waiter> waiters;  // arrival order
+    server::Message request;      // the forwarded message, for retries
+    int last_node = -1;           // origin node of the latest attempt
+    int attempts = 0;             // retries so far (first send is free)
   };
 
   sim::Environment* env_;

@@ -71,6 +71,32 @@ std::string SimConfig::Validate() const {
              "proxy policies";
     }
   }
+  if (admission_policy != AdmissionPolicy::kOff) {
+    if (admission_headroom <= 0.0 || admission_headroom > 1.0) {
+      return "admission_headroom must be in (0, 1]";
+    }
+    if (admission_defer_sec <= 0.0) {
+      return "admission_defer_sec must be positive when admission "
+             "control is enabled";
+    }
+    if (admission_max_defers < 0) {
+      return "admission_max_defers must be non-negative";
+    }
+  }
+  if (request_retry_budget < 0) {
+    return "request_retry_budget must be non-negative";
+  }
+  if (request_retry_budget > 0) {
+    if (retry_min_timeout_sec <= 0.0) {
+      return "retry_min_timeout_sec must be positive when retries are "
+             "enabled";
+    }
+    if (retry_backoff_base_sec <= 0.0) {
+      return "retry_backoff_base_sec must be positive when retries are "
+             "enabled";
+    }
+  }
+  if (rebuild_mbps < 0.0) return "rebuild_mbps must be non-negative";
   if (warmup_seconds < start_window_sec) {
     return "warmup must cover the terminal start window";
   }
@@ -123,6 +149,14 @@ std::string SimConfig::Describe() const {
     out << ", proxy " << proxy_nodes << "x" << proxy_cache_pages << " "
         << proxy::ProxyPolicyName(proxy_policy);
   }
+  if (admission_policy != AdmissionPolicy::kOff) {
+    out << ", admission " << AdmissionPolicyName(admission_policy) << "@"
+        << admission_headroom;
+  }
+  if (request_retry_budget > 0) {
+    out << ", retry x" << request_retry_budget;
+  }
+  if (rebuild_mbps > 0.0) out << ", rebuild " << rebuild_mbps << " Mbps";
   if (fault_plan.enabled()) out << ", faults: " << fault_plan.Describe();
   return out.str();
 }

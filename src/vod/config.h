@@ -10,6 +10,7 @@
 
 #include "client/terminal.h"
 #include "fault/plan.h"
+#include "vod/admission.h"
 #include "hw/cpu.h"
 #include "hw/disk_params.h"
 #include "hw/network.h"
@@ -112,6 +113,35 @@ struct SimConfig {
   bool stream_sharing_enabled() const {
     return piggyback_window_sec > 0.0 || patch_window_sec > 0.0;
   }
+
+  // --- Resilience (vod/admission.h, ISSUE 9) ---
+  // Session admission control: kOff (default) admits everyone and stays
+  // bit-identical to configurations predating it; static-reservation
+  // reserves each stream's steady rate against the live-node envelope;
+  // measured-headroom additionally defers while measured mean disk
+  // utilization is at the headroom cap.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kOff;
+  // Fraction of the aggregate disk envelope admissions may fill.
+  double admission_headroom = 0.85;
+  // A deferred session retries after this delay (doubling per
+  // consecutive deferral, capped at 16x; a rejection waits the full
+  // 16x cooldown before trying again).
+  double admission_defer_sec = 2.0;
+  // Consecutive deferrals of one session before it is rejected.
+  int admission_max_defers = 8;
+  // Block-request timeout/retry: when > 0, each outstanding block
+  // request arms a deadline-derived timeout and is retried against the
+  // next live replica up to this many times with bounded exponential
+  // backoff. 0 (default) keeps today's wait-until-glitch behaviour and
+  // is bit-identical to it.
+  int request_retry_budget = 0;
+  double retry_min_timeout_sec = 0.25;   // floor on the first timeout
+  double retry_backoff_base_sec = 0.25;  // doubled per retry attempt
+  // Post-repair rebuild: a repaired disk re-reads its stripe regions
+  // from replica peers at this throttled rate (competing with service
+  // I/O) before it counts as fully restored. 0 disables; only
+  // replicated layouts have peers to rebuild from.
+  double rebuild_mbps = 0.0;
 
   // --- Run control ---
   // Terminals start at uniform random times in [0, start_window_sec);

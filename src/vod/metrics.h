@@ -77,6 +77,22 @@ struct SimMetrics {
   std::uint64_t requests_redirected = 0;  // client-side failover sends
   std::uint64_t blocks_rerouted = 0;      // replies that hopped nodes
 
+  // Resilience layer (all zero when admission control, request retry,
+  // and rebuild are off).
+  std::uint64_t admission_admits = 0;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t admission_defers = 0;
+  std::uint64_t failover_readmissions = 0;
+  std::uint64_t request_retries = 0;      // duplicate block re-sends
+  std::uint64_t retries_exhausted = 0;    // budget ran out, left waiting
+  std::uint64_t session_failovers = 0;    // whole-stream migrations
+  std::uint64_t duplicate_replies = 0;    // late originals after a retry
+  std::uint64_t proxy_forward_retries = 0;
+  std::uint64_t proxy_stale_replies = 0;
+  std::uint64_t rebuilds_completed = 0;   // full post-repair resyncs
+  double rebuild_sec = 0.0;               // disk-seconds spent rebuilding
+  std::uint64_t rebuild_bytes = 0;        // replica bytes re-read
+
   double hit_ratio() const {
     return buffer_references == 0
                ? 0.0

@@ -167,6 +167,15 @@ std::uint64_t ConfigDigest(const SimConfig& c) {
   d.I64(static_cast<int>(c.proxy_policy));
   d.F64(c.proxy_recompute_sec);
   d.I64(c.random_initial_position ? 1 : 0);
+  // Resilience.
+  d.I64(static_cast<int>(c.admission_policy));
+  d.F64(c.admission_headroom);
+  d.F64(c.admission_defer_sec);
+  d.I64(c.admission_max_defers);
+  d.I64(c.request_retry_budget);
+  d.F64(c.retry_min_timeout_sec);
+  d.F64(c.retry_backoff_base_sec);
+  d.F64(c.rebuild_mbps);
   // Run control.
   d.F64(c.start_window_sec);
   d.F64(c.warmup_seconds);
@@ -225,6 +234,16 @@ void WriteRunReportJson(std::ostream& out, const RunReport& r) {
   out << ",\"proxy_forwards\":" << m.proxy_forwards;
   out << ",\"proxy_offload_ratio\":";
   WriteNumber(out, m.proxy_offload_ratio());
+  out << ",\"admission_admits\":" << m.admission_admits;
+  out << ",\"admission_rejects\":" << m.admission_rejects;
+  out << ",\"admission_defers\":" << m.admission_defers;
+  out << ",\"failover_readmissions\":" << m.failover_readmissions;
+  out << ",\"request_retries\":" << m.request_retries;
+  out << ",\"session_failovers\":" << m.session_failovers;
+  out << ",\"rebuilds_completed\":" << m.rebuilds_completed;
+  out << ",\"rebuild_sec\":";
+  WriteNumber(out, m.rebuild_sec);
+  out << ",\"rebuild_bytes\":" << m.rebuild_bytes;
   out << "}";
   out << ",\"telemetry_path\":";
   WriteString(out, r.telemetry_path);

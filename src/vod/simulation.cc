@@ -135,6 +135,38 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
       env_.get(), config.num_nodes, node_config, network_.get(),
       library_.get(), layout_.get(), fault_state_.get());
 
+  // Admission control: built only when a policy is selected, so the
+  // default `off` run never consults it and stays bit-identical.
+  if (config.admission_policy != AdmissionPolicy::kOff) {
+    AdmissionParams admission_params;
+    admission_params.policy = config.admission_policy;
+    admission_params.num_nodes = config.num_nodes;
+    // A node's deliverable disk bandwidth is the media transfer rate
+    // summed over its disks; the headroom fraction discounts the seek
+    // and rotation overhead a real stream mix pays on top of transfer.
+    admission_params.node_bytes_per_sec =
+        config.disks_per_node * config.disk.transfer_rate_bytes_per_sec;
+    admission_params.stream_bytes_per_sec = config.mpeg.bytes_per_second();
+    admission_params.headroom_fraction = config.admission_headroom;
+    admission_params.max_defers_before_reject = config.admission_max_defers;
+    admission_ = std::make_unique<AdmissionController>(admission_params);
+    if (config.admission_policy == AdmissionPolicy::kMeasuredHeadroom) {
+      admission_->set_utilization_probe([this] {
+        double sum = 0.0;
+        int count = 0;
+        sim::SimTime now = env_->now();
+        for (int n = 0; n < server_->num_nodes(); ++n) {
+          const server::Node& node = server_->node(n);
+          for (int d = 0; d < node.num_disks(); ++d) {
+            sum += node.disk(d).AverageUtilization(now);
+            ++count;
+          }
+        }
+        return sum / count;
+      });
+    }
+  }
+
   if (fault_injector_ != nullptr) {
     // Physical consequences of fault transitions. Disk availability is
     // recomputed as !(node up && disk up) so overlapping disk and node
@@ -150,17 +182,52 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
                          fault_state_->disk_up(disk_global)));
         disk.SetServiceTimeScale(fault_state_->disk_slow_factor(disk_global));
       };
+      // Post-repair rebuild: a disk that just became serviceable again
+      // re-reads its stripe regions from replica peers at a throttled
+      // rate. Only spawned when rebuild is configured, the layout has
+      // replicas to read from, and no rebuild is already running for
+      // the disk (a rebuild that outlived a brief re-failure keeps its
+      // flag and simply continues).
+      auto maybe_rebuild = [this](int disk_global) {
+        if (config_.rebuild_mbps <= 0.0 || layout_->replica_count() < 2) {
+          return;
+        }
+        int node = disk_global / config_.disks_per_node;
+        if (!fault_state_->node_up(node) ||
+            !fault_state_->disk_up(disk_global)) {
+          return;
+        }
+        if (!fault_state_->BeginRebuild(disk_global, env_->now())) return;
+        env_->Spawn(RebuildDisk(disk_global));
+      };
       switch (event.kind) {
         case fault::FaultKind::kDiskFail:
         case fault::FaultKind::kDiskRecover:
         case fault::FaultKind::kDiskLimpBegin:
         case fault::FaultKind::kDiskLimpEnd:
           apply_disk(event.target);
+          if (event.kind == fault::FaultKind::kDiskRecover &&
+              event.applied) {
+            maybe_rebuild(event.target);
+          }
           break;
         case fault::FaultKind::kNodeFail:
         case fault::FaultKind::kNodeRecover:
           for (int d = 0; d < config_.disks_per_node; ++d) {
             apply_disk(event.target * config_.disks_per_node + d);
+          }
+          if (event.applied && admission_ != nullptr) {
+            if (event.kind == fault::FaultKind::kNodeFail) {
+              admission_->OnNodeDown(event.target);
+            } else {
+              admission_->OnNodeUp(event.target);
+            }
+          }
+          if (event.kind == fault::FaultKind::kNodeRecover &&
+              event.applied) {
+            for (int d = 0; d < config_.disks_per_node; ++d) {
+              maybe_rebuild(event.target * config_.disks_per_node + d);
+            }
           }
           break;
       }
@@ -188,6 +255,9 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
       proxy_params.policy = config.proxy_policy;
       proxy_params.recompute_sec = config.proxy_recompute_sec;
       proxy_params.block_bytes = config.stripe_bytes;
+      proxy_params.retry_budget = config.request_retry_budget;
+      proxy_params.retry_min_timeout_sec = config.retry_min_timeout_sec;
+      proxy_params.retry_backoff_base_sec = config.retry_backoff_base_sec;
       proxies_.push_back(std::make_unique<proxy::ProxyNode>(
           env_.get(), proxy_params, network_.get(), server_.get(),
           router_.get(), library_.get(), fault_state_.get()));
@@ -209,6 +279,10 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
   terminal_params.search_skip_sec = config.search_skip_sec;
   terminal_params.random_initial_position =
       config.random_initial_position && !config.stream_sharing_enabled();
+  terminal_params.retry_budget = config.request_retry_budget;
+  terminal_params.retry_min_timeout_sec = config.retry_min_timeout_sec;
+  terminal_params.retry_backoff_base_sec = config.retry_backoff_base_sec;
+  terminal_params.admission_defer_sec = config.admission_defer_sec;
   terminals_.reserve(config.terminals);
   for (int t = 0; t < config.terminals; ++t) {
     sim::Rng rng = master.Child(kTerminalStreamBase + t);
@@ -219,13 +293,74 @@ Simulation::Simulation(const SimConfig& config) : config_(config) {
     terminals_.push_back(std::make_unique<client::Terminal>(
         env_.get(), t, terminal_params, network_.get(), server_.get(),
         library_.get(), layout_.get(), rng, start, share_.get(),
-        fault_state_.get(), ingress));
+        fault_state_.get(), ingress, admission_.get()));
   }
 
   RegisterMetrics();
 }
 
 Simulation::~Simulation() = default;
+
+void Simulation::RebuildSink::OnMessage(const server::Message& message) {
+  (void)message;
+  ++replies;
+}
+
+sim::Process Simulation::RebuildDisk(int disk_global) {
+  const int node = disk_global / config_.disks_per_node;
+  const double rate = config_.rebuild_mbps * 1e6 / 8.0;  // bytes/sec
+  if (admission_ != nullptr) admission_->SetRebuildLoad(node, rate);
+  std::uint64_t bytes_read = 0;
+  bool completed = true;
+  for (int v = 0; v < config_.num_videos() && completed; ++v) {
+    const std::int64_t blocks =
+        library_->NumBlocks(v, config_.stripe_bytes);
+    const std::int64_t total = library_->video(v).total_bytes();
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      if (!fault_state_->node_up(node) ||
+          !fault_state_->disk_up(disk_global)) {
+        // Re-failed mid-rebuild: abort without counting a completion;
+        // the next recovery starts a fresh pass.
+        completed = false;
+        break;
+      }
+      const std::vector<layout::BlockLocation> replicas =
+          layout_->Replicas(v, b);
+      bool owned = false;
+      const layout::BlockLocation* peer = nullptr;
+      for (const layout::BlockLocation& loc : replicas) {
+        if (loc.disk_global == disk_global) {
+          owned = true;
+        } else if (peer == nullptr && loc.node != node &&
+                   fault_state_->LocationUp(loc)) {
+          peer = &loc;
+        }
+      }
+      if (!owned) continue;
+      const std::int64_t bytes = std::min<std::int64_t>(
+          config_.stripe_bytes, total - b * config_.stripe_bytes);
+      if (peer != nullptr) {
+        server::Message request;
+        request.kind = server::Message::Kind::kReadRequest;
+        request.terminal = -1;  // background resync, like prefetch tasks
+        request.video = v;
+        request.block = b;
+        request.bytes = bytes;
+        request.deadline = sim::kSimTimeMax;
+        request.reply_to = &rebuild_sink_;
+        server::PostMessage(env_.get(), network_.get(),
+                            server::kControlMessageBytes,
+                            server_->node_sink(peer->node), request);
+        bytes_read += static_cast<std::uint64_t>(bytes);
+      }
+      // Throttle: the pass sweeps the disk at rebuild_mbps whether or
+      // not a peer was reachable for this particular block.
+      co_await env_->Hold(static_cast<double>(bytes) / rate);
+    }
+  }
+  if (admission_ != nullptr) admission_->SetRebuildLoad(node, 0.0);
+  fault_state_->EndRebuild(disk_global, env_->now(), bytes_read, completed);
+}
 
 void Simulation::RunWarmup() { env_->RunUntil(config_.warmup_seconds); }
 
@@ -237,6 +372,7 @@ void Simulation::ResetAllStats() {
   if (share_ != nullptr) share_->ResetStats();
   for (auto& proxy : proxies_) proxy->ResetStats();
   if (fault_state_ != nullptr) fault_state_->ResetStats(now);
+  if (admission_ != nullptr) admission_->ResetStats();
   metrics_.Reset();  // owned instruments; probes read the state above
   measure_start_ = now;
 }
@@ -358,6 +494,9 @@ SimMetrics Simulation::CollectDirect() const {
     m.repairs_completed = fstats.repairs_completed;
     m.mttr_sec = fault_state_->MttrSec();
     m.fault_downtime_sec = fstats.downtime_sec;
+    m.rebuilds_completed = fstats.rebuilds_completed;
+    m.rebuild_sec = fstats.rebuild_sec;
+    m.rebuild_bytes = fstats.rebuild_bytes;
   }
   for (int n = 0; n < server_->num_nodes(); ++n) {
     const server::Node& node = server_->node(n);
@@ -373,6 +512,28 @@ SimMetrics Simulation::CollectDirect() const {
   for (const auto& terminal : terminals_) {
     m.requests_redirected += terminal->stats().requests_redirected;
     m.blocks_rerouted += terminal->stats().blocks_rerouted;
+  }
+
+  // Resilience layer: all zero when admission control, request retry,
+  // and rebuild are off.
+  if (admission_ != nullptr) {
+    const auto& astats = admission_->stats();
+    m.admission_admits = static_cast<std::uint64_t>(astats.admits);
+    m.admission_rejects = static_cast<std::uint64_t>(astats.rejects);
+    m.admission_defers = static_cast<std::uint64_t>(astats.defers);
+    m.failover_readmissions =
+        static_cast<std::uint64_t>(astats.failover_readmissions);
+  }
+  for (const auto& terminal : terminals_) {
+    const auto& tstats = terminal->stats();
+    m.request_retries += tstats.request_retries;
+    m.retries_exhausted += tstats.retries_exhausted;
+    m.session_failovers += tstats.session_failovers;
+    m.duplicate_replies += tstats.duplicate_replies;
+  }
+  for (const auto& proxy : proxies_) {
+    m.proxy_forward_retries += proxy->stats().forward_retries;
+    m.proxy_stale_replies += proxy->stats().stale_replies;
   }
   return m;
 }
@@ -465,6 +626,32 @@ SimMetrics Simulation::Collect() const {
       metrics_.Value("fault.requests_redirected"));
   m.blocks_rerouted =
       static_cast<std::uint64_t>(metrics_.Value("fault.blocks_rerouted"));
+
+  m.admission_admits =
+      static_cast<std::uint64_t>(metrics_.Value("admission.admits"));
+  m.admission_rejects =
+      static_cast<std::uint64_t>(metrics_.Value("admission.rejects"));
+  m.admission_defers =
+      static_cast<std::uint64_t>(metrics_.Value("admission.defers"));
+  m.failover_readmissions = static_cast<std::uint64_t>(
+      metrics_.Value("admission.failover_readmissions"));
+  m.request_retries = static_cast<std::uint64_t>(
+      metrics_.Value("terminal.request_retries"));
+  m.retries_exhausted = static_cast<std::uint64_t>(
+      metrics_.Value("terminal.retries_exhausted"));
+  m.session_failovers = static_cast<std::uint64_t>(
+      metrics_.Value("terminal.session_failovers"));
+  m.duplicate_replies = static_cast<std::uint64_t>(
+      metrics_.Value("terminal.duplicate_replies"));
+  m.proxy_forward_retries = static_cast<std::uint64_t>(
+      metrics_.Value("proxy.forward_retries"));
+  m.proxy_stale_replies =
+      static_cast<std::uint64_t>(metrics_.Value("proxy.stale_replies"));
+  m.rebuilds_completed = static_cast<std::uint64_t>(
+      metrics_.Value("fault.rebuilds_completed"));
+  m.rebuild_sec = metrics_.Value("fault.rebuild_sec");
+  m.rebuild_bytes =
+      static_cast<std::uint64_t>(metrics_.Value("fault.rebuild_bytes"));
   return m;
 }
 
@@ -635,6 +822,65 @@ void Simulation::RegisterMetrics() {
   metrics_.AddProbe("fault.blocks_rerouted", [sum_terminals] {
     return sum_terminals([](const auto& s) { return s.blocks_rerouted; });
   });
+  metrics_.AddProbe("fault.rebuilds_completed", [this] {
+    return fault_state_ == nullptr
+               ? 0.0
+               : static_cast<double>(
+                     fault_state_->StatsAt(env_->now()).rebuilds_completed);
+  });
+  metrics_.AddProbe("fault.rebuild_sec", [this] {
+    return fault_state_ == nullptr
+               ? 0.0
+               : fault_state_->StatsAt(env_->now()).rebuild_sec;
+  });
+  metrics_.AddProbe("fault.rebuild_bytes", [this] {
+    return fault_state_ == nullptr
+               ? 0.0
+               : static_cast<double>(
+                     fault_state_->StatsAt(env_->now()).rebuild_bytes);
+  });
+
+  // --- Resilience (unconditional; every probe reads zero when admission
+  // control and request retry are off) ---
+  metrics_.AddProbe("admission.admits", [this] {
+    return admission_ == nullptr
+               ? 0.0
+               : static_cast<double>(admission_->stats().admits);
+  });
+  metrics_.AddProbe("admission.rejects", [this] {
+    return admission_ == nullptr
+               ? 0.0
+               : static_cast<double>(admission_->stats().rejects);
+  });
+  metrics_.AddProbe("admission.defers", [this] {
+    return admission_ == nullptr
+               ? 0.0
+               : static_cast<double>(admission_->stats().defers);
+  });
+  metrics_.AddProbe("admission.failover_readmissions", [this] {
+    return admission_ == nullptr
+               ? 0.0
+               : static_cast<double>(
+                     admission_->stats().failover_readmissions);
+  });
+  // Registry-only: live reservation state at collection time.
+  metrics_.AddProbe("admission.active_sessions", [this] {
+    return admission_ == nullptr
+               ? 0.0
+               : static_cast<double>(admission_->active_sessions());
+  });
+  metrics_.AddProbe("terminal.request_retries", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.request_retries; });
+  });
+  metrics_.AddProbe("terminal.retries_exhausted", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.retries_exhausted; });
+  });
+  metrics_.AddProbe("terminal.session_failovers", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.session_failovers; });
+  });
+  metrics_.AddProbe("terminal.duplicate_replies", [sum_terminals] {
+    return sum_terminals([](const auto& s) { return s.duplicate_replies; });
+  });
 
   // --- Buffer pool & prefetch (summed over nodes) ---
   auto sum_pool = [this](auto field) {
@@ -735,6 +981,12 @@ void Simulation::RegisterMetrics() {
       count += proxy->stats().forward_latency.count();
     }
     return count == 0 ? 0.0 : sum / count * 1e3;
+  });
+  metrics_.AddProbe("proxy.forward_retries", [sum_proxy] {
+    return sum_proxy([](const auto& s) { return s.forward_retries; });
+  });
+  metrics_.AddProbe("proxy.stale_replies", [sum_proxy] {
+    return sum_proxy([](const auto& s) { return s.stale_replies; });
   });
   // Registry-only: cache occupancy across the tier at collection time.
   metrics_.AddProbe("proxy.pages_in_use", [this] {

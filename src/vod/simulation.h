@@ -28,8 +28,11 @@
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
 #include "proxy/proxy_node.h"
+#include "server/message.h"
 #include "server/server.h"
 #include "sim/environment.h"
+#include "sim/process.h"
+#include "vod/admission.h"
 #include "vod/config.h"
 #include "vod/metrics.h"
 
@@ -124,6 +127,8 @@ class Simulation {
   const proxy::ProxyNode& proxy_node(int id) const { return *proxies_[id]; }
   // Always valid; resolves both hops (proxy == -1 when the tier is off).
   const layout::TierRouter& tier_router() const { return *router_; }
+  // Null unless config.admission_policy != AdmissionPolicy::kOff.
+  const AdmissionController* admission() const { return admission_.get(); }
   const SimConfig& config() const { return config_; }
 
   // Manual phase control used by Run(); exposed for experiments that
@@ -151,6 +156,17 @@ class Simulation {
 
  private:
   void RegisterMetrics();
+  // Throttled post-repair resync of one disk from replica peers; spawned
+  // by the fault effect handler when rebuild_mbps > 0 on a replicated
+  // layout. Holds the FaultState `rebuilding` flag for its lifetime.
+  sim::Process RebuildDisk(int disk_global);
+
+  // Terminus for rebuild read replies: the payload is a resync, not a
+  // stream, so the reply is only counted, never buffered.
+  struct RebuildSink final : server::MessageSink {
+    void OnMessage(const server::Message& message) override;
+    std::uint64_t replies = 0;
+  };
 
   SimConfig config_;
   std::unique_ptr<sim::Environment> env_;
@@ -159,6 +175,8 @@ class Simulation {
   std::unique_ptr<hw::Network> network_;
   std::unique_ptr<fault::FaultState> fault_state_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
+  std::unique_ptr<AdmissionController> admission_;
+  RebuildSink rebuild_sink_;
   std::unique_ptr<server::VideoServer> server_;
   std::unique_ptr<client::StreamShareManager> share_;
   std::unique_ptr<layout::TierRouter> router_;

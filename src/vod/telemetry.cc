@@ -225,6 +225,49 @@ void TelemetryRecorder::RegisterChannels() {
       return static_cast<double>(
           sim->fault_state()->StatsAt(sim->env().now()).faults_injected);
     });
+    if (sim->config().rebuild_mbps > 0.0) {
+      series_.AddGauge("fault.disks_rebuilding", [sim] {
+        return static_cast<double>(sim->fault_state()->disks_rebuilding());
+      });
+      series_.AddCounter("fault.rebuild_bytes", [sim] {
+        return static_cast<double>(
+            sim->fault_state()->StatsAt(sim->env().now()).rebuild_bytes);
+      });
+    }
+  }
+
+  // --- Admission control (only when a policy is active) ---
+  if (sim->admission() != nullptr) {
+    series_.AddGauge("admission.active_sessions", [sim] {
+      return static_cast<double>(sim->admission()->active_sessions());
+    });
+    series_.AddGauge("admission.reserved_bytes_per_sec", [sim] {
+      return sim->admission()->reserved_bytes_per_sec();
+    });
+    series_.AddCounter("admission.defers", [sim] {
+      return static_cast<double>(sim->admission()->stats().defers);
+    });
+    series_.AddCounter("admission.rejects", [sim] {
+      return static_cast<double>(sim->admission()->stats().rejects);
+    });
+  }
+
+  // --- Request retry (only when a retry budget is configured) ---
+  if (sim->config().request_retry_budget > 0) {
+    series_.AddCounter("terminals.request_retries", [sim] {
+      std::uint64_t sum = 0;
+      for (int t = 0; t < sim->num_terminals(); ++t) {
+        sum += sim->terminal(t).stats().request_retries;
+      }
+      return static_cast<double>(sum);
+    });
+    series_.AddCounter("terminals.session_failovers", [sim] {
+      std::uint64_t sum = 0;
+      for (int t = 0; t < sim->num_terminals(); ++t) {
+        sum += sim->terminal(t).stats().session_failovers;
+      }
+      return static_cast<double>(sum);
+    });
   }
 }
 

@@ -237,6 +237,32 @@ TEST_F(TerminalTest, ResetStatsClearsCounters) {
   EXPECT_EQ(terminal_->stats().requests_sent, 0u);
 }
 
+TEST(TerminalDeathTest, ZeroTimeGlitchLoopFailsFast) {
+  // Regression for the fail-fast check in HandleGlitch: a terminal whose
+  // buffer is full of arrived blocks but still too small to hold one
+  // displayable frame would glitch forever in zero simulated time. The
+  // check must abort instead of looping.
+  auto run = [] {
+    sim::Environment env;
+    mpeg::ZipfDistribution popularity(1, 0.0);
+    mpeg::VideoLibrary library(1, 10.0, mpeg::MpegParams(), popularity, 1);
+    constexpr std::int64_t kTinyBlock = 4096;
+    layout::StripedLayout layout(
+        1, 1, kTinyBlock,
+        std::vector<std::int64_t>{library.NumBlocks(0, kTinyBlock)});
+    hw::Network network(&env, hw::NetworkParams());
+    FakeServer fake(&env, &network);
+    TerminalParams params;
+    params.block_bytes = kTinyBlock;
+    params.memory_bytes = 2 * kTinyBlock;  // far below one I-frame
+    params.random_initial_position = false;
+    Terminal terminal(&env, 0, params, &network, &fake, &library, &layout,
+                      sim::Rng(7), /*start_time=*/0.0);
+    env.RunUntil(5.0);
+  };
+  EXPECT_DEATH(run(), "inflight_bytes_");
+}
+
 TEST_F(TerminalTest, PiggybackFollowerSendsNoRequests) {
   // Two terminals, one manager with a 5 s window: the second terminal
   // must follow the first and never touch the server.

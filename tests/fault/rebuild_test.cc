@@ -1,0 +1,119 @@
+// Post-repair rebuild (ISSUE 9): FaultState rebuild-window accounting,
+// and the Simulation's throttled resync process that re-reads a
+// repaired disk's stripe regions from replica peers.
+
+#include "fault/state.h"
+#include "gtest/gtest.h"
+#include "vod/simulation.h"
+
+namespace spiffi {
+namespace {
+
+TEST(RebuildTest, FaultStateTracksRebuildWindows) {
+  fault::FaultState state(2, 2);
+  EXPECT_FALSE(state.disk_rebuilding(0));
+  EXPECT_EQ(state.disks_rebuilding(), 0);
+
+  EXPECT_TRUE(state.BeginRebuild(0, 10.0));
+  EXPECT_FALSE(state.BeginRebuild(0, 11.0));  // idempotent
+  EXPECT_TRUE(state.disk_rebuilding(0));
+  EXPECT_EQ(state.disks_rebuilding(), 1);
+
+  // Open windows are charged up to the query time.
+  EXPECT_DOUBLE_EQ(state.StatsAt(14.0).rebuild_sec, 4.0);
+  EXPECT_EQ(state.StatsAt(14.0).rebuilds_completed, 0u);
+
+  EXPECT_TRUE(state.EndRebuild(0, 16.0, 1024, /*completed=*/true));
+  EXPECT_FALSE(state.disk_rebuilding(0));
+  EXPECT_FALSE(state.EndRebuild(0, 17.0, 0, true));  // already closed
+  EXPECT_DOUBLE_EQ(state.StatsAt(20.0).rebuild_sec, 6.0);
+  EXPECT_EQ(state.StatsAt(20.0).rebuild_bytes, 1024u);
+  EXPECT_EQ(state.StatsAt(20.0).rebuilds_completed, 1u);
+
+  // An aborted rebuild closes its window without counting a completion.
+  EXPECT_TRUE(state.BeginRebuild(1, 20.0));
+  EXPECT_TRUE(state.EndRebuild(1, 22.0, 512, /*completed=*/false));
+  EXPECT_DOUBLE_EQ(state.StatsAt(22.0).rebuild_sec, 8.0);
+  EXPECT_EQ(state.StatsAt(22.0).rebuilds_completed, 1u);
+}
+
+TEST(RebuildTest, ResetStatsRebasesOpenRebuildWindows) {
+  fault::FaultState state(1, 2);
+  state.BeginRebuild(0, 5.0);
+  state.ResetStats(20.0);
+  // Pre-window rebuild time is not charged to the new window.
+  EXPECT_DOUBLE_EQ(state.StatsAt(23.0).rebuild_sec, 3.0);
+}
+
+vod::SimConfig RebuildConfig() {
+  vod::SimConfig config;
+  config.num_nodes = 2;
+  config.disks_per_node = 2;
+  config.video_seconds = 120.0;
+  config.server_memory_bytes = 256LL * 1024 * 1024;
+  config.terminals = 10;
+  config.start_window_sec = 10.0;
+  config.warmup_seconds = 15.0;
+  config.measure_seconds = 30.0;
+  config.placement = vod::VideoPlacement::kReplicatedStriped;
+  config.replica_count = 2;
+  config.fault_plan.script.push_back(
+      {20.0, fault::FaultKind::kDiskFail, 0});
+  config.fault_plan.script.push_back(
+      {25.0, fault::FaultKind::kDiskRecover, 0});
+  // Fast enough that the sweep of disk 0's stripe regions finishes well
+  // inside the measurement window.
+  config.rebuild_mbps = 2000.0;
+  return config;
+}
+
+TEST(RebuildTest, RepairTriggersThrottledRebuild) {
+  vod::Simulation simulation(RebuildConfig());
+  vod::SimMetrics metrics = simulation.Run();
+  EXPECT_EQ(metrics.repairs_completed, 1u);
+  EXPECT_EQ(metrics.rebuilds_completed, 1u);
+  EXPECT_GT(metrics.rebuild_sec, 0.0);
+  EXPECT_GT(metrics.rebuild_bytes, 0u);
+  ASSERT_NE(simulation.fault_state(), nullptr);
+  // The sweep finished: no rebuild is still open at run end.
+  EXPECT_EQ(simulation.fault_state()->disks_rebuilding(), 0);
+}
+
+TEST(RebuildTest, RebuildRunsAreDeterministic) {
+  vod::Simulation a(RebuildConfig());
+  vod::SimMetrics ma = a.Run();
+  vod::Simulation b(RebuildConfig());
+  vod::SimMetrics mb = b.Run();
+  EXPECT_EQ(ma.events_simulated, mb.events_simulated);
+  EXPECT_EQ(ma.rebuild_sec, mb.rebuild_sec);
+  EXPECT_EQ(ma.rebuild_bytes, mb.rebuild_bytes);
+  EXPECT_EQ(ma.glitches, mb.glitches);
+  EXPECT_EQ(ma.disk_reads, mb.disk_reads);
+  EXPECT_EQ(ma.avg_network_bytes_per_sec, mb.avg_network_bytes_per_sec);
+}
+
+TEST(RebuildTest, NoRebuildWithoutReplicaPeers) {
+  vod::SimConfig config = RebuildConfig();
+  config.placement = vod::VideoPlacement::kStriped;
+  vod::Simulation simulation(config);
+  vod::SimMetrics metrics = simulation.Run();
+  // A single-copy layout has no peers to resync from: the repair lands
+  // but no rebuild starts.
+  EXPECT_EQ(metrics.repairs_completed, 1u);
+  EXPECT_EQ(metrics.rebuilds_completed, 0u);
+  EXPECT_EQ(metrics.rebuild_sec, 0.0);
+  EXPECT_EQ(metrics.rebuild_bytes, 0u);
+}
+
+TEST(RebuildTest, NoRebuildWhenDisabled) {
+  vod::SimConfig config = RebuildConfig();
+  config.rebuild_mbps = 0.0;
+  vod::Simulation simulation(config);
+  vod::SimMetrics metrics = simulation.Run();
+  EXPECT_EQ(metrics.rebuilds_completed, 0u);
+  EXPECT_EQ(metrics.rebuild_sec, 0.0);
+  EXPECT_EQ(metrics.rebuild_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace spiffi

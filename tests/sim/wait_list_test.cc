@@ -145,5 +145,105 @@ TEST(WaitListTest, MixedTimeoutAndNotifyOrdering) {
   EXPECT_EQ(events[1], (std::pair<int, bool>{1, true}));
 }
 
+TEST(WaitListTest, NotifyAtExactTimeoutTickLosesToEarlierTimer) {
+  // The waiter suspends at t=0, scheduling its timeout for t=1; the
+  // notifier's NotifyOne also lands at t=1 but its resumption event was
+  // inserted after the timer. Calendar FIFO at equal timestamps: the
+  // timeout fires first, unlinks the waiter, and the same-tick notify
+  // finds an empty list instead of resuming the waiter twice.
+  Environment env;
+  WaitList list(&env);
+  bool notified = true;
+  int resumes = 0;
+  env.Spawn([](WaitList* l, bool* n, int* r) -> Process {
+    *n = co_await l->WaitUntil(1.0);
+    ++*r;
+  }(&list, &notified, &resumes));
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(1.0);
+    l->NotifyOne();
+  }(&env, &list));
+  env.Run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(resumes, 1);
+  EXPECT_EQ(list.waiter_count(), 0u);
+}
+
+TEST(WaitListTest, NotifyAtExactTimeoutTickWinsWhenScheduledFirst) {
+  // Mirror image: the notifier spawns first, so its Hold-resume event
+  // precedes the waiter's timeout in the t=1 FIFO. NotifyOne dispatches
+  // the waiter (cancelling its timer); the already-fired timer slot must
+  // not produce a second, timed-out resumption.
+  Environment env;
+  WaitList list(&env);
+  bool notified = false;
+  int resumes = 0;
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(1.0);
+    l->NotifyOne();
+  }(&env, &list));
+  env.Spawn([](WaitList* l, bool* n, int* r) -> Process {
+    *n = co_await l->WaitUntil(1.0);
+    ++*r;
+  }(&list, &notified, &resumes));
+  env.Run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(resumes, 1);
+  EXPECT_EQ(list.waiter_count(), 0u);
+}
+
+TEST(WaitListTest, NotifyAllAfterSameTickTimeoutSkipsTheDeadFrame) {
+  // Waiter 0's timeout fires at t=1 and its coroutine frame is destroyed
+  // in the same tick. A NotifyAll landing later in that tick must only
+  // reach waiter 1 — touching the timed-out awaiter would be a
+  // use-after-free.
+  Environment env;
+  WaitList list(&env);
+  bool timed_out_notified = true;
+  bool survivor_notified = false;
+  env.Spawn([](WaitList* l, bool* n) -> Process {
+    *n = co_await l->WaitUntil(1.0);
+  }(&list, &timed_out_notified));
+  env.Spawn([](WaitList* l, bool* n) -> Process {
+    *n = co_await l->WaitUntil(10.0);
+  }(&list, &survivor_notified));
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(1.0);
+    l->NotifyAll();
+  }(&env, &list));
+  env.Run();
+  EXPECT_FALSE(timed_out_notified);
+  EXPECT_TRUE(survivor_notified);
+  EXPECT_EQ(list.waiter_count(), 0u);
+}
+
+TEST(WaitListTest, TimeoutWhileEarlierWaiterIsMidNotify) {
+  // NotifyOne at t=1 dispatches waiter A, whose resumption is scheduled
+  // for later in the same tick. Waiter B's timeout (also t=1) fires in
+  // between, while A is "mid-notify". B must time out cleanly, and A's
+  // resumption — which immediately re-notifies — must find nobody left.
+  Environment env;
+  WaitList list(&env);
+  bool a_notified = false;
+  bool b_notified = true;
+  // Notifier spawns first so its t=1 resumption precedes B's timeout in
+  // the same-tick FIFO.
+  env.Spawn([](Environment* e, WaitList* l) -> Process {
+    co_await e->Hold(1.0);
+    l->NotifyOne();
+  }(&env, &list));
+  env.Spawn([](WaitList* l, bool* n) -> Process {
+    *n = co_await l->Wait();  // A: oldest, no deadline
+    l->NotifyOne();           // fires into an empty list
+  }(&list, &a_notified));
+  env.Spawn([](WaitList* l, bool* n) -> Process {
+    *n = co_await l->WaitUntil(1.0);  // B
+  }(&list, &b_notified));
+  env.Run();
+  EXPECT_TRUE(a_notified);
+  EXPECT_FALSE(b_notified);
+  EXPECT_EQ(list.waiter_count(), 0u);
+}
+
 }  // namespace
 }  // namespace spiffi::sim

@@ -1,0 +1,180 @@
+// Unit tests for the session admission controller (ISSUE 9): envelope
+// arithmetic, defer/reject streaks, failover grandfathering, node
+// up/down capacity tracking, and rebuild-load discounting. Integration
+// with the Simulation (gate placement, bit-identity when off) is
+// covered by metrics_regression_test.cc and the client retry tests.
+
+#include "vod/admission.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace spiffi::vod {
+namespace {
+
+using Decision = AdmissionController::Decision;
+
+// Two nodes, each carrying 4 streams at full headroom: envelope of 8.
+AdmissionParams SmallParams() {
+  AdmissionParams params;
+  params.policy = AdmissionPolicy::kStaticReservation;
+  params.num_nodes = 2;
+  params.node_bytes_per_sec = 4.0e6;
+  params.stream_bytes_per_sec = 1.0e6;
+  params.headroom_fraction = 1.0;
+  params.max_defers_before_reject = 2;
+  return params;
+}
+
+TEST(AdmissionTest, PolicyNamesAreDistinct) {
+  const std::string off = AdmissionPolicyName(AdmissionPolicy::kOff);
+  const std::string stat =
+      AdmissionPolicyName(AdmissionPolicy::kStaticReservation);
+  const std::string measured =
+      AdmissionPolicyName(AdmissionPolicy::kMeasuredHeadroom);
+  EXPECT_NE(off, stat);
+  EXPECT_NE(off, measured);
+  EXPECT_NE(stat, measured);
+}
+
+TEST(AdmissionTest, AdmitsUntilEnvelopeFullThenDefers) {
+  AdmissionController controller(SmallParams());
+  EXPECT_EQ(controller.capacity_bytes_per_sec(), 8.0e6);
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(controller.TryAdmit(s), Decision::kAdmit) << "session " << s;
+  }
+  EXPECT_EQ(controller.active_sessions(), 8);
+  EXPECT_EQ(controller.reserved_bytes_per_sec(), 8.0e6);
+  EXPECT_EQ(controller.TryAdmit(8), Decision::kDefer);
+  EXPECT_EQ(controller.stats().admits, 8);
+  EXPECT_EQ(controller.stats().defers, 1);
+}
+
+TEST(AdmissionTest, HeadroomFractionShrinksTheEnvelope) {
+  AdmissionParams params = SmallParams();
+  params.headroom_fraction = 0.5;  // envelope of 4 streams
+  AdmissionController controller(params);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(controller.TryAdmit(s), Decision::kAdmit);
+  }
+  EXPECT_EQ(controller.TryAdmit(4), Decision::kDefer);
+}
+
+TEST(AdmissionTest, TryAdmitIsIdempotentForAdmittedSessions) {
+  AdmissionController controller(SmallParams());
+  EXPECT_EQ(controller.TryAdmit(7), Decision::kAdmit);
+  EXPECT_EQ(controller.TryAdmit(7), Decision::kAdmit);
+  EXPECT_EQ(controller.active_sessions(), 1);
+}
+
+TEST(AdmissionTest, ConsecutiveDefersEscalateToReject) {
+  AdmissionController controller(SmallParams());
+  for (int s = 0; s < 8; ++s) controller.TryAdmit(s);
+  // max_defers_before_reject = 2: two deferrals, then rejection.
+  EXPECT_EQ(controller.TryAdmit(99), Decision::kDefer);
+  EXPECT_EQ(controller.TryAdmit(99), Decision::kDefer);
+  EXPECT_EQ(controller.TryAdmit(99), Decision::kReject);
+  EXPECT_EQ(controller.stats().defers, 2);
+  EXPECT_EQ(controller.stats().rejects, 1);
+  // The streak resets after the rejection: the next attempt defers anew.
+  EXPECT_EQ(controller.TryAdmit(99), Decision::kDefer);
+}
+
+TEST(AdmissionTest, AdmissionResetsTheDeferStreak) {
+  AdmissionController controller(SmallParams());
+  for (int s = 0; s < 8; ++s) controller.TryAdmit(s);
+  EXPECT_EQ(controller.TryAdmit(99), Decision::kDefer);
+  controller.Release(0);
+  EXPECT_EQ(controller.TryAdmit(99), Decision::kAdmit);
+  // Full again; a fresh streak starts from zero deferrals.
+  EXPECT_EQ(controller.TryAdmit(100), Decision::kDefer);
+  EXPECT_EQ(controller.TryAdmit(100), Decision::kDefer);
+  EXPECT_EQ(controller.TryAdmit(100), Decision::kReject);
+}
+
+TEST(AdmissionTest, ReleaseFreesCapacity) {
+  AdmissionController controller(SmallParams());
+  for (int s = 0; s < 8; ++s) controller.TryAdmit(s);
+  EXPECT_EQ(controller.TryAdmit(8), Decision::kDefer);
+  controller.Release(3);
+  EXPECT_EQ(controller.stats().releases, 1);
+  EXPECT_EQ(controller.active_sessions(), 7);
+  EXPECT_EQ(controller.TryAdmit(8), Decision::kAdmit);
+  // Releasing a session that holds no reservation is a no-op.
+  controller.Release(42);
+  EXPECT_EQ(controller.stats().releases, 1);
+}
+
+TEST(AdmissionTest, NodeDownShrinksEnvelopeForFutureAdmissions) {
+  AdmissionController controller(SmallParams());
+  for (int s = 0; s < 6; ++s) controller.TryAdmit(s);
+  controller.OnNodeDown(1);
+  // Envelope is now 4 streams but 6 are admitted: over-committed, so
+  // new sessions defer while the existing six are grandfathered.
+  EXPECT_EQ(controller.capacity_bytes_per_sec(), 4.0e6);
+  EXPECT_EQ(controller.active_sessions(), 6);
+  EXPECT_EQ(controller.TryAdmit(6), Decision::kDefer);
+  controller.OnNodeUp(1);
+  EXPECT_EQ(controller.TryAdmit(6), Decision::kAdmit);
+}
+
+TEST(AdmissionTest, ReadmitGrandfathersAdmittedSessions) {
+  AdmissionController controller(SmallParams());
+  for (int s = 0; s < 8; ++s) controller.TryAdmit(s);
+  controller.OnNodeDown(0);
+  // Even with the envelope halved and full, the failed-over session
+  // keeps its slot.
+  EXPECT_EQ(controller.Readmit(5), Decision::kAdmit);
+  EXPECT_EQ(controller.stats().failover_readmissions, 1);
+  EXPECT_EQ(controller.active_sessions(), 8);
+  // A session with no reservation goes through the normal (full) gate.
+  EXPECT_EQ(controller.Readmit(99), Decision::kDefer);
+}
+
+TEST(AdmissionTest, RebuildLoadDiscountsCapacity) {
+  AdmissionController controller(SmallParams());
+  controller.SetRebuildLoad(0, 2.0e6);
+  EXPECT_EQ(controller.capacity_bytes_per_sec(), 6.0e6);
+  for (int s = 0; s < 6; ++s) {
+    EXPECT_EQ(controller.TryAdmit(s), Decision::kAdmit);
+  }
+  EXPECT_EQ(controller.TryAdmit(6), Decision::kDefer);
+  // Updating the same node's load replaces, not accumulates.
+  controller.SetRebuildLoad(0, 1.0e6);
+  EXPECT_EQ(controller.capacity_bytes_per_sec(), 7.0e6);
+  controller.SetRebuildLoad(0, 0.0);
+  EXPECT_EQ(controller.capacity_bytes_per_sec(), 8.0e6);
+  EXPECT_EQ(controller.TryAdmit(6), Decision::kAdmit);
+}
+
+TEST(AdmissionTest, MeasuredHeadroomConsultsTheProbe) {
+  AdmissionParams params = SmallParams();
+  params.policy = AdmissionPolicy::kMeasuredHeadroom;
+  params.headroom_fraction = 0.8;
+  AdmissionController controller(params);
+  double utilization = 0.2;
+  controller.set_utilization_probe([&utilization] { return utilization; });
+  EXPECT_EQ(controller.TryAdmit(0), Decision::kAdmit);
+  // Static books say there is room, but the measured load is at the
+  // cap: defer.
+  utilization = 0.9;
+  EXPECT_EQ(controller.TryAdmit(1), Decision::kDefer);
+  utilization = 0.3;
+  EXPECT_EQ(controller.TryAdmit(1), Decision::kAdmit);
+}
+
+TEST(AdmissionTest, ResetStatsKeepsReservations) {
+  AdmissionController controller(SmallParams());
+  for (int s = 0; s < 8; ++s) controller.TryAdmit(s);
+  controller.TryAdmit(8);  // defer
+  controller.ResetStats();
+  EXPECT_EQ(controller.stats().admits, 0);
+  EXPECT_EQ(controller.stats().defers, 0);
+  // The reservation book survives the stats window reset.
+  EXPECT_EQ(controller.active_sessions(), 8);
+  EXPECT_EQ(controller.TryAdmit(9), Decision::kDefer);
+}
+
+}  // namespace
+}  // namespace spiffi::vod

@@ -201,6 +201,72 @@ TEST(SimConfigTest, DescribeMentionsSharingOnlyWhenEnabled) {
   EXPECT_NE(description.find("prefix 0.25"), std::string::npos);
 }
 
+TEST(SimConfigTest, ValidatesResilienceKnobs) {
+  {
+    SimConfig c;
+    c.admission_policy = AdmissionPolicy::kStaticReservation;
+    c.admission_headroom = 0.0;  // must be in (0, 1]
+    EXPECT_FALSE(c.Validate().empty());
+    c.admission_headroom = 1.5;
+    EXPECT_FALSE(c.Validate().empty());
+    c.admission_headroom = 1.0;
+    EXPECT_TRUE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.admission_policy = AdmissionPolicy::kMeasuredHeadroom;
+    c.admission_defer_sec = 0.0;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.admission_policy = AdmissionPolicy::kStaticReservation;
+    c.admission_max_defers = -1;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    // With admission off, the admission sub-knobs are not interpreted.
+    SimConfig c;
+    c.admission_headroom = 7.0;
+    EXPECT_TRUE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.request_retry_budget = -1;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.request_retry_budget = 2;
+    c.retry_min_timeout_sec = 0.0;
+    EXPECT_FALSE(c.Validate().empty());
+    c.retry_min_timeout_sec = 0.25;
+    c.retry_backoff_base_sec = 0.0;
+    EXPECT_FALSE(c.Validate().empty());
+    c.retry_backoff_base_sec = 0.25;
+    EXPECT_TRUE(c.Validate().empty());
+  }
+  {
+    SimConfig c;
+    c.rebuild_mbps = -1.0;
+    EXPECT_FALSE(c.Validate().empty());
+  }
+}
+
+TEST(SimConfigTest, DescribeMentionsResilienceOnlyWhenEnabled) {
+  SimConfig c;
+  EXPECT_EQ(c.Describe().find("admission"), std::string::npos);
+  EXPECT_EQ(c.Describe().find("retry"), std::string::npos);
+  EXPECT_EQ(c.Describe().find("rebuild"), std::string::npos);
+  c.admission_policy = AdmissionPolicy::kStaticReservation;
+  c.request_retry_budget = 3;
+  c.rebuild_mbps = 40.0;
+  std::string description = c.Describe();
+  EXPECT_NE(description.find("admission"), std::string::npos);
+  EXPECT_NE(description.find("retry x3"), std::string::npos);
+  EXPECT_NE(description.find("rebuild"), std::string::npos);
+}
+
 TEST(SimConfigTest, ScaleupPreservesVideosPerDisk) {
   SimConfig config;
   config.disks_per_node = 16;  // x4 scaleup keeps 4 CPUs

@@ -78,6 +78,19 @@ void ExpectBitIdentical(const SimMetrics& a, const SimMetrics& b) {
   EXPECT_EQ(a.prefetches_skipped_dead, b.prefetches_skipped_dead);
   EXPECT_EQ(a.requests_redirected, b.requests_redirected);
   EXPECT_EQ(a.blocks_rerouted, b.blocks_rerouted);
+  EXPECT_EQ(a.admission_admits, b.admission_admits);
+  EXPECT_EQ(a.admission_rejects, b.admission_rejects);
+  EXPECT_EQ(a.admission_defers, b.admission_defers);
+  EXPECT_EQ(a.failover_readmissions, b.failover_readmissions);
+  EXPECT_EQ(a.request_retries, b.request_retries);
+  EXPECT_EQ(a.retries_exhausted, b.retries_exhausted);
+  EXPECT_EQ(a.session_failovers, b.session_failovers);
+  EXPECT_EQ(a.duplicate_replies, b.duplicate_replies);
+  EXPECT_EQ(a.proxy_forward_retries, b.proxy_forward_retries);
+  EXPECT_EQ(a.proxy_stale_replies, b.proxy_stale_replies);
+  EXPECT_EQ(a.rebuilds_completed, b.rebuilds_completed);
+  EXPECT_EQ(a.rebuild_sec, b.rebuild_sec);
+  EXPECT_EQ(a.rebuild_bytes, b.rebuild_bytes);
 }
 
 TEST(MetricsRegressionTest, RegistryCollectMatchesDirectLightLoad) {
@@ -145,6 +158,58 @@ TEST(MetricsRegressionTest, ZeroProxyRunIsBitIdenticalAndAllZero) {
   // The registry schema still carries the proxy keys, reading zero.
   EXPECT_EQ(a.metrics().Value("proxy.references"), 0.0);
   EXPECT_EQ(a.metrics().Value("proxy.pages_in_use"), 0.0);
+}
+
+// Feature-off regression: with admission, retry, and rebuild all off
+// (the defaults), runs must stay bit-identical and every resilience
+// metric must read zero.
+TEST(MetricsRegressionTest, ResilienceOffRunIsBitIdenticalAndAllZero) {
+  SimConfig config = SmallConfig();
+  ASSERT_EQ(config.admission_policy, AdmissionPolicy::kOff);
+  ASSERT_EQ(config.request_retry_budget, 0);
+  ASSERT_EQ(config.rebuild_mbps, 0.0);
+  Simulation a(config);
+  SimMetrics ma = a.Run();
+  Simulation b(config);
+  SimMetrics mb = b.Run();
+  ExpectBitIdentical(ma, mb);
+  EXPECT_EQ(ma.admission_admits, 0u);
+  EXPECT_EQ(ma.admission_rejects, 0u);
+  EXPECT_EQ(ma.admission_defers, 0u);
+  EXPECT_EQ(ma.failover_readmissions, 0u);
+  EXPECT_EQ(ma.request_retries, 0u);
+  EXPECT_EQ(ma.retries_exhausted, 0u);
+  EXPECT_EQ(ma.session_failovers, 0u);
+  EXPECT_EQ(ma.duplicate_replies, 0u);
+  EXPECT_EQ(ma.proxy_forward_retries, 0u);
+  EXPECT_EQ(ma.proxy_stale_replies, 0u);
+  EXPECT_EQ(ma.rebuilds_completed, 0u);
+  EXPECT_EQ(ma.rebuild_sec, 0.0);
+  EXPECT_EQ(ma.rebuild_bytes, 0u);
+  EXPECT_EQ(a.admission(), nullptr);
+  // The registry schema still carries the resilience keys, reading zero.
+  EXPECT_EQ(a.metrics().Value("admission.admits"), 0.0);
+  EXPECT_EQ(a.metrics().Value("terminal.request_retries"), 0.0);
+  EXPECT_EQ(a.metrics().Value("fault.rebuilds_completed"), 0.0);
+}
+
+// The resilience probes must track their direct computations on a run
+// where admission, retry, and rebuild are all live and counting.
+TEST(MetricsRegressionTest, RegistryCollectMatchesDirectWithResilience) {
+  SimConfig config = SmallConfig();
+  config.placement = VideoPlacement::kReplicatedStriped;
+  config.replica_count = 2;
+  config.admission_policy = AdmissionPolicy::kStaticReservation;
+  config.request_retry_budget = 2;
+  config.rebuild_mbps = 40.0;
+  config.fault_plan.script.push_back(
+      {20.0, fault::FaultKind::kDiskFail, 0});
+  config.fault_plan.script.push_back(
+      {25.0, fault::FaultKind::kDiskRecover, 0});
+  Simulation simulation(config);
+  SimMetrics metrics = simulation.Run();
+  EXPECT_GT(metrics.admission_admits, 0u);
+  ExpectBitIdentical(simulation.Collect(), simulation.CollectDirect());
 }
 
 // Collect() may be called repeatedly (harnesses sample mid-run); the

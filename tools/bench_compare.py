@@ -15,8 +15,10 @@ output or bench_summary.py output; several may be given (kernel + pool).
 
 For every benchmark present on both sides, compares items/sec and fails
 (exit 1) if any is more than --threshold (default 15%) below baseline.
-Benchmarks present on only one side are reported but never fail the
-check — the committed baseline may predate newly added benchmarks.
+A benchmark recorded in the baseline but MISSING from the fresh run is
+an error (exit 1): a silently dropped benchmark would otherwise make a
+regression invisible. Benchmarks only in the fresh run are reported but
+never fail — the committed baseline may predate newly added benchmarks.
 Speedups are reported too, as a nudge to refresh the baseline.
 """
 
@@ -86,10 +88,13 @@ def main(argv):
         return 2
 
     regressions = []
+    missing = []
     print(f"{'benchmark':<42} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
     for name in sorted(set(baseline) | set(fresh)):
         if name not in fresh:
-            print(f"{name:<42} {baseline[name]:>12.3g} {'absent':>12}")
+            print(f"{name:<42} {baseline[name]:>12.3g} {'absent':>12}"
+                  f"   MISSING")
+            missing.append(name)
             continue
         if name not in baseline:
             print(f"{name:<42} {'absent':>12} {fresh[name]:>12.3g}   (new)")
@@ -104,12 +109,19 @@ def main(argv):
         print(f"{name:<42} {baseline[name]:>12.3g} {fresh[name]:>12.3g} "
               f"{ratio:>6.2f}x{marker}")
 
+    if missing:
+        print(f"\nbench_compare: FAIL — {len(missing)} baseline "
+              f"benchmark(s) missing from the fresh run (renamed or "
+              f"dropped?):", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
     if regressions:
         print(f"\nbench_compare: FAIL — {len(regressions)} benchmark(s) "
               f"more than {threshold * 100:.0f}% below baseline:",
               file=sys.stderr)
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2f}x of baseline", file=sys.stderr)
+    if missing or regressions:
         return 1
     compared = len(set(baseline) & set(fresh))
     print(f"\nbench_compare: OK ({compared} benchmarks within "
