@@ -83,6 +83,10 @@ void Terminal::OnEvent(std::uint64_t token) {
       ++stats_.videos_completed;
       share_role_ = ShareRole::kNone;
       state_ = State::kIdle;
+      // The followed session is fully over; the video it mirrored must
+      // not leak into the next kStartToken (a deferred admission retry
+      // would otherwise replay it, bypassing the gate).
+      pending_video_ = -1;
       if (admission_ != nullptr) admission_->Release(id_);
       ChooseNextVideo();
     }
@@ -113,6 +117,11 @@ void Terminal::OnEvent(std::uint64_t token) {
     case kSearchFrameToken:
       if (state_ == State::kSearching) DisplaySearchFrame();
       break;
+    case kAdmissionRetryToken:
+      // Deferred admission retry: always back through the gate and the
+      // popularity draw — never a direct StartVideo.
+      ChooseNextVideo();
+      break;
     default:
       SPIFFI_CHECK(false);
   }
@@ -132,7 +141,7 @@ void Terminal::ChooseNextVideo() {
                     1 << std::min(admission_defer_streak_, 4));
       ++admission_defer_streak_;
       env_->ScheduleAfter(params_.admission_defer_sec * factor, this,
-                          kStartToken);
+                          kAdmissionRetryToken);
       return;
     }
     admission_defer_streak_ = 0;
@@ -280,6 +289,7 @@ void Terminal::ResetStreamAt(std::int64_t frame) {
   occupied_bytes_ = 0;
   inflight_bytes_ = 0;
   patch_limit_frame_ = -1;
+  resume_paused_ = false;
 }
 
 void Terminal::StartVideo(int video, std::int64_t start_frame) {
@@ -526,6 +536,18 @@ void Terminal::BeginDisplay() {
   obs::TraceSpan(env_, obs::TraceCategory::kTerminal, "prime",
                  obs::Tracer::kTerminalsPid, id_, prime_start_,
                  {{"video", static_cast<double>(video_)}});
+  if (resume_paused_) {
+    resume_paused_ = false;
+    if (pause_end_ > env_->now()) {
+      // A failover interrupted a pause: sit out the remainder. The
+      // original kPauseEndToken is still scheduled and restarts the
+      // display at pause_end_.
+      state_ = State::kPaused;
+      return;
+    }
+    // The pause expired while re-priming (its end token no-op'd); start
+    // playback now.
+  }
   state_ = State::kPlaying;
   anchor_ = env_->now() - ConsumedPlaybackTime();
   env_->Schedule(env_->now(), this, kFrameToken);
@@ -842,12 +864,15 @@ void Terminal::SessionFailover() {
   // point; the fresh requests route to surviving replicas. A leader's
   // share group migrates implicitly — followers mirror the leader's
   // stream and never issue I/O of their own. A mid-patch catch-up
-  // stream turns private (its sync point dies with the reset).
+  // stream turns private (its sync point dies with the reset). A
+  // session caught mid-pause returns to the pause once re-primed.
+  const bool was_paused = state_ == State::kPaused;
   if (share_role_ == ShareRole::kPatcher) DepartSharedGroup();
   state_ = State::kPriming;
   ++stats_.primes;
   prime_start_ = env_->now();
   ResetStreamAt(next_frame_);
+  resume_paused_ = was_paused;
   IssueRequests();
 }
 

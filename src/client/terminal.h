@@ -217,6 +217,10 @@ class Terminal final : public server::MessageSink,
   static constexpr std::uint64_t kFollowEndToken = 4;
   static constexpr std::uint64_t kSearchFrameToken = 5;
   static constexpr std::uint64_t kRetryToken = 6;
+  // Deferred-admission retry: re-enters ChooseNextVideo (and thus the
+  // admission gate). Deliberately distinct from kStartToken, whose
+  // pending_video_ branch starts an already-arranged stream directly.
+  static constexpr std::uint64_t kAdmissionRetryToken = 7;
   static constexpr std::uint64_t kTokenBits = 3;
   static constexpr std::uint64_t kTokenMask = (1u << kTokenBits) - 1;
 
@@ -352,6 +356,10 @@ class Terminal final : public server::MessageSink,
   // Pauses: upcoming pause positions (playback seconds), descending.
   std::vector<double> pause_at_;
   sim::SimTime pause_end_ = 0.0;
+  // A session failover interrupted a pause: when the re-prime completes,
+  // return to kPaused (the original kPauseEndToken is still scheduled)
+  // instead of starting playback early.
+  bool resume_paused_ = false;
 
   // Stream epoch: bumped whenever buffered/in-flight data is abandoned
   // (video change, jump, search start/end). Sent as the request cookie;

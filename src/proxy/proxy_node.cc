@@ -87,6 +87,7 @@ void ProxyNode::HandleRequest(const server::Message& message) {
   ++stats_.forwards;
   PendingForward& forward = pending_[key];
   forward.forward_time = env_->now();
+  forward.generation = ++forward_gen_;
   forward.waiters.push_back(
       Waiter{message.reply_to, message.terminal, message.cookie});
 
@@ -102,7 +103,7 @@ void ProxyNode::HandleRequest(const server::Message& message) {
   server::PostMessage(env_, network_, server::kControlMessageBytes,
                       origin_->node_sink(target_node), fwd);
   if (params_.retry_budget > 0) {
-    env_->Spawn(ForwardWatchdog(key));
+    env_->Spawn(ForwardWatchdog(key, forward.generation));
   }
 }
 
@@ -166,12 +167,18 @@ sim::Process ProxyNode::RecomputeLoop() {
   }
 }
 
-sim::Process ProxyNode::ForwardWatchdog(server::PageKey key) {
+sim::Process ProxyNode::ForwardWatchdog(server::PageKey key,
+                                        std::uint64_t generation) {
   double timeout = params_.retry_min_timeout_sec;
   for (;;) {
     co_await env_->Hold(timeout);
     auto it = pending_.find(key);
     if (it == pending_.end()) co_return;  // a reply resolved the forward
+    if (it->second.generation != generation) {
+      // Our forward resolved and the key missed again (cache eviction in
+      // between): the new forward has its own watchdog — leave it alone.
+      co_return;
+    }
     PendingForward& forward = it->second;
     if (forward.attempts >= params_.retry_budget) co_return;
     ++forward.attempts;

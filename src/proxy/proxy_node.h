@@ -104,7 +104,12 @@ class ProxyNode final : public server::MessageSink {
   // Periodic popularity digestion for the rank/quota policies.
   sim::Process RecomputeLoop();
   // Re-forwards `key` while it stays pending, up to the retry budget.
-  sim::Process ForwardWatchdog(server::PageKey key);
+  // `generation` pins the watchdog to the PendingForward it was spawned
+  // for: if that forward resolves and the same key misses again before
+  // the next wake, the stale watchdog exits instead of prematurely
+  // retrying the new forward (which has a watchdog of its own).
+  sim::Process ForwardWatchdog(server::PageKey key,
+                               std::uint64_t generation);
 
   // One terminal waiting on an in-flight forward.
   struct Waiter {
@@ -118,6 +123,7 @@ class ProxyNode final : public server::MessageSink {
     server::Message request;      // the forwarded message, for retries
     int last_node = -1;           // origin node of the latest attempt
     int attempts = 0;             // retries so far (first send is free)
+    std::uint64_t generation = 0; // distinguishes re-misses of one key
   };
 
   sim::Environment* env_;
@@ -130,6 +136,7 @@ class ProxyNode final : public server::MessageSink {
   ProxyCache cache_;
   std::unordered_map<server::PageKey, PendingForward, server::PageKeyHash>
       pending_;
+  std::uint64_t forward_gen_ = 0;  // generation of the latest forward
   Stats stats_;
   std::int32_t trace_pid_;
 };

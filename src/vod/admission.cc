@@ -76,11 +76,11 @@ void AdmissionController::OnNodeUp(int node) {
   live_nodes_ = std::min(params_.num_nodes, live_nodes_ + 1);
 }
 
-void AdmissionController::SetRebuildLoad(int node, double bytes_per_sec) {
-  double& slot = rebuild_load_[node];
+void AdmissionController::SetRebuildLoad(int key, double bytes_per_sec) {
+  double& slot = rebuild_load_[key];
   rebuild_load_total_ += bytes_per_sec - slot;
   slot = bytes_per_sec;
-  if (bytes_per_sec == 0.0) rebuild_load_.erase(node);
+  if (bytes_per_sec == 0.0) rebuild_load_.erase(key);
   if (rebuild_load_total_ < 0.0) rebuild_load_total_ = 0.0;
 }
 

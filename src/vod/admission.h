@@ -81,9 +81,12 @@ class AdmissionController {
   // Capacity tracking driven by the fault effect handler.
   void OnNodeDown(int node);
   void OnNodeUp(int node);
-  // Bandwidth a post-repair rebuild is currently consuming on `node`
-  // (0 clears it); subtracted from the envelope.
-  void SetRebuildLoad(int node, double bytes_per_sec);
+  // Bandwidth one post-repair rebuild is currently consuming (0 clears
+  // it); the total over all keys is subtracted from the envelope. Keyed
+  // by the rebuilding disk (any distinct int works) so concurrent
+  // rebuilds — e.g. every disk of a recovered node — accumulate instead
+  // of overwriting each other.
+  void SetRebuildLoad(int key, double bytes_per_sec);
 
   // measured-headroom only: returns current utilization in [0, 1];
   // admissions defer while probe() >= headroom_fraction.
@@ -118,7 +121,7 @@ class AdmissionController {
   AdmissionParams params_;
   int live_nodes_;
   double rebuild_load_total_ = 0.0;
-  std::unordered_map<int, double> rebuild_load_;  // node -> bytes/sec
+  std::unordered_map<int, double> rebuild_load_;  // disk -> bytes/sec
   std::unordered_set<int> admitted_;
   std::unordered_map<int, int> defer_streak_;  // session -> consecutive
   std::function<double()> probe_;

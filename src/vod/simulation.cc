@@ -309,7 +309,9 @@ void Simulation::RebuildSink::OnMessage(const server::Message& message) {
 sim::Process Simulation::RebuildDisk(int disk_global) {
   const int node = disk_global / config_.disks_per_node;
   const double rate = config_.rebuild_mbps * 1e6 / 8.0;  // bytes/sec
-  if (admission_ != nullptr) admission_->SetRebuildLoad(node, rate);
+  // Keyed by disk: a node recovery runs one rebuild per disk, and their
+  // envelope discounts must accumulate (and clear independently).
+  if (admission_ != nullptr) admission_->SetRebuildLoad(disk_global, rate);
   std::uint64_t bytes_read = 0;
   bool completed = true;
   for (int v = 0; v < config_.num_videos() && completed; ++v) {
@@ -358,7 +360,7 @@ sim::Process Simulation::RebuildDisk(int disk_global) {
       co_await env_->Hold(static_cast<double>(bytes) / rate);
     }
   }
-  if (admission_ != nullptr) admission_->SetRebuildLoad(node, 0.0);
+  if (admission_ != nullptr) admission_->SetRebuildLoad(disk_global, 0.0);
   fault_state_->EndRebuild(disk_global, env_->now(), bytes_read, completed);
 }
 

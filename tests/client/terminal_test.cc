@@ -8,6 +8,7 @@
 #include "gtest/gtest.h"
 #include "layout/striping.h"
 #include "mpeg/zipf.h"
+#include "vod/admission.h"
 
 namespace spiffi::client {
 namespace {
@@ -292,6 +293,53 @@ TEST_F(TerminalTest, PiggybackFollowerSendsNoRequests) {
   // The follower finishes its video at leader start + duration.
   env_.RunUntil(26.0);
   EXPECT_GE(follower.stats().videos_completed, 1u);
+}
+
+TEST_F(TerminalTest, DeferredAdmissionAfterFollowEndReentersTheGate) {
+  // Regression: a pure follower never calls StartVideo, so its
+  // pending_video_ used to survive the follow end — and a deferred
+  // admission retry (which reused kStartToken) then replayed the
+  // just-finished video directly, bypassing TryAdmit entirely. The
+  // deferred retry must instead go back through ChooseNextVideo.
+  mpeg::ZipfDistribution popularity(1, 0.0);  // one video: guaranteed match
+  library_ = std::make_unique<mpeg::VideoLibrary>(
+      1, 20.0, mpeg::MpegParams(), popularity, 1);
+  layout_ = std::make_unique<layout::StripedLayout>(
+      1, 1, kBlock,
+      std::vector<std::int64_t>{library_->NumBlocks(0, kBlock)});
+  network_ = std::make_unique<hw::Network>(&env_, hw::NetworkParams());
+  fake_ = std::make_unique<FakeServer>(&env_, network_.get());
+  StreamShareManager manager(&env_, 5.0);
+  vod::AdmissionParams admission_params;
+  admission_params.policy = vod::AdmissionPolicy::kStaticReservation;
+  admission_params.num_nodes = 1;
+  admission_params.node_bytes_per_sec = 2.0e6;  // room for both sessions
+  admission_params.stream_bytes_per_sec = 1.0e6;
+  admission_params.headroom_fraction = 1.0;
+  vod::AdmissionController admission(admission_params);
+  TerminalParams params;
+  params.random_initial_position = false;
+  Terminal leader(&env_, 0, params, network_.get(), fake_.get(),
+                  library_.get(), layout_.get(), sim::Rng(1), 0.0,
+                  &manager, nullptr, nullptr, &admission);
+  Terminal follower(&env_, 1, params, network_.get(), fake_.get(),
+                    library_.get(), layout_.get(), sim::Rng(2), 1.0,
+                    &manager, nullptr, nullptr, &admission);
+  env_.RunUntil(2.0);
+  EXPECT_EQ(follower.state(), Terminal::State::kFollowing);
+  EXPECT_EQ(admission.active_sessions(), 2);
+  // The envelope collapses mid-run; the grandfathered streams play on,
+  // but nothing new may be admitted.
+  admission.OnNodeDown(0);
+  // The follow ends at t=25 (group start 5 + 20 s video): the follower
+  // releases its slot, is deferred at the gate, and must stay idle — a
+  // replay of the finished video would show up as sent requests.
+  env_.RunUntil(40.0);
+  EXPECT_EQ(follower.stats().videos_completed, 1u);
+  EXPECT_EQ(follower.state(), Terminal::State::kIdle);
+  EXPECT_EQ(follower.stats().requests_sent, 0u);
+  EXPECT_EQ(admission.active_sessions(), 0);
+  EXPECT_GT(admission.stats().defers, 0);
 }
 
 }  // namespace

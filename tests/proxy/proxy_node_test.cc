@@ -1,11 +1,20 @@
 // End-to-end behaviour of the proxy tier inside a full simulation:
 // requests flow terminal -> proxy -> origin, hits are served locally,
-// and runs are deterministic.
+// and runs are deterministic. Plus unit-level coverage of the forward
+// watchdog against a fake origin.
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
 
 #include "gtest/gtest.h"
+#include "layout/routing.h"
+#include "layout/striping.h"
+#include "mpeg/zipf.h"
+#include "proxy/proxy_node.h"
+#include "sim/process.h"
 #include "vod/simulation.h"
 
 namespace spiffi::proxy {
@@ -127,6 +136,129 @@ TEST(ProxyNodeTest, ResetStatsClearsCountersButKeepsPopularity) {
     refs_after += proxy.cache().video_refs(v);
   }
   EXPECT_EQ(refs_after, refs_before);
+}
+
+// --- Forward watchdog (unit-level, fake origin) ---
+
+// A fake origin node that replies after a fixed delay; blocks listed in
+// `held_blocks` are withheld until ReleaseHeld().
+class FakeOrigin final : public server::NodeDirectory,
+                         public server::MessageSink {
+ public:
+  explicit FakeOrigin(sim::Environment* env) : env_(env) {}
+
+  server::MessageSink* node_sink(int) override { return this; }
+
+  void OnMessage(const server::Message& request) override {
+    requests.push_back(request);
+    if (held_blocks.count(request.block) > 0) {
+      held.push_back(request);
+      return;
+    }
+    Reply(request);
+  }
+
+  class Deliver final : public sim::EventHandler {
+   public:
+    Deliver(server::Message m, server::MessageSink* sink)
+        : m_(m), sink_(sink) {}
+    void OnEvent(std::uint64_t) override { sink_->OnMessage(m_); }
+
+   private:
+    server::Message m_;
+    server::MessageSink* sink_;
+  };
+
+  void Reply(const server::Message& request) {
+    server::Message reply = request;
+    reply.kind = server::Message::Kind::kReadReply;
+    deliveries_.push_back(
+        std::make_unique<Deliver>(reply, request.reply_to));
+    env_->ScheduleAfter(reply_delay, deliveries_.back().get());
+  }
+
+  void ReleaseHeld() {
+    for (const server::Message& request : held) Reply(request);
+    held.clear();
+    held_blocks.clear();
+  }
+
+  double reply_delay = 0.02;
+  std::set<std::int64_t> held_blocks;
+  std::vector<server::Message> requests;
+  std::vector<server::Message> held;
+
+ private:
+  sim::Environment* env_;
+  std::vector<std::unique_ptr<Deliver>> deliveries_;
+};
+
+class CountingSink final : public server::MessageSink {
+ public:
+  void OnMessage(const server::Message&) override { ++replies; }
+  int replies = 0;
+};
+
+TEST(ProxyNodeTest, StaleWatchdogDoesNotRetryANewerForwardOfTheSameBlock) {
+  // Regression: a watchdog used to identify its forward only by
+  // PageKey. If its forward resolved and the same block missed again
+  // (cache eviction in between) before the old watchdog's next wake,
+  // the old coroutine found the new PendingForward and retried it
+  // prematurely, alongside the new forward's own watchdog. The
+  // generation guard must make the stale watchdog exit instead.
+  sim::Environment env;
+  hw::Network network(&env, hw::NetworkParams());
+  mpeg::ZipfDistribution popularity(1, 0.0);
+  mpeg::VideoLibrary library(1, 30.0, mpeg::MpegParams(), popularity, 1);
+  constexpr std::int64_t kBlock = 512 * 1024;
+  layout::StripedLayout layout(
+      1, 1, kBlock,
+      std::vector<std::int64_t>{library.NumBlocks(0, kBlock)});
+  layout::TierRouter router(&layout, 1);
+  FakeOrigin origin(&env);
+  CountingSink terminal;
+
+  ProxyParams params;
+  params.cache_pages = 1;  // one page: the second miss evicts the first
+  params.block_bytes = kBlock;
+  params.retry_budget = 2;
+  params.retry_min_timeout_sec = 1.0;
+  params.retry_backoff_base_sec = 1.0;
+  ProxyNode proxy(&env, params, &network, &origin, &router, &library);
+
+  bool finished = false;
+  env.Spawn([](sim::Environment* e, ProxyNode* p, FakeOrigin* o,
+               CountingSink* t, bool* done) -> sim::Process {
+    auto send = [&](std::int64_t block) {
+      server::Message m;
+      m.kind = server::Message::Kind::kReadRequest;
+      m.terminal = 0;
+      m.video = 0;
+      m.block = block;
+      m.bytes = 1024;
+      m.reply_to = t;
+      p->OnMessage(m);
+    };
+    send(0);                // t=0: miss; its watchdog wakes at t=1
+    co_await e->Hold(0.3);  // the origin reply resolved the forward
+    send(1);                // t=0.3: its reply evicts block 0
+    co_await e->Hold(0.3);
+    o->held_blocks.insert(0);  // withhold the re-miss of block 0
+    send(0);                   // t=0.6: new forward, watchdog at t=1.6
+    co_await e->Hold(0.8);     // t=1.4: past the stale watchdog's wake
+    EXPECT_EQ(p->stats().forward_retries, 0u)
+        << "stale watchdog retried the new forward";
+    co_await e->Hold(0.6);  // t=2.0: past the new watchdog's own wake
+    EXPECT_GE(p->stats().forward_retries, 1u);
+    o->ReleaseHeld();
+    *done = true;
+  }(&env, &proxy, &origin, &terminal, &finished));
+  env.Run();
+  EXPECT_TRUE(finished);
+  // Block 0, block 1, block 0 again; the straggling retry reply is
+  // dropped as stale and never fans out to the terminal.
+  EXPECT_EQ(terminal.replies, 3);
+  EXPECT_EQ(proxy.stats().stale_replies, 1u);
 }
 
 TEST(ProxyNodeTest, ProxyTierSurvivesOriginFaults) {

@@ -140,12 +140,27 @@ TEST(AdmissionTest, RebuildLoadDiscountsCapacity) {
     EXPECT_EQ(controller.TryAdmit(s), Decision::kAdmit);
   }
   EXPECT_EQ(controller.TryAdmit(6), Decision::kDefer);
-  // Updating the same node's load replaces, not accumulates.
+  // Updating the same key's load replaces, not accumulates.
   controller.SetRebuildLoad(0, 1.0e6);
   EXPECT_EQ(controller.capacity_bytes_per_sec(), 7.0e6);
   controller.SetRebuildLoad(0, 0.0);
   EXPECT_EQ(controller.capacity_bytes_per_sec(), 8.0e6);
   EXPECT_EQ(controller.TryAdmit(6), Decision::kAdmit);
+}
+
+TEST(AdmissionTest, ConcurrentRebuildKeysAccumulateAndClearIndependently) {
+  // A recovered node rebuilds every one of its disks at once; each
+  // rebuild reports under its own disk key. The discounts must add up,
+  // and the first rebuild to finish must clear only its own share —
+  // not zero the whole node's discount while siblings still run.
+  AdmissionController controller(SmallParams());
+  controller.SetRebuildLoad(/*key=*/0, 1.0e6);
+  controller.SetRebuildLoad(/*key=*/1, 1.0e6);
+  EXPECT_EQ(controller.capacity_bytes_per_sec(), 6.0e6);
+  controller.SetRebuildLoad(0, 0.0);  // disk 0 done, disk 1 still going
+  EXPECT_EQ(controller.capacity_bytes_per_sec(), 7.0e6);
+  controller.SetRebuildLoad(1, 0.0);
+  EXPECT_EQ(controller.capacity_bytes_per_sec(), 8.0e6);
 }
 
 TEST(AdmissionTest, MeasuredHeadroomConsultsTheProbe) {
