@@ -1,0 +1,160 @@
+// Sharded-kernel scaling: wall-clock of one simulation run at shard
+// counts 1/2/4/8 on a large multi-node configuration (ISSUE 10).
+//
+// The smoke preset uses a 64-disk system (16 nodes x 4 disks); fast and
+// full use the 256-disk class (32 nodes x 8 disks). Every sharded run's
+// metrics are checked bit-identical against the single-shard run — a
+// scaling number from a run that diverged would be meaningless — and
+// the harness exits non-zero on any mismatch.
+//
+// Human-readable results go to stderr; stdout carries one JSON object
+//
+//   {"sharded_scaling": {"cores": N, "shards_2": {"wall_sec": ...,
+//    "speedup": ..., "events_per_sec": ...}, ...}}
+//
+// which CI captures and feeds to tools/bench_compare.py (speedup is the
+// rate compared there, higher is better) and embeds into the committed
+// BENCH_kernel.json via tools/bench_summary.py --section.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using spiffi::vod::SimConfig;
+using spiffi::vod::SimMetrics;
+
+// Exact comparison of every metric the determinism suite locks; doubles
+// included. Returns false (and prints the first divergence) on mismatch.
+bool BitIdentical(const SimMetrics& a, const SimMetrics& b) {
+#define SPIFFI_SAME(field)                                               \
+  do {                                                                   \
+    if (!(a.field == b.field)) {                                         \
+      std::fprintf(stderr, "sharded_scaling: metrics diverge at %s\n",   \
+                   #field);                                              \
+      return false;                                                      \
+    }                                                                    \
+  } while (0)
+  SPIFFI_SAME(terminals);
+  SPIFFI_SAME(measured_seconds);
+  SPIFFI_SAME(glitches);
+  SPIFFI_SAME(terminals_with_glitches);
+  SPIFFI_SAME(avg_disk_utilization);
+  SPIFFI_SAME(max_disk_utilization);
+  SPIFFI_SAME(avg_cpu_utilization);
+  SPIFFI_SAME(peak_network_bytes_per_sec);
+  SPIFFI_SAME(avg_network_bytes_per_sec);
+  SPIFFI_SAME(buffer_references);
+  SPIFFI_SAME(buffer_hits);
+  SPIFFI_SAME(disk_reads);
+  SPIFFI_SAME(avg_response_ms);
+  SPIFFI_SAME(p50_response_ms);
+  SPIFFI_SAME(p99_response_ms);
+  SPIFFI_SAME(frames_displayed);
+  SPIFFI_SAME(videos_completed);
+  SPIFFI_SAME(events_simulated);
+#undef SPIFFI_SAME
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spiffi::bench::InitHarness(argc, argv);
+  using namespace spiffi;
+  bench::Preset preset = bench::ActivePreset();
+  // Not PrintHeader(): that writes to stdout, which carries only JSON here.
+  std::fprintf(stderr, "=== sharded kernel scaling — preset: %s ===\n",
+               bench::PresetName(preset));
+
+  vod::SimConfig config = bench::BaseConfig(preset);
+  if (preset == bench::Preset::kSmoke) {
+    config.num_nodes = 16;
+    config.disks_per_node = 4;
+    config.terminals = 240;
+  } else {
+    config.num_nodes = 32;  // the 256-disk class
+    config.disks_per_node = 8;
+    config.terminals = preset == bench::Preset::kFull ? 1000 : 800;
+  }
+  config.server_memory_bytes =
+      static_cast<std::int64_t>(config.num_nodes) * 128 * hw::kMiB;
+  // The base wire delay doubles as the conservative lookahead, so it sets
+  // how often shard clocks must synchronize. The 5us default forces a sync
+  // round every few microseconds of simulated time — pure overhead. 1ms
+  // (an ordinary LAN delay) is still 33x under the frame period and leaves
+  // results bit-identical across shard counts (checked below).
+  config.network.wire_delay_base_sec = 1e-3;
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::fprintf(stderr, "  %d nodes x %d disks, %d terminals, %u cores\n",
+               config.num_nodes, config.disks_per_node, config.terminals,
+               cores);
+
+  struct Point {
+    int shards;
+    double wall_sec;
+    double events_per_sec;
+    SimMetrics metrics;
+  };
+  std::vector<Point> points;
+  for (int shards : {1, 2, 4, 8}) {
+    SimConfig sharded = config;
+    sharded.shards = shards;
+    std::string problem = sharded.Validate();
+    if (!problem.empty()) {
+      std::fprintf(stderr, "  shards=%d skipped: %s\n", shards,
+                   problem.c_str());
+      continue;
+    }
+    auto start = std::chrono::steady_clock::now();
+    SimMetrics metrics = vod::RunSimulation(sharded);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    points.push_back({shards, wall,
+                      static_cast<double>(metrics.events_simulated) / wall,
+                      metrics});
+    std::fprintf(stderr, "  shards=%d  wall %.2fs  %.3g events/s\n", shards,
+                 wall, points.back().events_per_sec);
+  }
+  if (points.empty() || points.front().shards != 1) {
+    std::fprintf(stderr, "sharded_scaling: no single-shard baseline run\n");
+    return 1;
+  }
+
+  // A speedup only counts if the sharded run reproduced the single-shard
+  // results exactly.
+  for (const Point& p : points) {
+    if (p.shards == 1) continue;
+    if (!BitIdentical(points.front().metrics, p.metrics)) {
+      std::fprintf(stderr,
+                   "sharded_scaling: shards=%d diverged from shards=1\n",
+                   p.shards);
+      return 1;
+    }
+  }
+
+  // stdout carries only the JSON object; the readable table goes to
+  // stderr so `sharded_scaling --smoke > sharded_scaling.json` is clean.
+  std::fprintf(stderr, "  %8s %10s %9s %12s\n", "shards", "wall sec",
+               "speedup", "events/sec");
+  std::printf("{\"sharded_scaling\": {\"cores\": %u, \"preset\": \"%s\", "
+              "\"disks\": %d, \"terminals\": %d",
+              cores, bench::PresetName(preset),
+              config.num_nodes * config.disks_per_node, config.terminals);
+  for (const Point& p : points) {
+    double speedup = points.front().wall_sec / p.wall_sec;
+    std::fprintf(stderr, "  %8d %10.2f %8.2fx %11.2fM\n", p.shards,
+                 p.wall_sec, speedup, p.events_per_sec / 1e6);
+    std::printf(", \"shards_%d\": {\"wall_sec\": %.4g, \"speedup\": %.4g, "
+                "\"events_per_sec\": %.6g}",
+                p.shards, p.wall_sec, speedup, p.events_per_sec);
+  }
+  std::printf("}}\n");
+  return 0;
+}

@@ -24,25 +24,26 @@ void Network::Account(std::int64_t bytes) {
   ++total_messages_;
   auto bucket = static_cast<std::int64_t>(
       std::floor(env_->now() / params_.bandwidth_bucket_sec));
-  if (bucket != current_bucket_) {
-    peak_bucket_bytes_ = std::max(peak_bucket_bytes_, current_bucket_bytes_);
-    current_bucket_ = bucket;
-    current_bucket_bytes_ = 0;
-  }
-  current_bucket_bytes_ += static_cast<std::uint64_t>(bytes);
+  if (first_bucket_ < 0) first_bucket_ = bucket;
+  // Simulated time is monotone within an environment, so the bucket
+  // index never moves backwards; empty buckets stay zero.
+  auto index = static_cast<std::size_t>(bucket - first_bucket_);
+  if (index >= bucket_bytes_.size()) bucket_bytes_.resize(index + 1, 0);
+  bucket_bytes_[index] += static_cast<std::uint64_t>(bytes);
 }
 
 void Network::ResetStats() {
   total_bytes_ = 0;
   total_messages_ = 0;
-  current_bucket_ = -1;
-  current_bucket_bytes_ = 0;
-  peak_bucket_bytes_ = 0;
+  first_bucket_ = -1;
+  bucket_bytes_.clear();
   stats_start_ = env_->now();
 }
 
 std::uint64_t Network::peak_bytes_per_bucket() const {
-  return std::max(peak_bucket_bytes_, current_bucket_bytes_);
+  std::uint64_t peak = 0;
+  for (std::uint64_t b : bucket_bytes_) peak = std::max(peak, b);
+  return peak;
 }
 
 double Network::AverageBandwidth(sim::SimTime now) const {

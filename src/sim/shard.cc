@@ -1,0 +1,235 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/check.h"
+
+namespace spiffi::sim {
+
+namespace {
+
+// Calendar event that delivers one staged cross-shard record. Lives in
+// the destination environment's one-shot arena; the payload is copied
+// to the stack and the slot released before the deliver function runs,
+// mirroring server::Delivery, so the function may schedule freely.
+struct RemoteDelivery final : EventHandler {
+  Environment* env;
+  RemoteDeliverFn fn;
+  unsigned char payload[kMaxRemotePayload];
+
+  void OnEvent(std::uint64_t) override {
+    Environment* e = env;
+    RemoteDeliverFn f = fn;
+    alignas(std::max_align_t) unsigned char copy[kMaxRemotePayload];
+    std::memcpy(copy, payload, sizeof(copy));
+    e->DeleteOneShot(this);
+    f(e, copy);
+  }
+};
+static_assert(sizeof(RemoteDelivery) <= Environment::kOneShotSlotBytes);
+static_assert(std::is_trivially_destructible_v<RemoteDelivery>);
+
+}  // namespace
+
+ShardGroup::ShardGroup(std::vector<Environment*> envs, double lookahead)
+    : envs_(std::move(envs)), lookahead_(lookahead) {
+  SPIFFI_CHECK(!envs_.empty());
+  SPIFFI_CHECK(lookahead_ > 0.0);
+  const int n = shards();
+  state_.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    SPIFFI_CHECK(envs_[s] != nullptr);
+    state_.push_back(std::make_unique<ShardState>());
+  }
+  mail_.resize(static_cast<std::size_t>(n) * n);
+  for (auto& box : mail_) box = std::make_unique<Mailbox>();
+  workers_.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (int s = 1; s < n; ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  {
+    std::lock_guard<std::mutex> lock(cmd_mu_);
+    shutdown_ = true;
+  }
+  cmd_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ShardGroup::RegisterEndpoint(const void* endpoint, int shard) {
+  SPIFFI_CHECK(endpoint != nullptr);
+  SPIFFI_CHECK(shard >= 0 && shard < shards());
+  endpoints_[endpoint] = shard;
+}
+
+int ShardGroup::ShardOf(const void* endpoint) const {
+  auto it = endpoints_.find(endpoint);
+  SPIFFI_CHECK(it != endpoints_.end());  // unregistered cross-shard target
+  return it->second;
+}
+
+void ShardGroup::Send(int src, int dst, SimTime deliver_time,
+                      RemoteDeliverFn fn, const void* payload,
+                      std::size_t payload_bytes) {
+  SPIFFI_DCHECK(src != dst);
+  SPIFFI_CHECK(payload_bytes <= kMaxRemotePayload);
+  // Conservative sync is only sound if every remote delivery lands at
+  // least `lookahead` past the sender's announced clock; the sender's
+  // clock never exceeds its current event time, so this suffices.
+  SPIFFI_DCHECK(deliver_time >= envs_[src]->now() + lookahead_);
+  Mailbox& box = *mail_[static_cast<std::size_t>(src) * shards() + dst];
+  Record r;
+  r.time = deliver_time;
+  r.src = src;
+  r.size = static_cast<std::uint32_t>(payload_bytes);
+  r.fn = fn;
+  std::memcpy(r.payload, payload, payload_bytes);
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    r.seq = box.next_seq++;
+    box.queue.push_back(r);
+  }
+}
+
+void ShardGroup::DrainInboxes(int shard) {
+  ShardState& st = *state_[shard];
+  const int n = shards();
+  for (int src = 0; src < n; ++src) {
+    if (src == shard) continue;
+    Mailbox& box = *mail_[static_cast<std::size_t>(src) * n + shard];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      if (box.queue.empty()) continue;
+      box.queue.swap(st.scratch);
+    }
+    for (const Record& r : st.scratch) st.staging.push(r);
+    st.scratch.clear();
+  }
+}
+
+void ShardGroup::ScheduleRecord(Environment* env, const Record& record) {
+  auto* delivery = env->NewOneShot<RemoteDelivery>();
+  delivery->env = env;
+  delivery->fn = record.fn;
+  std::memcpy(delivery->payload, record.payload, sizeof(delivery->payload));
+  env->Schedule(record.time, delivery);
+}
+
+void ShardGroup::RunShard(int shard, SimTime end) {
+  Environment* env = envs_[shard];
+  ShardState& st = *state_[shard];
+  const int n = shards();
+  for (;;) {
+    // Snapshot the other shards' clocks BEFORE draining: the release
+    // store on a clock orders after that shard's sends, so any message
+    // it sent before reaching the observed clock is visible below, and
+    // anything it sends later arrives at >= clock + lookahead = safe.
+    SimTime others = kSimTimeMax;
+    for (int i = 0; i < n; ++i) {
+      if (i == shard) continue;
+      others = std::min(others,
+                        state_[i]->clock.load(std::memory_order_acquire));
+    }
+    const SimTime safe =
+        others >= kSimTimeMax ? kSimTimeMax : others + lookahead_;
+    DrainInboxes(shard);
+
+    // Fire everything provably safe, interleaving local events with
+    // staged arrivals in timestamp order. A staged record is moved onto
+    // the calendar exactly when it precedes the next local event — a
+    // deterministic point, so its position among same-time events does
+    // not depend on when it happened to arrive.
+    bool progressed = false;
+    for (;;) {
+      const SimTime tstage =
+          st.staging.empty() ? kSimTimeMax : st.staging.top().time;
+      const SimTime tcal = env->PeekNextTime();
+      if (tcal < std::min(safe, tstage) && tcal <= end) {
+        env->RunBounded(std::min(safe, tstage), end);
+        progressed = true;
+        continue;
+      }
+      if (tstage < safe && tstage <= end && tstage <= tcal) {
+        ScheduleRecord(env, st.staging.top());
+        st.staging.pop();
+        progressed = true;
+        continue;
+      }
+      break;
+    }
+
+    // Publish our lower bound: nothing this shard does can now happen
+    // before its next pending activity, and conservatively no earlier
+    // than the horizon we just respected. Monotone because fired events
+    // were >= the previous announcement and `safe` only grows.
+    const SimTime tstage =
+        st.staging.empty() ? kSimTimeMax : st.staging.top().time;
+    const SimTime next = std::min(env->PeekNextTime(), tstage);
+    st.clock.store(std::min(next, safe), std::memory_order_release);
+
+    // Done with this phase once no local work remains at or before
+    // `end` AND every other shard provably cannot send any. Stragglers
+    // still park messages for us — they land beyond `end` (their clocks
+    // already passed end - lookahead) and wait for the next phase.
+    if (next > end && safe > end) break;
+    // Single-core friendliness: when blocked on other shards' clocks,
+    // yield instead of spinning the horizon loop.
+    if (!progressed) std::this_thread::yield();
+  }
+  env->AdvanceNowTo(end);
+}
+
+void ShardGroup::WorkerLoop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime end;
+    {
+      std::unique_lock<std::mutex> lock(cmd_mu_);
+      cmd_cv_.wait(lock, [&] { return shutdown_ || cmd_gen_ != seen; });
+      if (shutdown_) return;
+      seen = cmd_gen_;
+      end = cmd_end_;
+    }
+    RunShard(shard, end);
+    {
+      std::lock_guard<std::mutex> lock(cmd_mu_);
+      if (++done_count_ == shards()) done_cv_.notify_all();
+    }
+  }
+}
+
+void ShardGroup::AdvanceTo(SimTime end) {
+  if (shards() == 1) {
+    // Degenerate group: the plain single-calendar loop, bit-identical
+    // to an unsharded run by construction.
+    envs_[0]->RunUntil(end);
+    return;
+  }
+  SPIFFI_DCHECK(end >= envs_[0]->now());
+  // All shards are parked at the previous phase end; restart the clocks
+  // from that common time. The values left over from the previous phase
+  // are not valid lower bounds here — the model may have scheduled new
+  // work between phases (e.g. at the current instant), and an empty
+  // calendar would have published kSimTimeMax.
+  for (auto& st : state_) {
+    st->clock.store(envs_[0]->now(), std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(cmd_mu_);
+    done_count_ = 0;
+    cmd_end_ = end;
+    ++cmd_gen_;
+  }
+  cmd_cv_.notify_all();
+  RunShard(0, end);
+  {
+    std::unique_lock<std::mutex> lock(cmd_mu_);
+    ++done_count_;
+    done_cv_.wait(lock, [&] { return done_count_ == shards(); });
+  }
+}
+
+}  // namespace spiffi::sim

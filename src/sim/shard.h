@@ -1,0 +1,153 @@
+// Conservative parallel-simulation shard group.
+//
+// A ShardGroup runs N Environments — one per shard, each on its own
+// thread — as a single logical simulation. Shards exchange timestamped
+// messages through per-(source, destination) mailboxes and synchronize
+// with an asynchronous Chandy–Misra–Bryant-style protocol: every shard
+// continuously publishes a clock that lower-bounds all of its future
+// activity, and a shard may fire an event at time t only once
+// t < min(other clocks) + lookahead, because any message another shard
+// has yet to send must arrive at least `lookahead` after that shard's
+// clock. The lookahead is the model's minimum cross-shard latency (for
+// SPIFFI, the network's base wire delay).
+//
+// Determinism is the design requirement, not a best effort. Same-time
+// cross-shard deliveries are merged in a canonical order keyed by
+// (deliver time, source shard, per-pair send sequence), and each
+// delivery passes through the destination calendar as one ordinary
+// event, so results — including kernel event counts — are bit-identical
+// at any shard count whenever event timestamps are distinct (which the
+// continuous-time model guarantees in practice and the shard
+// determinism suite locks).
+
+#ifndef SPIFFI_SIM_SHARD_H_
+#define SPIFFI_SIM_SHARD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/time.h"
+
+namespace spiffi::sim {
+
+// Delivers one cross-shard payload on the destination shard's thread,
+// at the message's deliver time, inside an ordinary calendar event.
+using RemoteDeliverFn = void (*)(Environment* env, const void* payload);
+
+// Payloads are copied by value through the mailboxes; they must be
+// trivially copyable and fit this bound.
+inline constexpr std::size_t kMaxRemotePayload = 160;
+
+class ShardGroup {
+ public:
+  // `envs[s]` is shard s's environment; the group does not own them.
+  // `lookahead` is the guaranteed minimum delay between a send on one
+  // shard and its delivery on another (must be > 0).
+  ShardGroup(std::vector<Environment*> envs, double lookahead);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int shards() const { return static_cast<int>(envs_.size()); }
+  double lookahead() const { return lookahead_; }
+  Environment* env(int shard) const { return envs_[shard]; }
+
+  // Endpoint directory: model objects that receive cross-shard traffic
+  // register the pointer value senders will address them by.
+  void RegisterEndpoint(const void* endpoint, int shard);
+  // Shard owning `endpoint`; CHECK-fails for unregistered pointers
+  // (sending to an unpartitioned object is a wiring bug, not a
+  // recoverable condition).
+  int ShardOf(const void* endpoint) const;
+
+  // Enqueues a payload from shard `src` (must be the calling shard) for
+  // delivery on shard `dst` at `deliver_time`. The deliver time must be
+  // at least the sender's clock plus the lookahead; PostMessage
+  // guarantees this because every wire delay >= the base wire delay.
+  void Send(int src, int dst, SimTime deliver_time, RemoteDeliverFn fn,
+            const void* payload, std::size_t payload_bytes);
+
+  // Runs every shard until all events with time <= end have fired,
+  // then sets every environment's clock to `end`. The calling thread
+  // drives shard 0; shards 1..N-1 run on the group's worker threads.
+  // Messages sent near the end of the phase whose deliver time falls
+  // beyond `end` stay queued and are delivered by the next AdvanceTo.
+  void AdvanceTo(SimTime end);
+
+ private:
+  struct Record {
+    SimTime time;
+    std::uint64_t seq;  // per-(src,dst) send sequence
+    std::int32_t src;
+    std::uint32_t size;
+    RemoteDeliverFn fn;
+    unsigned char payload[kMaxRemotePayload];
+  };
+
+  // Min-heap on (time, source shard, sequence) — the canonical merge
+  // order for same-time cross-shard deliveries.
+  struct RecordAfter {
+    bool operator()(const Record& a, const Record& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.src != b.src) return a.src > b.src;
+      return a.seq > b.seq;
+    }
+  };
+
+  // One per (src, dst) pair: src's thread appends, dst's thread swaps
+  // the batch out. Unbounded on purpose — a bounded queue could make a
+  // producer block mid-event while the consumer blocks on the reverse
+  // pair, and memory stays small because consumers drain continuously.
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<Record> queue;
+    std::uint64_t next_seq = 0;
+  };
+
+  struct alignas(64) ShardState {
+    // Lower bound on all future sends from this shard. Monotone
+    // non-decreasing; published with release so a consumer that reads
+    // clock c also observes every send made before the clock reached c.
+    std::atomic<SimTime> clock{0.0};
+    // Consumer-side staging of drained records (destination thread
+    // only): holds arrivals until they are provably safe to schedule.
+    std::priority_queue<Record, std::vector<Record>, RecordAfter> staging;
+    std::vector<Record> scratch;
+  };
+
+  void WorkerLoop(int shard);
+  void RunShard(int shard, SimTime end);
+  void DrainInboxes(int shard);
+  static void ScheduleRecord(Environment* env, const Record& record);
+
+  std::vector<Environment*> envs_;
+  double lookahead_;
+  std::vector<std::unique_ptr<ShardState>> state_;
+  std::vector<std::unique_ptr<Mailbox>> mail_;  // index src * shards + dst
+  std::unordered_map<const void*, int> endpoints_;
+
+  // Phase orchestration: AdvanceTo publishes (generation, end), workers
+  // run one RunShard per generation and count themselves done.
+  std::mutex cmd_mu_;
+  std::condition_variable cmd_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t cmd_gen_ = 0;
+  SimTime cmd_end_ = 0.0;
+  int done_count_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spiffi::sim
+
+#endif  // SPIFFI_SIM_SHARD_H_

@@ -176,6 +176,8 @@ std::uint64_t ConfigDigest(const SimConfig& c) {
   d.F64(c.retry_min_timeout_sec);
   d.F64(c.retry_backoff_base_sec);
   d.F64(c.rebuild_mbps);
+  // Sharded kernel.
+  d.I64(c.shards);
   // Run control.
   d.F64(c.start_window_sec);
   d.F64(c.warmup_seconds);

@@ -1,5 +1,6 @@
 #include "sim/environment.h"
 
+#include <limits>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -123,6 +124,39 @@ TEST(EnvironmentTest, ScheduleAfterUsesRelativeDelay) {
   env.Run();
   ASSERT_EQ(fired.size(), 1u);
   EXPECT_DOUBLE_EQ(fired[0], 4.0);
+}
+
+TEST(EnvironmentTest, ScheduleAfterClampsNegativeDelayToNow) {
+  // Regression: a negative delay used to schedule into the past (the
+  // debug assertion compiled out in release builds), which breaks the
+  // calendar's no-backwards-time invariant and, in sharded runs, the
+  // conservative clocks. It now clamps to "fire at the current time".
+  Environment env;
+  std::vector<double> fired;
+  struct Waker final : EventHandler {
+    Environment* env;
+    std::vector<double>* fired;
+    void OnEvent(std::uint64_t) override { fired->push_back(env->now()); }
+  };
+  Waker waker;
+  waker.env = &env;
+  waker.fired = &fired;
+
+  env.Spawn([](Environment* e) -> Process { co_await e->Hold(5.0); }(&env));
+  env.Run();
+  ASSERT_DOUBLE_EQ(env.now(), 5.0);
+
+  env.ScheduleAfter(-3.0, &waker);
+  env.Run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired[0], 5.0);  // now, not now - 3
+
+  // NaN is not a meaningful delay either; it must also clamp, not poison
+  // the calendar ordering.
+  env.ScheduleAfter(std::numeric_limits<double>::quiet_NaN(), &waker);
+  env.Run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[1], 5.0);
 }
 
 TEST(EnvironmentTest, CancelPreventsDelivery) {

@@ -1,0 +1,189 @@
+// Determinism suite for the sharded simulation kernel: the shard count
+// may change only wall-clock time, never results. Same config + seed
+// must yield bit-identical SimMetrics and byte-identical telemetry at
+// any shard count, alone or stacked under ParallelRunner at any job
+// count.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "vod/report.h"
+#include "vod/runner.h"
+#include "vod/simulation.h"
+#include "vod/telemetry.h"
+
+namespace spiffi::vod {
+namespace {
+
+// Small multi-node configuration so every interesting shard count
+// (up to 8) gets at least one server node, while a run still takes a
+// fraction of a second.
+SimConfig TinyShardedConfig() {
+  SimConfig config;
+  config.num_nodes = 8;
+  config.disks_per_node = 1;
+  config.video_seconds = 120.0;
+  config.videos_per_disk = 4;
+  config.server_memory_bytes = 256LL * 1024 * 1024;
+  config.start_window_sec = 10.0;
+  config.warmup_seconds = 15.0;
+  config.measure_seconds = 20.0;
+  config.terminals = 40;
+  // The base wire delay is the conservative lookahead; the default 5us
+  // forces fine-grained clock creep that is pure overhead on the small
+  // test machines. A fatter (but still frame-period-dwarfed) delay keeps
+  // these tests fast without touching what they prove — every run in a
+  // comparison uses the same config.
+  config.network.wire_delay_base_sec = 2e-4;
+  return config;
+}
+
+// Every field compared with exact equality, doubles included — the
+// whole point is that the shard count must not perturb a single bit.
+void ExpectBitIdentical(const SimMetrics& a, const SimMetrics& b) {
+  EXPECT_EQ(a.terminals, b.terminals);
+  EXPECT_EQ(a.measured_seconds, b.measured_seconds);
+  EXPECT_EQ(a.glitches, b.glitches);
+  EXPECT_EQ(a.terminals_with_glitches, b.terminals_with_glitches);
+  EXPECT_EQ(a.avg_disk_utilization, b.avg_disk_utilization);
+  EXPECT_EQ(a.min_disk_utilization, b.min_disk_utilization);
+  EXPECT_EQ(a.max_disk_utilization, b.max_disk_utilization);
+  EXPECT_EQ(a.avg_cpu_utilization, b.avg_cpu_utilization);
+  EXPECT_EQ(a.peak_network_bytes_per_sec, b.peak_network_bytes_per_sec);
+  EXPECT_EQ(a.avg_network_bytes_per_sec, b.avg_network_bytes_per_sec);
+  EXPECT_EQ(a.buffer_references, b.buffer_references);
+  EXPECT_EQ(a.buffer_hits, b.buffer_hits);
+  EXPECT_EQ(a.buffer_attaches, b.buffer_attaches);
+  EXPECT_EQ(a.buffer_misses, b.buffer_misses);
+  EXPECT_EQ(a.shared_references, b.shared_references);
+  EXPECT_EQ(a.wasted_prefetches, b.wasted_prefetches);
+  EXPECT_EQ(a.prefetches_issued, b.prefetches_issued);
+  EXPECT_EQ(a.disk_reads, b.disk_reads);
+  EXPECT_EQ(a.avg_disk_service_ms, b.avg_disk_service_ms);
+  EXPECT_EQ(a.avg_seek_cylinders, b.avg_seek_cylinders);
+  EXPECT_EQ(a.avg_response_ms, b.avg_response_ms);
+  EXPECT_EQ(a.p50_response_ms, b.p50_response_ms);
+  EXPECT_EQ(a.p99_response_ms, b.p99_response_ms);
+  EXPECT_EQ(a.frames_displayed, b.frames_displayed);
+  EXPECT_EQ(a.videos_completed, b.videos_completed);
+  EXPECT_EQ(a.events_simulated, b.events_simulated);
+  EXPECT_EQ(a.proxy_references, b.proxy_references);
+  EXPECT_EQ(a.proxy_hits, b.proxy_hits);
+  EXPECT_EQ(a.proxy_attaches, b.proxy_attaches);
+  EXPECT_EQ(a.proxy_forwards, b.proxy_forwards);
+  EXPECT_EQ(a.proxy_bytes_from_cache, b.proxy_bytes_from_cache);
+  EXPECT_EQ(a.avg_proxy_forward_ms, b.avg_proxy_forward_ms);
+}
+
+TEST(ShardDeterminismTest, MetricsBitIdenticalAcrossShardCounts) {
+  SimConfig config = TinyShardedConfig();
+  config.seed = 11;
+  SimMetrics reference = RunSimulation(config);
+  EXPECT_GT(reference.frames_displayed, 0u);
+  for (int shards : {2, 4, 8}) {
+    SimConfig sharded = config;
+    sharded.shards = shards;
+    ASSERT_TRUE(sharded.Validate().empty());
+    SimMetrics metrics = RunSimulation(sharded);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ExpectBitIdentical(reference, metrics);
+  }
+}
+
+TEST(ShardDeterminismTest, ShardsTimesJobsGridAllBitIdentical) {
+  // Sharded runs stacked on the parallel runner: worker threads each
+  // drive a shard group of their own. Every (shards, jobs) cell must
+  // reproduce the serial unsharded metrics exactly.
+  std::vector<SimConfig> batch;
+  for (int i = 0; i < 3; ++i) {
+    SimConfig config = TinyShardedConfig();
+    config.seed = 500 + static_cast<std::uint64_t>(i);
+    config.terminals = 30 + 10 * i;
+    batch.push_back(config);
+  }
+  ParallelRunner serial(1);
+  std::vector<SimMetrics> reference = serial.RunAll(batch);
+
+  for (int shards : {2, 4, 8}) {
+    std::vector<SimConfig> sharded = batch;
+    for (SimConfig& config : sharded) config.shards = shards;
+    for (int jobs : {1, 4}) {
+      ParallelRunner runner(jobs);
+      std::vector<SimMetrics> metrics = runner.RunAll(sharded);
+      ASSERT_EQ(metrics.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     " jobs=" + std::to_string(jobs) +
+                     " run=" + std::to_string(i));
+        ExpectBitIdentical(reference[i], metrics[i]);
+      }
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, TelemetryJsonlByteIdenticalAcrossShardCounts) {
+  // The barrier sampler must observe exactly the state the single-shard
+  // sampler process sees. The interval is deliberately incommensurate
+  // with the model's periods so ticks never collide with model events.
+  auto record = [](int shards) {
+    SimConfig config = TinyShardedConfig();
+    config.seed = 23;
+    config.shards = shards;
+    std::ostringstream jsonl;
+    Simulation sim(config);
+    TelemetryOptions options;
+    options.interval_sec = 0.9973;
+    options.jsonl = &jsonl;
+    TelemetryRecorder telemetry(&sim, options);
+    sim.Run();
+    return jsonl.str();
+  };
+  const std::string reference = record(1);
+  EXPECT_GT(reference.size(), 0u);
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    EXPECT_EQ(record(shards), reference);
+  }
+}
+
+TEST(ShardDeterminismTest, ProxiedTopologyBitIdenticalAcrossShardCounts) {
+  // Proxies partition like nodes and their terminals co-locate with
+  // them, so proxy->origin traffic is the only cross-shard leg. LRU
+  // keeps the proxies timer-free.
+  SimConfig config = TinyShardedConfig();
+  config.seed = 31;
+  config.proxy_nodes = 4;
+  config.proxy_cache_pages = 64;
+  config.proxy_policy = proxy::ProxyPolicy::kLru;
+  SimMetrics reference = RunSimulation(config);
+  EXPECT_GT(reference.proxy_hits + reference.proxy_forwards, 0u);
+  for (int shards : {2, 4}) {
+    SimConfig sharded = config;
+    sharded.shards = shards;
+    ASSERT_TRUE(sharded.Validate().empty());
+    SimMetrics metrics = RunSimulation(sharded);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ExpectBitIdentical(reference, metrics);
+  }
+}
+
+TEST(ShardDeterminismTest, ShardCountIsPartOfTheConfigDigest) {
+  SimConfig a = TinyShardedConfig();
+  SimConfig b = a;
+  b.shards = 4;
+  EXPECT_NE(ConfigDigest(a), ConfigDigest(b));
+}
+
+TEST(ShardDeterminismTest, BudgetedJobsDividesTheWorkerPoolByShards) {
+  EXPECT_EQ(BudgetedJobs(8, 1), 8);
+  EXPECT_EQ(BudgetedJobs(8, 2), 4);
+  EXPECT_EQ(BudgetedJobs(8, 3), 2);
+  EXPECT_EQ(BudgetedJobs(4, 8), 1);   // never below one worker
+  EXPECT_EQ(BudgetedJobs(1, 4), 1);
+  EXPECT_GE(BudgetedJobs(0, 1), 1);   // default jobs, whatever the host has
+}
+
+}  // namespace
+}  // namespace spiffi::vod
